@@ -1,0 +1,42 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Contexts are session-scoped so the generated databases and the channel
+calibration are built once; each benchmark writes its report both to
+stdout (visible with ``-s``) and to ``benchmarks/results/<name>.txt`` so
+the paper-shaped rows survive output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import DEFAULT_SCALE, ExperimentContext
+from repro.gpu import AMD_A10, NVIDIA_K40
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def amd() -> ExperimentContext:
+    """AMD A10 context at the default benchmark scale."""
+    return ExperimentContext(device=AMD_A10, scale=DEFAULT_SCALE)
+
+
+@pytest.fixture(scope="session")
+def nvidia() -> ExperimentContext:
+    """NVIDIA K40 context at the default benchmark scale."""
+    return ExperimentContext(device=NVIDIA_K40, scale=DEFAULT_SCALE)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer that persists a report and echoes it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(text)
+
+    return write

@@ -1,0 +1,43 @@
+"""Fig 2: channel throughput vs data size and channel count (AMD).
+
+Expected shapes: throughput rises from 512K to about 1M integers
+("the channel is not fully utilized" for small inputs), then degrades
+as the working set outgrows the data cache ("cache thrashing"); more
+channels help up to 16.
+"""
+
+from repro.bench import banner, exp_fig2_channel_calibration, format_table
+
+
+def test_fig02_channel_calibration(benchmark, amd, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig2_channel_calibration(amd), rounds=1, iterations=1
+    )
+    sizes = [n for n, _ in result[1]]
+    rows = []
+    for index, size in enumerate(sizes):
+        rows.append(
+            [f"{size // 1024}K ints"]
+            + [round(result[n][index][1], 3) for n in sorted(result)]
+        )
+    report(
+        "fig02_channel_calibration",
+        banner("Fig 2: channel throughput (GB/s) on AMD, 16B packets")
+        + "\n"
+        + format_table(
+            ["N"] + [f"{n} ch" for n in sorted(result)], rows
+        ),
+    )
+    for n, series in result.items():
+        throughputs = [value for _, value in series]
+        # Rise then fall: the peak is interior, and the largest input is
+        # slower than the peak (cache thrashing).
+        peak = max(range(len(throughputs)), key=throughputs.__getitem__)
+        assert 0 < peak < len(throughputs) - 1 or throughputs[0] < max(
+            throughputs
+        )
+        assert throughputs[-1] < max(throughputs)
+    # More channels help: 16 channels beat 1 channel at every size.
+    assert all(
+        b[1] > a[1] for a, b in zip(result[1], result[16])
+    )

@@ -1,0 +1,30 @@
+"""Fig 3: size of intermediate results in KBE with varying selectivity.
+
+Expected shape: the normalized intermediate volume grows with the Q14
+predicate selectivity, eventually exceeding the original input size
+(the paper sees this past ~75% selectivity).
+"""
+
+from repro.bench import banner, exp_fig3_kbe_intermediate, format_table
+
+
+def test_fig03_kbe_intermediate(benchmark, amd, report):
+    rows = benchmark.pedantic(
+        lambda: exp_fig3_kbe_intermediate(amd), rounds=1, iterations=1
+    )
+    report(
+        "fig03_kbe_intermediate",
+        banner("Fig 3: KBE intermediate size / input size (Q14)")
+        + "\n"
+        + format_table(
+            ["selectivity", "normalized intermediate"],
+            [[s, round(r, 3)] for s, r in rows],
+        ),
+    )
+    ratios = [ratio for _, ratio in rows]
+    # Monotone growth in selectivity.
+    assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+    # At full selectivity the intermediates exceed the input.
+    assert ratios[-1] > 1.0
+    # At 1% selectivity they are a small fraction of it.
+    assert ratios[0] < 0.3

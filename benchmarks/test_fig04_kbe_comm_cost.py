@@ -1,0 +1,26 @@
+"""Fig 4: high communication cost in KBE query execution (Q14, AMD).
+
+Expected shape: the memory-stall cost (Mem_cost) grows with selectivity
+and stays a substantial share of the execution breakdown.
+"""
+
+from repro.bench import banner, exp_fig4_kbe_comm_cost, format_table
+
+
+def test_fig04_kbe_comm_cost(benchmark, amd, report):
+    rows = benchmark.pedantic(
+        lambda: exp_fig4_kbe_comm_cost(amd), rounds=1, iterations=1
+    )
+    report(
+        "fig04_kbe_comm_cost",
+        banner("Fig 4: KBE memory-stall cost with varying selectivity (Q14)")
+        + "\n"
+        + format_table(
+            ["selectivity", "Mem_cost (ms)", "share of breakdown"],
+            [[s, round(ms, 3), round(share, 3)] for s, ms, share in rows],
+        ),
+    )
+    costs = [ms for _, ms, _ in rows]
+    shares = [share for _, _, share in rows]
+    assert costs[-1] > costs[0]  # grows with selectivity
+    assert all(share > 0.25 for share in shares)  # substantial throughout

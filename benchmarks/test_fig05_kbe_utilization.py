@@ -1,0 +1,31 @@
+"""Fig 5: low utilization of GPU resources in KBE query execution (AMD).
+
+Expected shape: neither VALUBusy nor MemUnitBusy comes close to full
+utilization, and the two are imbalanced (kernels are alternately
+compute- or memory-bound, so one unit idles while the other works).
+"""
+
+from repro.bench import banner, exp_fig5_kbe_utilization, format_table
+
+
+def test_fig05_kbe_utilization(benchmark, amd, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig5_kbe_utilization(amd), rounds=1, iterations=1
+    )
+    report(
+        "fig05_kbe_utilization",
+        banner("Fig 5: KBE resource utilization on AMD")
+        + "\n"
+        + format_table(
+            ["query", "VALUBusy", "MemUnitBusy"],
+            [
+                [name, round(v, 3), round(m, 3)]
+                for name, (v, m) in result.items()
+            ],
+        ),
+    )
+    for name, (valu, mem) in result.items():
+        assert valu < 0.6, f"{name}: VALU should be underutilized in KBE"
+        assert mem < 0.98, f"{name}: memory unit never saturates fully"
+        # Imbalance between the two units.
+        assert abs(valu - mem) > 0.1, f"{name}: units should be imbalanced"

@@ -1,0 +1,38 @@
+"""Fig 11: relative error in estimating GPL runtime (AMD, optimal config).
+
+Expected shape: the analytical model predicts within a modest relative
+error for every query and "generally underestimates the execution time"
+(Section 5.2) because Eq. 9 assumes ideal concurrency.
+"""
+
+from repro.bench import banner, exp_fig11_model_error, format_table
+
+
+def test_fig11_model_error(benchmark, amd, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig11_model_error(amd), rounds=1, iterations=1
+    )
+    report(
+        "fig11_model_error",
+        banner("Fig 11: relative error in estimating GPL runtime (AMD)")
+        + "\n"
+        + format_table(
+            ["query", "measured ms", "estimated ms", "rel. error", "under?"],
+            [
+                [
+                    name,
+                    round(row["measured_ms"], 3),
+                    round(row["estimated_ms"], 3),
+                    round(row["relative_error"], 3),
+                    bool(row["underestimated"]),
+                ]
+                for name, row in result.items()
+            ],
+        ),
+    )
+    errors = [row["relative_error"] for row in result.values()]
+    assert all(error < 0.5 for error in errors)
+    assert sum(errors) / len(errors) < 0.3
+    # Underestimation is the typical direction.
+    underestimates = sum(row["underestimated"] for row in result.values())
+    assert underestimates >= len(result) / 2

@@ -1,0 +1,54 @@
+"""Fig 12: overall query performance with varying tile sizes (Q8, AMD).
+
+Expected shape: a U — small tiles underutilize the pipeline (dispatch
+overhead, channel inefficiency), large tiles thrash the cache — with
+the model's chosen tile (the star) near the measured bottom.
+
+This sweep needs inputs several times larger than the biggest tile, so
+it runs at an elevated scale factor.
+"""
+
+import pytest
+
+from repro.bench import ExperimentContext, banner, exp_fig12_13_tile_sweep, format_table
+from repro.gpu import AMD_A10
+
+SWEEP_SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    context = ExperimentContext(device=AMD_A10, scale=SWEEP_SCALE)
+    return exp_fig12_13_tile_sweep(context)
+
+
+def test_fig12_tile_size(benchmark, sweep, report):
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = result["rows"]
+    report(
+        "fig12_tile_size",
+        banner("Fig 12: Q8 performance vs tile size (AMD), normalized to 256KB")
+        + "\n"
+        + format_table(
+            ["tile", "normalized time", "normalized estimate"],
+            [
+                [
+                    f"{row['tile_bytes'] // 1024}KB",
+                    round(row["normalized_time"], 3),
+                    round(row["normalized_estimate"], 3),
+                ]
+                for row in rows
+            ],
+        )
+        + f"\nmodel pick (star): {result['model_tile_bytes'] // 1024}KB"
+        + f"\nmeasured best:     {result['measured_best_tile_bytes'] // 1024}KB",
+    )
+    times = [row["normalized_time"] for row in rows]
+    # U-shape: the largest tile is worse than the best interior point.
+    best = min(times)
+    assert times[-1] > best * 1.05
+    # The model's pick performs close to the measured optimum.
+    model_row = next(
+        row for row in rows if row["tile_bytes"] == result["model_tile_bytes"]
+    )
+    assert model_row["normalized_time"] <= best * 1.25

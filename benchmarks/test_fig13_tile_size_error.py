@@ -1,0 +1,38 @@
+"""Fig 13: relative error in estimating GPL runtime vs tile size (Q8).
+
+Expected shape: the model tracks the measured tile-size curve with small
+relative errors across the whole 256KB–16MB sweep.
+"""
+
+import pytest
+
+from repro.bench import ExperimentContext, banner, exp_fig12_13_tile_sweep, format_table
+from repro.gpu import AMD_A10
+
+SWEEP_SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    context = ExperimentContext(device=AMD_A10, scale=SWEEP_SCALE)
+    return exp_fig12_13_tile_sweep(context)
+
+
+def test_fig13_tile_size_error(benchmark, sweep, report):
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = result["rows"]
+    report(
+        "fig13_tile_size_error",
+        banner("Fig 13: model relative error vs tile size (Q8, AMD)")
+        + "\n"
+        + format_table(
+            ["tile", "relative error"],
+            [
+                [f"{row['tile_bytes'] // 1024}KB", round(row["relative_error"], 3)]
+                for row in rows
+            ],
+        ),
+    )
+    errors = [row["relative_error"] for row in rows]
+    assert all(error < 0.4 for error in errors)
+    assert sum(errors) / len(errors) < 0.2

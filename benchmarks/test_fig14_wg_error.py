@@ -1,0 +1,33 @@
+"""Fig 14: model relative error across work-group settings S1–S7 (Q8).
+
+Expected shape: nominal error at every setting in the doubling ladder.
+"""
+
+import pytest
+
+from repro.bench import banner, exp_fig14_15_workgroups, format_table
+
+
+@pytest.fixture(scope="module")
+def sweep(amd):
+    return exp_fig14_15_workgroups(amd)
+
+
+def test_fig14_wg_error(benchmark, sweep, report):
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = result["rows"]
+    report(
+        "fig14_wg_error",
+        banner("Fig 14: model relative error vs work-group setting (Q8, AMD)")
+        + "\n"
+        + format_table(
+            ["setting", "wg/kernel", "relative error"],
+            [
+                [row["setting"], row["workgroups"], round(row["relative_error"], 3)]
+                for row in rows
+            ],
+        ),
+    )
+    errors = [row["relative_error"] for row in rows]
+    assert all(error < 0.4 for error in errors)
+    assert sum(errors) / len(errors) < 0.25

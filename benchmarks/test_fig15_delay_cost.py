@@ -1,0 +1,45 @@
+"""Fig 15: delay cost with varying resource allocations (Q8, AMD).
+
+Expected shape: delay (normalized to S1) falls as work-groups grow,
+reaches its minimum at the model-chosen setting, and worsens again once
+the allocation oversubscribes the device — and the model's pick matches
+the lowest-delay setting.
+"""
+
+import pytest
+
+from repro.bench import banner, exp_fig14_15_workgroups, format_table
+
+
+@pytest.fixture(scope="module")
+def sweep(amd):
+    return exp_fig14_15_workgroups(amd)
+
+
+def test_fig15_delay_cost(benchmark, sweep, report):
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = result["rows"]
+    report(
+        "fig15_delay_cost",
+        banner("Fig 15: delay cost vs resource allocation (Q8, AMD)")
+        + "\n"
+        + format_table(
+            ["setting", "wg/kernel", "delay (normalized to S1)"],
+            [
+                [row["setting"], row["workgroups"], round(row["normalized_delay"], 3)]
+                for row in rows
+            ],
+        )
+        + f"\nmodel pick (star):    {result['model_setting']}"
+        + f"\nlowest delay setting: {result['lowest_delay_setting']}",
+    )
+    delays = [row["normalized_delay"] for row in rows]
+    # Interior minimum: some setting beats both extremes.
+    best = min(delays)
+    assert best < delays[0]
+    assert best <= delays[-1]
+    # The model's choice lands on (or adjacent to) the lowest delay.
+    settings = [row["setting"] for row in rows]
+    model_index = settings.index(result["model_setting"])
+    lowest_index = settings.index(result["lowest_delay_setting"])
+    assert abs(model_index - lowest_index) <= 1

@@ -1,0 +1,40 @@
+"""Fig 16: KBE vs GPL (w/o CE) vs GPL on the AMD preset.
+
+Expected shapes: GPL (model-configured) beats KBE on every query, with
+improvements in the tens of percent (paper: up to 48%); the w/o-CE
+variant loses GPL's advantage (at realistic tile counts it degrades to
+or below KBE, paper: up to 31% slower).
+"""
+
+from repro.bench import banner, exp_fig16_overall, format_table
+
+
+def test_fig16_overall_amd(benchmark, amd, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig16_overall(amd), rounds=1, iterations=1
+    )
+    report(
+        "fig16_overall_amd",
+        banner("Fig 16: KBE vs GPL(w/o CE) vs GPL on AMD (normalized to KBE)")
+        + "\n"
+        + format_table(
+            ["query", "KBE ms", "w/o CE norm", "GPL norm", "improvement"],
+            [
+                [
+                    name,
+                    round(row["KBE_ms"], 2),
+                    round(row["GPL_woCE_normalized"], 3),
+                    round(row["GPL_normalized"], 3),
+                    f"{row['improvement'] * 100:.0f}%",
+                ]
+                for name, row in result.items()
+            ],
+        ),
+    )
+    for name, row in result.items():
+        assert row["GPL_normalized"] < 1.0, f"{name}: GPL must beat KBE"
+        assert row["improvement"] > 0.15, f"{name}: improvement too small"
+        # w/o CE forfeits most of GPL's advantage.
+        assert row["GPL_woCE_normalized"] > row["GPL_normalized"]
+    best = max(row["improvement"] for row in result.values())
+    assert 0.3 < best < 0.8  # paper: up to 48%

@@ -1,0 +1,26 @@
+"""Fig 17: intermediate results materialized in global memory, GPL / KBE.
+
+Expected shape: GPL materializes only segment outputs (hash tables,
+aggregates), a small fraction of KBE's per-kernel materialization
+(paper: 15–33%).
+"""
+
+from repro.bench import banner, exp_fig17_materialization, format_table
+
+
+def test_fig17_materialization(benchmark, amd, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig17_materialization(amd), rounds=1, iterations=1
+    )
+    report(
+        "fig17_materialization",
+        banner("Fig 17: GPL materialized intermediates (normalized to KBE)")
+        + "\n"
+        + format_table(
+            ["query", "GPL / KBE"],
+            [[name, round(ratio, 3)] for name, ratio in result.items()],
+        ),
+    )
+    for name, ratio in result.items():
+        assert ratio < 0.4, f"{name}: GPL must materialize far less than KBE"
+        assert ratio > 0.0, f"{name}: blocking kernels still materialize"

@@ -1,0 +1,30 @@
+"""Fig 18: size of intermediate results in GPL with varying selectivity.
+
+Expected shape: unlike KBE (Fig 3), GPL's materialized volume stays far
+below the input at every selectivity — at 100% selectivity the paper
+measures 0.22x the input for GPL versus 1.38x for KBE.
+"""
+
+from repro.bench import banner, exp_fig18_gpl_intermediate, format_table
+
+
+def test_fig18_gpl_intermediate(benchmark, amd, report):
+    rows = benchmark.pedantic(
+        lambda: exp_fig18_gpl_intermediate(amd), rounds=1, iterations=1
+    )
+    report(
+        "fig18_gpl_intermediate",
+        banner("Fig 18: GPL vs KBE intermediates / input (Q14)")
+        + "\n"
+        + format_table(
+            ["selectivity", "GPL", "KBE"],
+            [[s, round(g, 3), round(k, 3)] for s, g, k in rows],
+        ),
+    )
+    for selectivity, gpl_ratio, kbe_ratio in rows:
+        assert gpl_ratio < kbe_ratio, "GPL must materialize less at every point"
+        assert gpl_ratio < 0.5
+    # The gap widens with selectivity: at 100% KBE exceeds input, GPL stays low.
+    _, gpl_full, kbe_full = rows[-1]
+    assert kbe_full > 1.0
+    assert gpl_full < 0.5 * kbe_full

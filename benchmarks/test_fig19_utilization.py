@@ -1,0 +1,39 @@
+"""Fig 19: improved GPU resource utilization under GPL (AMD).
+
+Expected shape: GPL sustains steadier, better-balanced utilization than
+KBE — concurrent kernels with different compute/memory mixes keep both
+units busy, so the VALU/memory imbalance shrinks.
+"""
+
+from repro.bench import banner, exp_fig19_utilization, format_table
+
+
+def test_fig19_utilization(benchmark, amd, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig19_utilization(amd), rounds=1, iterations=1
+    )
+    report(
+        "fig19_utilization",
+        banner("Fig 19: resource utilization, KBE vs GPL (AMD)")
+        + "\n"
+        + format_table(
+            ["query", "KBE VALU", "KBE Mem", "GPL VALU", "GPL Mem"],
+            [
+                [
+                    name,
+                    round(row["KBE_valu"], 3),
+                    round(row["KBE_mem"], 3),
+                    round(row["GPL_valu"], 3),
+                    round(row["GPL_mem"], 3),
+                ]
+                for name, row in result.items()
+            ],
+        ),
+    )
+    kbe_imbalance = sum(
+        abs(row["KBE_valu"] - row["KBE_mem"]) for row in result.values()
+    )
+    gpl_imbalance = sum(
+        abs(row["GPL_valu"] - row["GPL_mem"]) for row in result.values()
+    )
+    assert gpl_imbalance < kbe_imbalance, "GPL balances the two units better"

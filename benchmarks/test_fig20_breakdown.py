@@ -1,0 +1,36 @@
+"""Fig 20: query execution time breakdown for Q8 on AMD.
+
+Expected shape: KBE's communication cost (memory stalls) is a large
+share of execution (paper: up to 34%); in GPL the communication total
+(Mem + DC + Delay) is substantially smaller relative to useful work
+(paper: up to 14%... the simulation keeps the ordering, not the exact
+percentages).
+"""
+
+from repro.bench import banner, exp_fig20_breakdown, format_table
+
+
+def test_fig20_breakdown(benchmark, amd, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig20_breakdown(amd), rounds=1, iterations=1
+    )
+    categories = ["Compute", "Mem_cost", "DC_cost", "Delay"]
+    report(
+        "fig20_breakdown",
+        banner("Fig 20: Q8 execution-time breakdown (AMD)")
+        + "\n"
+        + format_table(
+            ["engine"] + categories + ["communication share"],
+            [
+                [engine]
+                + [round(result[engine][c], 3) for c in categories]
+                + [round(result[engine]["communication_share"], 3)]
+                for engine in ("KBE", "GPL")
+            ],
+        ),
+    )
+    assert result["KBE"]["DC_cost"] == 0.0  # no channels in KBE
+    assert result["KBE"]["Delay"] == 0.0  # no pipeline in KBE
+    assert result["GPL"]["DC_cost"] > 0.0
+    # GPL turns communication into compute: its compute share is larger.
+    assert result["GPL"]["Compute"] > result["KBE"]["Compute"]

@@ -1,0 +1,39 @@
+"""Fig 21: query execution time on varying data sizes (AMD).
+
+Expected shape: both engines grow with the scale factor, KBE grows
+faster, and GPL's improvement over KBE widens as the data grows
+("when the data size increases, the performance improvement of GPL over
+KBE continues to increase").
+"""
+
+from repro.bench import banner, exp_fig21_data_sizes, format_table
+
+
+def test_fig21_data_sizes(benchmark, amd, report):
+    rows = benchmark.pedantic(
+        lambda: exp_fig21_data_sizes(amd), rounds=1, iterations=1
+    )
+    report(
+        "fig21_data_sizes",
+        banner("Fig 21: execution time vs data size (Q8, AMD)")
+        + "\n"
+        + format_table(
+            ["scale", "KBE ms", "GPL ms", "improvement"],
+            [
+                [
+                    row["scale"],
+                    round(row["KBE_ms"], 2),
+                    round(row["GPL_ms"], 2),
+                    f"{row['improvement'] * 100:.0f}%",
+                ]
+                for row in rows
+            ],
+        ),
+    )
+    kbe = [row["KBE_ms"] for row in rows]
+    gpl = [row["GPL_ms"] for row in rows]
+    assert all(b > a for a, b in zip(kbe, kbe[1:]))  # KBE grows with SF
+    assert all(b > a for a, b in zip(gpl, gpl[1:]))  # GPL grows with SF
+    assert all(g < k for g, k in zip(gpl, kbe))  # GPL wins throughout
+    # The improvement at the largest size exceeds the smallest size's.
+    assert rows[-1]["improvement"] > rows[0]["improvement"]

@@ -1,0 +1,31 @@
+"""Fig 23 (Appendix A.1): kernel-communication throughput on NVIDIA.
+
+Same calibration sweep as Fig 2, on the Tesla K40 preset; the packet
+size is fixed (CUDA's DDT mechanism is not user-tunable), so only the
+channel count and data size vary.
+"""
+
+from repro.bench import banner, exp_fig2_channel_calibration, format_table
+
+
+def test_fig23_channel_nvidia(benchmark, nvidia, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig2_channel_calibration(nvidia), rounds=1, iterations=1
+    )
+    sizes = [n for n, _ in result[1]]
+    rows = []
+    for index, size in enumerate(sizes):
+        rows.append(
+            [f"{size // 1024}K ints"]
+            + [round(result[n][index][1], 3) for n in sorted(result)]
+        )
+    report(
+        "fig23_channel_nvidia",
+        banner("Fig 23: kernel-communication throughput (GB/s) on NVIDIA")
+        + "\n"
+        + format_table(["N"] + [f"{n} ch" for n in sorted(result)], rows),
+    )
+    for n, series in result.items():
+        throughputs = [value for _, value in series]
+        assert throughputs[-1] < max(throughputs)  # large-N degradation
+    assert all(b[1] > a[1] for a, b in zip(result[1], result[16]))

@@ -1,0 +1,52 @@
+"""Figs 25+26 (Appendix A.3.1): tile-size sweep for Q8 on NVIDIA.
+
+Same protocol as Figs 12+13: the runtime curve is a U, the model's
+chosen tile lands near the measured bottom, and the relative error stays
+small across the sweep.
+"""
+
+import pytest
+
+from repro.bench import ExperimentContext, banner, exp_fig12_13_tile_sweep, format_table
+from repro.gpu import NVIDIA_K40
+
+SWEEP_SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    context = ExperimentContext(device=NVIDIA_K40, scale=SWEEP_SCALE)
+    return exp_fig12_13_tile_sweep(context)
+
+
+def test_fig25_26_tile_nvidia(benchmark, sweep, report):
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = result["rows"]
+    report(
+        "fig25_26_tile_nvidia",
+        banner("Figs 25/26: Q8 vs tile size (NVIDIA), normalized to 256KB")
+        + "\n"
+        + format_table(
+            ["tile", "normalized time", "relative error"],
+            [
+                [
+                    f"{row['tile_bytes'] // 1024}KB",
+                    round(row["normalized_time"], 3),
+                    round(row["relative_error"], 3),
+                ]
+                for row in rows
+            ],
+        )
+        + f"\nmodel pick (star): {result['model_tile_bytes'] // 1024}KB"
+        + f"\nmeasured best:     {result['measured_best_tile_bytes'] // 1024}KB",
+    )
+    errors = [row["relative_error"] for row in rows]
+    # The model underestimates most at oversized tiles on the K40's small
+    # cache (see EXPERIMENTS.md); the error bound is looser than Fig 13's.
+    assert all(error < 0.65 for error in errors)
+    assert sum(errors) / len(errors) < 0.4
+    times = [row["normalized_time"] for row in rows]
+    model_row = next(
+        row for row in rows if row["tile_bytes"] == result["model_tile_bytes"]
+    )
+    assert model_row["normalized_time"] <= min(times) * 1.45

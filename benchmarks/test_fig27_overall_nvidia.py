@@ -1,0 +1,37 @@
+"""Fig 27 (Appendix A.3.2): GPL vs KBE, normalized, on NVIDIA.
+
+Expected shapes: GPL beats KBE on every query (paper: by up to 50% on
+NVIDIA — more concurrency than AMD); tiling without concurrent kernel
+execution degrades (paper: up to 1.15x KBE's time).
+"""
+
+from repro.bench import banner, exp_fig16_overall, format_table
+
+
+def test_fig27_overall_nvidia(benchmark, nvidia, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig16_overall(nvidia), rounds=1, iterations=1
+    )
+    report(
+        "fig27_overall_nvidia",
+        banner("Fig 27: GPL execution time normalized to KBE (NVIDIA)")
+        + "\n"
+        + format_table(
+            ["query", "KBE ms", "w/o CE norm", "GPL norm", "improvement"],
+            [
+                [
+                    name,
+                    round(row["KBE_ms"], 2),
+                    round(row["GPL_woCE_normalized"], 3),
+                    round(row["GPL_normalized"], 3),
+                    f"{row['improvement'] * 100:.0f}%",
+                ]
+                for name, row in result.items()
+            ],
+        ),
+    )
+    for name, row in result.items():
+        assert row["GPL_normalized"] < 1.0, f"{name}: GPL must beat KBE"
+        assert row["GPL_woCE_normalized"] > row["GPL_normalized"]
+    best = max(row["improvement"] for row in result.values())
+    assert best > 0.3  # paper: up to 50% on NVIDIA

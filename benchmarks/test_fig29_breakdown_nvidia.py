@@ -1,0 +1,31 @@
+"""Fig 29 (Appendix A.3.2): Q8 execution-time breakdown on NVIDIA.
+
+Expected shape: GPL's communication share (Mem + DC + Delay) is smaller
+than KBE's memory-stall share (paper: 18% vs up to 32%).
+"""
+
+from repro.bench import banner, exp_fig20_breakdown, format_table
+
+
+def test_fig29_breakdown_nvidia(benchmark, nvidia, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig20_breakdown(nvidia), rounds=1, iterations=1
+    )
+    categories = ["Compute", "Mem_cost", "DC_cost", "Delay"]
+    report(
+        "fig29_breakdown_nvidia",
+        banner("Fig 29: Q8 execution-time breakdown (NVIDIA)")
+        + "\n"
+        + format_table(
+            ["engine"] + categories + ["communication share"],
+            [
+                [engine]
+                + [round(result[engine][c], 3) for c in categories]
+                + [round(result[engine]["communication_share"], 3)]
+                for engine in ("KBE", "GPL")
+            ],
+        ),
+    )
+    assert result["KBE"]["DC_cost"] == 0.0
+    assert result["GPL"]["DC_cost"] > 0.0
+    assert result["GPL"]["Compute"] > result["KBE"]["Compute"]

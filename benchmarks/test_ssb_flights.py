@@ -1,0 +1,51 @@
+"""Beyond the paper: the Star Schema Benchmark flight suite, KBE vs GPL.
+
+SSB's queries are pure star joins — each lowers to exactly the pipeline
+shape GPL was designed for — so the workload is a natural generality
+check: the paper's improvement should carry over to all four flights.
+"""
+
+import pytest
+
+from repro.core import GPLEngine
+from repro.gpu import AMD_A10
+from repro.kbe import KBEEngine
+from repro.ssb import SSB_QUERIES, generate_ssb
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def flights():
+    database = generate_ssb(scale=SCALE)
+    kbe = KBEEngine(database, AMD_A10)
+    gpl = GPLEngine(database, AMD_A10)
+    rows = {}
+    for name, spec in SSB_QUERIES.items():
+        kbe_run = kbe.execute(spec)
+        gpl_run = gpl.execute(spec)
+        assert kbe_run.approx_equals(gpl_run), f"{name}: engines disagree"
+        rows[name] = (kbe_run.elapsed_ms, gpl_run.elapsed_ms)
+    return rows
+
+
+def test_ssb_flights(benchmark, flights, report):
+    rows = benchmark.pedantic(lambda: flights, rounds=1, iterations=1)
+    lines = [f"SSB at scale {SCALE} on AMD (KBE vs GPL):"]
+    for name, (kbe_ms, gpl_ms) in rows.items():
+        lines.append(
+            f"  {name:6s} KBE {kbe_ms:7.2f} ms  GPL {gpl_ms:7.2f} ms  "
+            f"{kbe_ms / gpl_ms:5.2f}x"
+        )
+    total_kbe = sum(kbe for kbe, _ in rows.values())
+    total_gpl = sum(gpl for _, gpl in rows.values())
+    lines.append(
+        f"  TOTAL  KBE {total_kbe:7.2f} ms  GPL {total_gpl:7.2f} ms  "
+        f"{total_kbe / total_gpl:5.2f}x"
+    )
+    report("ssb_flights", "\n".join(lines))
+
+    # GPL wins every flight and the workload overall by a healthy margin.
+    for name, (kbe_ms, gpl_ms) in rows.items():
+        assert gpl_ms < kbe_ms, name
+    assert total_kbe / total_gpl > 1.5

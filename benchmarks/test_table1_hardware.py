@@ -1,0 +1,27 @@
+"""Table 1: hardware specification of the two simulated devices."""
+
+from repro.bench import banner, exp_table1_hardware, format_table
+
+
+def test_table1_hardware(benchmark, report):
+    result = benchmark.pedantic(
+        exp_table1_hardware, rounds=1, iterations=1
+    )
+    fields = list(result["AMD"])
+    rows = [
+        [field, result["AMD"][field], result["NVIDIA"][field]]
+        for field in fields
+    ]
+    report(
+        "table1_hardware",
+        banner("Table 1: Hardware specification")
+        + "\n"
+        + format_table(["", "AMD", "NVIDIA"], rows),
+    )
+    # The paper's headline numbers.
+    assert result["AMD"]["#CU"] == 8
+    assert result["NVIDIA"]["#CU"] == 15
+    assert result["AMD"]["Concurrent kernels"] == 2
+    assert result["NVIDIA"]["Concurrent kernels"] == 16
+    assert result["AMD"]["Programming API"] == "OpenCL"
+    assert result["NVIDIA"]["Programming API"] == "CUDA"

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Channel microbenchmark: the paper's Section 2.1 calibration experiment.
+
+A producer kernel generates N integers and streams them through a data
+channel to a consumer kernel.  Sweeping the data size, the number of
+channels, and the packet size maps out the throughput surface Γ(n, p, d)
+that the analytical model consumes (Figs 2 and 23).
+"""
+
+from repro.gpu import AMD_A10, NVIDIA_K40
+from repro.model import calibrate_channels
+
+
+def sweep(device) -> None:
+    print(f"\n=== {device.name} ===")
+    table = calibrate_channels(device)
+    packet = 16
+    sizes = sorted({point.data_bytes for point in table.points})
+    print(f"throughput (GB/s), packet size {packet} B:")
+    header = "channels " + "".join(
+        f"{size // 4096:>8}Ki" for size in sizes
+    )
+    print(header)
+    for n in (1, 2, 4, 8, 16, 32):
+        cells = "".join(
+            f"{table.throughput(n, packet, size) * device.core_mhz * 1e6 / 1e9:>10.2f}"
+            for size in sizes
+        )
+        print(f"{n:>8} {cells}")
+    for d_label, d in (("64KB", 65536), ("1MB", 1 << 20), ("16MB", 16 << 20)):
+        n_max, p_max = table.best_config(d)
+        print(f"best config for {d_label:>5} transfers: n={n_max}, p={p_max}B")
+
+
+def main() -> None:
+    for device in (AMD_A10, NVIDIA_K40):
+        sweep(device)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Cost-based tuning: let the analytical model pick GPL's configuration.
+
+Reproduces the paper's Section 4 workflow for Q8:
+
+1. calibrate the channel throughput surface Γ(n, p, d) on the device;
+2. lower the query and describe every segment to the cost model;
+3. search tile size, channel setting, and work-group counts per segment;
+4. compare the model-chosen configuration against the 1 MB default and
+   report the model's prediction error.
+"""
+
+from repro import AMD_A10, GPLEngine, generate_database, q8
+from repro.model import (
+    ConfigurationSearch,
+    calibrate_channels,
+    plan_cost_inputs,
+)
+
+
+def main() -> None:
+    device = AMD_A10
+    database = generate_database(scale=0.1)
+    spec = q8()
+
+    print(f"Calibrating channels on {device.name}...")
+    calibration = calibrate_channels(device)
+    n_max, p_max = calibration.best_config(1024 * 1024)
+    print(f"  best channel setting for 1 MB transfers: n={n_max}, p={p_max}B")
+
+    engine = GPLEngine(database, device)
+    plan = engine.prepare(spec)
+    segments = plan_cost_inputs(plan, database)
+    print(f"\n{spec.name} lowers to {len(segments)} segments:")
+    print(plan.describe())
+
+    search = ConfigurationSearch(device, calibration)
+    configs, predicted = search.optimize_plan(segments)
+    print("\nModel-chosen configuration per segment:")
+    for segment_id, config in configs.items():
+        print(
+            f"  {segment_id:16s} tile={config.tile_bytes // 1024:>6}KB  "
+            f"n={config.channel.num_channels:<2} "
+            f"p={config.channel.packet_bytes:<3} "
+            f"wg={config.default_workgroups}"
+        )
+
+    default_run = GPLEngine(database, device).execute(spec)
+    tuned_run = GPLEngine(
+        database, device, segment_configs=configs
+    ).execute(spec)
+
+    measured = tuned_run.counters.elapsed_cycles
+    error = abs(measured - predicted) / measured
+    print(f"\ndefault config: {default_run.elapsed_ms:.3f} ms")
+    print(f"tuned config:   {tuned_run.elapsed_ms:.3f} ms")
+    print(
+        f"model predicted {device.cycles_to_ms(predicted):.3f} ms "
+        f"(relative error {error:.2f}, "
+        f"{'under' if predicted < measured else 'over'}estimate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

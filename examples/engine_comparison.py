@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Engine shoot-out: KBE vs GPL (w/o CE) vs GPL vs Ocelot, both devices.
+
+Runs the paper's five TPC-H queries on all four engines, checks that
+every engine returns the same answers, and prints execution times,
+utilization, and materialized-intermediate volumes — a miniature of the
+paper's Section 5 evaluation.
+"""
+
+from repro import (
+    AMD_A10,
+    NVIDIA_K40,
+    GPLEngine,
+    GPLWithoutCEEngine,
+    KBEEngine,
+    generate_database,
+    query_by_name,
+)
+from repro.ocelot import OcelotEngine
+
+QUERIES = ("Q5", "Q7", "Q8", "Q9", "Q14")
+
+
+def run_device(device, database) -> None:
+    print(f"\n=== {device.name} ===")
+    engines = [
+        KBEEngine(database, device),
+        GPLWithoutCEEngine(database, device),
+        GPLEngine(database, device),
+        OcelotEngine(database, device),
+    ]
+    header = f"{'query':6s}" + "".join(
+        f"{engine.name:>14s}" for engine in engines
+    )
+    print(header + f"{'GPL speedup':>14s}")
+    for name in QUERIES:
+        spec = query_by_name(name)
+        results = [engine.execute(spec) for engine in engines]
+        assert all(
+            results[0].approx_equals(result) for result in results[1:]
+        ), f"{name}: engines disagree!"
+        times = [result.elapsed_ms for result in results]
+        kbe_ms, _, gpl_ms, _ = times
+        row = f"{name:6s}" + "".join(f"{t:>12.2f}ms" for t in times)
+        print(row + f"{kbe_ms / gpl_ms:>13.2f}x")
+
+    print("\nPer-query counters (KBE vs GPL):")
+    for name in QUERIES:
+        spec = query_by_name(name)
+        kbe = KBEEngine(database, device).execute(spec)
+        gpl = GPLEngine(database, device).execute(spec)
+        ratio = gpl.counters.bytes_materialized / max(
+            1.0, kbe.counters.bytes_materialized
+        )
+        print(
+            f"  {name:4s} KBE util=({kbe.counters.valu_busy:.2f},"
+            f"{kbe.counters.mem_unit_busy:.2f})  "
+            f"GPL util=({gpl.counters.valu_busy:.2f},"
+            f"{gpl.counters.mem_unit_busy:.2f})  "
+            f"GPL materializes {ratio * 100:.0f}% of KBE's intermediates"
+        )
+
+
+def main() -> None:
+    database = generate_database(scale=0.05)
+    for device in (AMD_A10, NVIDIA_K40):
+        run_device(device, database)
+
+
+if __name__ == "__main__":
+    main()

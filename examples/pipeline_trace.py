@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Visualize a pipelined segment: who ran when, who starved, who overlapped.
+
+Runs Q14 with trace capture and prints a text Gantt chart per segment —
+the filter's map kernel filling the pipe, the probe chasing it through
+the channel, the streaming reduce draining both, all concurrent within
+the device's kernel slots.
+"""
+
+from repro import AMD_A10, GPLEngine, generate_database, q14
+from repro.gpu import render_gantt, stage_utilization
+
+
+def main() -> None:
+    database = generate_database(scale=0.05)
+    engine = GPLEngine(database, AMD_A10)
+    result, traces = engine.execute_with_trace(q14())
+
+    print(f"Q14 on {AMD_A10.name}: {result.elapsed_ms:.3f} ms total\n")
+    for pipeline_id, events in traces.items():
+        if not events:
+            continue
+        elapsed = max(event.end for event in events)
+        print(f"segment [{pipeline_id}] — {len(events)} work-group units, "
+              f"{AMD_A10.cycles_to_ms(elapsed):.3f} ms")
+        print(render_gantt(events, elapsed, width=64))
+        utilization = stage_utilization(events, elapsed)
+        for label, fraction in utilization.items():
+            print(f"  {label:16s} in flight {fraction * 100:5.1f}% of the run")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: run a TPC-H query on GPL and on the KBE baseline.
+
+Generates a small TPC-H database, executes Q14 on both engines against
+the simulated AMD A10 APU, verifies the answers agree, and prints the
+simulated execution times and headline counters.
+"""
+
+from repro import AMD_A10, GPLEngine, KBEEngine, generate_database, q14
+
+
+def main() -> None:
+    print("Generating TPC-H data (scale factor 0.02)...")
+    database = generate_database(scale=0.02)
+    for name in database.names:
+        print(f"  {name:10s} {database.num_rows(name):>9,} rows")
+
+    spec = q14()
+    kbe = KBEEngine(database, AMD_A10)
+    gpl = GPLEngine(database, AMD_A10)
+
+    print(f"\nExecuting {spec.name} on {AMD_A10.name}...")
+    kbe_result = kbe.execute(spec)
+    gpl_result = gpl.execute(spec)
+
+    assert kbe_result.approx_equals(gpl_result), (
+        "engines must agree on the answer"
+    )
+    (promo_revenue,) = kbe_result.rows()[0]
+    print(f"  promo_revenue = {promo_revenue:.4f}%  (both engines agree)")
+
+    print("\nSimulated execution:")
+    for result in (kbe_result, gpl_result):
+        counters = result.counters
+        print(
+            f"  {result.engine:12s} {result.elapsed_ms:7.3f} ms   "
+            f"VALUBusy={counters.valu_busy:.2f}  "
+            f"MemUnitBusy={counters.mem_unit_busy:.2f}  "
+            f"materialized={counters.bytes_materialized / 1e6:.2f} MB  "
+            f"kernel launches={counters.kernel_launches}"
+        )
+    improvement = 1.0 - gpl_result.elapsed_ms / kbe_result.elapsed_ms
+    print(f"\nGPL improvement over KBE: {improvement * 100:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

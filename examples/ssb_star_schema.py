@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Run the Star Schema Benchmark: thirteen star joins, two engines.
+
+SSB is the canonical star-schema workload — one wide fact table probed
+against four dimensions — which makes every query a single pipelined
+segment for GPL. This example runs all four flights on both engines and
+summarizes the speedups.
+"""
+
+from repro import AMD_A10, GPLEngine, KBEEngine
+from repro.ssb import SSB_QUERIES, generate_ssb
+
+
+def main() -> None:
+    database = generate_ssb(scale=0.05)
+    print("SSB at scale 0.05:")
+    for name in database.names:
+        print(f"  {name:10s} {database.num_rows(name):>9,} rows")
+
+    kbe = KBEEngine(database, AMD_A10)
+    gpl = GPLEngine(database, AMD_A10)
+
+    print(f"\n{'query':7s} {'rows':>5s} {'KBE ms':>8s} {'GPL ms':>8s} "
+          f"{'speedup':>8s}")
+    total_kbe = total_gpl = 0.0
+    for name, spec in SSB_QUERIES.items():
+        kbe_run = kbe.execute(spec)
+        gpl_run = gpl.execute(spec)
+        assert kbe_run.approx_equals(gpl_run), f"{name}: engines disagree"
+        total_kbe += kbe_run.elapsed_ms
+        total_gpl += gpl_run.elapsed_ms
+        print(
+            f"{name:7s} {gpl_run.num_rows:>5d} {kbe_run.elapsed_ms:>8.2f} "
+            f"{gpl_run.elapsed_ms:>8.2f} "
+            f"{kbe_run.elapsed_ms / gpl_run.elapsed_ms:>7.2f}x"
+        )
+    print(
+        f"{'TOTAL':7s} {'':>5s} {total_kbe:>8.2f} {total_gpl:>8.2f} "
+        f"{total_kbe / total_gpl:>7.2f}x"
+    )
+
+    # A sample of decoded output: profit by year and nation (Q4.1).
+    result = gpl.execute(SSB_QUERIES["Q4.1"])
+    print("\nQ4.1 — profit by year and customer nation (first 8 rows):")
+    for year, nation, profit in result.decoded_rows()[:8]:
+        print(f"  {year}  {nation:15s} {profit:>14,.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: a full reproduction of "GPL: A GPU-based Pipelined Query
+Processing Engine" (SIGMOD 2016) on a simulated GPU substrate.
+
+Quickstart::
+
+    from repro import AMD_A10, GPLEngine, KBEEngine, generate_database, q14
+
+    db = generate_database(scale=0.01)
+    gpl = GPLEngine(db, AMD_A10)
+    result = gpl.execute(q14())
+    print(result.rows(), result.elapsed_ms)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from .core import (
+    GPLConfig,
+    GPLEngine,
+    GPLWithoutCEEngine,
+    QueryResult,
+)
+from .gpu import AMD_A10, NVIDIA_K40, ChannelConfig, DeviceSpec, device_by_name
+from .kbe import KBEEngine
+from .model import CostModel, ConfigurationSearch, calibrate_channels
+from .ocelot import OcelotEngine
+from .plans import QuerySpec
+from .ssb import generate_ssb, ssb_query
+from .tpch import generate_database, q5, q7, q8, q9, q14, query_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPLConfig",
+    "GPLEngine",
+    "GPLWithoutCEEngine",
+    "QueryResult",
+    "AMD_A10",
+    "NVIDIA_K40",
+    "ChannelConfig",
+    "DeviceSpec",
+    "device_by_name",
+    "KBEEngine",
+    "OcelotEngine",
+    "CostModel",
+    "ConfigurationSearch",
+    "calibrate_channels",
+    "QuerySpec",
+    "generate_ssb",
+    "ssb_query",
+    "generate_database",
+    "q5",
+    "q7",
+    "q8",
+    "q9",
+    "q14",
+    "query_by_name",
+    "__version__",
+]

@@ -1,0 +1,374 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``        execute a query on one engine and print decoded results
+``compare``    run one query on every engine and print a comparison
+``calibrate``  print the channel-throughput surface Γ(n, p, d)
+``tune``       run the analytical model's configuration search
+``explain``    show the optimized plan with the optimizer's estimates
+``trace``      render a text Gantt chart of the pipelined execution
+``dbgen``      report generated table sizes; optionally export .tbl files
+
+Query names select the workload: ``Q5``/``Q7``/``Q8``/``Q9``/``Q14`` run
+TPC-H, flight-numbered names (``Q1.1`` … ``Q4.3``) run the Star Schema
+Benchmark.  Everything runs in-process against the simulated device; no
+files are written unless ``--output`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .bench.reporting import banner, format_table
+from .core import GPLConfig, GPLEngine, GPLWithoutCEEngine
+from .gpu import device_by_name
+from .kbe import KBEEngine
+from .model import (
+    ConfigurationSearch,
+    calibrate_channels,
+    plan_cost_inputs,
+)
+from .ocelot import OcelotEngine
+from .tpch import generate_database, query_by_name
+
+ENGINES = {
+    "kbe": KBEEngine,
+    "gpl": GPLEngine,
+    "gpl-woce": GPLWithoutCEEngine,
+    "ocelot": OcelotEngine,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--device",
+        choices=("amd", "nvidia"),
+        default="amd",
+        help="simulated device preset (Table 1)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="TPC-H scale factor (default 0.02)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20160626, help="dbgen RNG seed"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "GPL (SIGMOD 2016) reproduction: pipelined GPU query "
+            "processing on a simulated device"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="execute one query on one engine")
+    run.add_argument("query", help="Q5, Q7, Q8, Q9, or Q14")
+    run.add_argument(
+        "--engine", choices=sorted(ENGINES), default="gpl"
+    )
+    run.add_argument(
+        "--tile-kb", type=int, default=1024, help="GPL tile size in KiB"
+    )
+    run.add_argument(
+        "--partitioned-joins",
+        action="store_true",
+        help="use partitioned hash joins for large build sides",
+    )
+    _add_common(run)
+
+    compare = commands.add_parser(
+        "compare", help="run one query on every engine"
+    )
+    compare.add_argument("query", help="Q5, Q7, Q8, Q9, or Q14")
+    _add_common(compare)
+
+    calibrate = commands.add_parser(
+        "calibrate", help="print the channel-throughput surface"
+    )
+    _add_common(calibrate)
+
+    tune = commands.add_parser(
+        "tune", help="run the cost model's configuration search"
+    )
+    tune.add_argument("query", help="Q5, Q7, Q8, Q9, or Q14")
+    _add_common(tune)
+
+    explain = commands.add_parser(
+        "explain", help="show the optimized plan and its estimates"
+    )
+    explain.add_argument("query", help="Q5, Q7, Q8, Q9, or Q14")
+    explain.add_argument(
+        "--partitioned-joins",
+        action="store_true",
+        help="use partitioned hash joins for large build sides",
+    )
+    _add_common(explain)
+
+    workload = commands.add_parser(
+        "workload", help="run a whole query suite on every engine"
+    )
+    workload.add_argument(
+        "suite", choices=("tpch", "ssb"), help="which workload to run"
+    )
+    _add_common(workload)
+
+    trace = commands.add_parser(
+        "trace", help="render a Gantt chart of the pipelined execution"
+    )
+    trace.add_argument("query", help="Q5, Q7, Q8, Q9, or Q14")
+    trace.add_argument(
+        "--width", type=int, default=64, help="chart width in buckets"
+    )
+    _add_common(trace)
+
+    dbgen = commands.add_parser("dbgen", help="report generated table sizes")
+    dbgen.add_argument(
+        "--output",
+        help="also export every table as dbgen-style .tbl files here",
+    )
+    _add_common(dbgen)
+    return parser
+
+
+def _is_ssb(query_name: str) -> bool:
+    """SSB queries are flight-numbered (Q1.1 ... Q4.3)."""
+    return "." in query_name
+
+
+def _query_spec(query_name: str):
+    if _is_ssb(query_name):
+        from .ssb import ssb_query
+
+        return ssb_query(query_name.upper().lstrip("SSB-"))
+    return query_by_name(query_name)
+
+
+def _database(args):
+    query_name = getattr(args, "query", "")
+    if query_name and _is_ssb(query_name):
+        from .ssb import generate_ssb
+
+        return generate_ssb(scale=args.scale, seed=args.seed)
+    return generate_database(scale=args.scale, seed=args.seed)
+
+
+def cmd_run(args) -> int:
+    database = _database(args)
+    device = device_by_name(args.device)
+    engine_cls = ENGINES[args.engine]
+    kwargs = {}
+    if args.engine in ("gpl", "gpl-woce"):
+        kwargs["config"] = GPLConfig(tile_bytes=args.tile_kb * 1024)
+    if args.partitioned_joins:
+        kwargs["partitioned_joins"] = True
+    engine = engine_cls(database, device, **kwargs)
+    result = engine.execute(_query_spec(args.query))
+    print(banner(f"{args.query} on {engine.name} ({device.name})"))
+    print(format_table(result.columns, result.decoded_rows()[:25]))
+    if result.num_rows > 25:
+        print(f"... {result.num_rows - 25} more rows")
+    counters = result.counters
+    print(
+        f"\nelapsed {result.elapsed_ms:.3f} ms | "
+        f"VALUBusy {counters.valu_busy:.2f} | "
+        f"MemUnitBusy {counters.mem_unit_busy:.2f} | "
+        f"materialized {counters.bytes_materialized / 1e6:.2f} MB | "
+        f"launches {counters.kernel_launches}"
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    database = _database(args)
+    device = device_by_name(args.device)
+    spec = _query_spec(args.query)
+    rows = []
+    baseline: Optional[float] = None
+    reference_result = None
+    for name, engine_cls in sorted(ENGINES.items()):
+        engine = engine_cls(database, device)
+        result = engine.execute(spec)
+        if reference_result is None:
+            reference_result = result
+        elif not reference_result.approx_equals(result):
+            print(f"ERROR: {name} disagrees with the other engines")
+            return 1
+        if name == "kbe":
+            baseline = result.elapsed_ms
+        rows.append([engine.name, round(result.elapsed_ms, 3)])
+    for row in rows:
+        row.append(
+            round(row[1] / baseline, 3) if baseline else float("nan")
+        )
+    print(banner(f"{args.query} on {device.name} (scale {args.scale})"))
+    print(format_table(["engine", "ms", "vs KBE"], rows))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    device = device_by_name(args.device)
+    table = calibrate_channels(device)
+    print(banner(f"Γ(n, p, d) on {device.name} — GB/s"))
+    sizes = sorted({point.data_bytes for point in table.points})
+    header = ["n x p"] + [f"{s // (1024 * 4)}Ki ints" for s in sizes]
+    rows = []
+    for n, p in table.configurations():
+        rows.append(
+            [f"{n} x {p}B"]
+            + [
+                round(
+                    table.throughput(n, p, s)
+                    * device.core_mhz
+                    * 1e6
+                    / 1e9,
+                    2,
+                )
+                for s in sizes
+            ]
+        )
+    print(format_table(header, rows))
+    for label, d in (("64KB", 65536), ("1MB", 1 << 20), ("16MB", 16 << 20)):
+        n_max, p_max = table.best_config(d)
+        print(f"best for {label:>5}: n={n_max}, p={p_max}B")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    database = _database(args)
+    device = device_by_name(args.device)
+    spec = _query_spec(args.query)
+    engine = GPLEngine(database, device)
+    plan = engine.prepare(spec)
+    segments = plan_cost_inputs(plan, database)
+    search = ConfigurationSearch(device, calibrate_channels(device))
+    configs, predicted = search.optimize_plan(segments)
+    print(banner(f"model-chosen configuration for {args.query}"))
+    rows = [
+        [
+            segment_id,
+            f"{config.tile_bytes // 1024}KB",
+            config.channel.num_channels,
+            config.channel.packet_bytes,
+            config.default_workgroups,
+        ]
+        for segment_id, config in configs.items()
+    ]
+    print(format_table(["segment", "tile", "n", "p", "wg"], rows))
+    tuned = GPLEngine(database, device, segment_configs=configs).execute(spec)
+    default = GPLEngine(database, device).execute(spec)
+    print(
+        f"\npredicted {device.cycles_to_ms(predicted):.3f} ms | "
+        f"measured (tuned) {tuned.elapsed_ms:.3f} ms | "
+        f"measured (default) {default.elapsed_ms:.3f} ms"
+    )
+    return 0
+
+
+def cmd_explain(args) -> int:
+    database = _database(args)
+    device = device_by_name(args.device)
+    engine = GPLEngine(
+        database, device, partitioned_joins=args.partitioned_joins
+    )
+    print(engine.explain(_query_spec(args.query)))
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from .bench.workload import run_workload
+
+    device = device_by_name(args.device)
+    if args.suite == "ssb":
+        from .ssb import SSB_QUERIES, generate_ssb
+
+        database = generate_ssb(scale=args.scale, seed=args.seed)
+        specs = SSB_QUERIES
+    else:
+        from .tpch import QUERIES
+
+        database = generate_database(scale=args.scale, seed=args.seed)
+        specs = QUERIES
+    engines = [cls(database, device) for _, cls in sorted(ENGINES.items())]
+    # KBE first: the conventional speedup baseline.
+    engines.sort(key=lambda engine: engine.name != "KBE")
+    report = run_workload(engines, specs)
+    print(report.to_text())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .gpu.trace import render_gantt, stage_utilization
+
+    database = _database(args)
+    device = device_by_name(args.device)
+    engine = GPLEngine(database, device)
+    result, traces = engine.execute_with_trace(_query_spec(args.query))
+    print(banner(f"{args.query} pipelined execution on {device.name}"))
+    print(f"total {result.elapsed_ms:.3f} ms\n")
+    for pipeline_id, events in traces.items():
+        if not events:
+            continue
+        elapsed = max(event.end for event in events)
+        print(
+            f"[{pipeline_id}] {len(events)} units, "
+            f"{device.cycles_to_ms(elapsed):.3f} ms"
+        )
+        print(render_gantt(events, elapsed, width=args.width))
+        for label, fraction in stage_utilization(events, elapsed).items():
+            print(f"  {label:16s} in flight {fraction * 100:5.1f}%")
+        print()
+    return 0
+
+
+def cmd_dbgen(args) -> int:
+    database = _database(args)
+    rows = [
+        [
+            name,
+            database.num_rows(name),
+            round(database.table(name).nbytes / 1e6, 2),
+        ]
+        for name in database.names
+    ]
+    print(banner(f"TPC-H at scale factor {args.scale}"))
+    print(format_table(["table", "rows", "MB"], rows))
+    print(f"\ntotal {database.total_bytes() / 1e6:.2f} MB")
+    if args.output:
+        from .tpch.tbl import export_database
+
+        written = export_database(database, args.output)
+        print(f"\nexported {len(written)} .tbl files to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "calibrate": cmd_calibrate,
+        "tune": cmd_tune,
+        "explain": cmd_explain,
+        "workload": cmd_workload,
+        "trace": cmd_trace,
+        "dbgen": cmd_dbgen,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

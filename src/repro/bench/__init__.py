@@ -1,0 +1,53 @@
+"""Benchmark harness: experiment functions, shared context, reporting."""
+
+from .experiments import (
+    QUERY_NAMES,
+    SELECTIVITY_SWEEP,
+    exp_fig2_channel_calibration,
+    exp_fig3_kbe_intermediate,
+    exp_fig4_kbe_comm_cost,
+    exp_fig5_kbe_utilization,
+    exp_fig11_model_error,
+    exp_fig12_13_tile_sweep,
+    exp_fig14_15_workgroups,
+    exp_fig16_overall,
+    exp_fig17_materialization,
+    exp_fig18_gpl_intermediate,
+    exp_fig19_utilization,
+    exp_fig20_breakdown,
+    exp_fig21_data_sizes,
+    exp_fig22_ocelot,
+    exp_table1_hardware,
+)
+from .reporting import banner, format_mapping, format_table
+from .runner import DEFAULT_SCALE, ExperimentContext, OptimizedRun
+from .workload import QueryOutcome, WorkloadReport, run_workload
+
+__all__ = [
+    "QUERY_NAMES",
+    "SELECTIVITY_SWEEP",
+    "exp_table1_hardware",
+    "exp_fig2_channel_calibration",
+    "exp_fig3_kbe_intermediate",
+    "exp_fig4_kbe_comm_cost",
+    "exp_fig5_kbe_utilization",
+    "exp_fig11_model_error",
+    "exp_fig12_13_tile_sweep",
+    "exp_fig14_15_workgroups",
+    "exp_fig16_overall",
+    "exp_fig17_materialization",
+    "exp_fig18_gpl_intermediate",
+    "exp_fig19_utilization",
+    "exp_fig20_breakdown",
+    "exp_fig21_data_sizes",
+    "exp_fig22_ocelot",
+    "banner",
+    "format_mapping",
+    "format_table",
+    "DEFAULT_SCALE",
+    "ExperimentContext",
+    "OptimizedRun",
+    "QueryOutcome",
+    "WorkloadReport",
+    "run_workload",
+]

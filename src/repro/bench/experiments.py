@@ -1,0 +1,408 @@
+"""One function per reproduced table/figure of the paper.
+
+Each experiment returns plain data (lists/dicts of numbers) so that the
+benchmark harness can print the paper's rows/series and tests can assert
+the expected *shapes* (who wins, where the knees fall) without caring
+about presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import GPLConfig
+from ..gpu import AMD_A10, NVIDIA_K40
+from ..model import TILE_SIZE_CANDIDATES, plan_cost_inputs, workgroup_ladder
+from ..tpch import q14, query_by_name
+from .runner import ExperimentContext
+
+__all__ = [
+    "QUERY_NAMES",
+    "SELECTIVITY_SWEEP",
+    "exp_table1_hardware",
+    "exp_fig2_channel_calibration",
+    "exp_fig3_kbe_intermediate",
+    "exp_fig4_kbe_comm_cost",
+    "exp_fig5_kbe_utilization",
+    "exp_fig11_model_error",
+    "exp_fig12_13_tile_sweep",
+    "exp_fig14_15_workgroups",
+    "exp_fig16_overall",
+    "exp_fig17_materialization",
+    "exp_fig18_gpl_intermediate",
+    "exp_fig19_utilization",
+    "exp_fig20_breakdown",
+    "exp_fig21_data_sizes",
+    "exp_fig22_ocelot",
+]
+
+QUERY_NAMES: Tuple[str, ...] = ("Q5", "Q7", "Q8", "Q9", "Q14")
+
+#: The paper's Q14 predicate sweep: approximate selectivities 1%..100%.
+SELECTIVITY_SWEEP: Tuple[float, ...] = (0.01, 0.1, 0.164, 0.25, 0.5, 0.75, 1.0)
+
+
+def _query_input_bytes(context: ExperimentContext, scale=None) -> float:
+    """Input size Q14 is normalized against: LINEITEM + PART payloads."""
+    database = context.database(scale)
+    return float(
+        database.table("lineitem").nbytes + database.table("part").nbytes
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Section 2
+# ---------------------------------------------------------------------------
+
+
+def exp_table1_hardware() -> Dict[str, Dict[str, object]]:
+    """Table 1: hardware specification of both simulated devices."""
+    return {
+        "AMD": AMD_A10.table1_row(),
+        "NVIDIA": NVIDIA_K40.table1_row(),
+    }
+
+
+def exp_fig2_channel_calibration(
+    context: ExperimentContext,
+    channel_counts: Sequence[int] = (1, 4, 16),
+    packet_bytes: int = 16,
+) -> Dict[int, List[Tuple[int, float]]]:
+    """Fig 2 / Fig 23: channel throughput vs N for several channel counts.
+
+    Returns ``{n: [(num_integers, GB/s), ...]}`` for 16-byte packets.
+    """
+    table = context.calibration()
+    result: Dict[int, List[Tuple[int, float]]] = {}
+    for n in channel_counts:
+        series = table.series(n, packet_bytes)
+        result[n] = [
+            (point.data_bytes // 4, point.throughput_gbps(context.device))
+            for point in series
+        ]
+    return result
+
+
+def exp_fig3_kbe_intermediate(
+    context: ExperimentContext,
+    selectivities: Sequence[float] = SELECTIVITY_SWEEP,
+) -> List[Tuple[float, float]]:
+    """Fig 3: KBE Q14 intermediate bytes / input bytes, per selectivity."""
+    input_bytes = _query_input_bytes(context)
+    rows = []
+    for selectivity in selectivities:
+        result = context.kbe().execute(q14(selectivity=selectivity))
+        rows.append(
+            (selectivity, result.counters.bytes_materialized / input_bytes)
+        )
+    return rows
+
+
+def exp_fig4_kbe_comm_cost(
+    context: ExperimentContext,
+    selectivities: Sequence[float] = SELECTIVITY_SWEEP,
+) -> List[Tuple[float, float, float]]:
+    """Fig 4: KBE Q14 memory-stall cost vs selectivity.
+
+    Returns ``(selectivity, mem_cost_ms, mem_share)`` rows, where
+    ``mem_cost_ms`` is the profiler's Mem_cost and ``mem_share`` its
+    fraction of the execution-time breakdown.
+    """
+    rows = []
+    for selectivity in selectivities:
+        result = context.kbe().execute(q14(selectivity=selectivity))
+        counters = result.counters
+        mem_ms = context.device.cycles_to_ms(
+            counters.memory_cycles / context.device.num_cus
+        )
+        rows.append((selectivity, mem_ms, counters.breakdown()["Mem_cost"]))
+    return rows
+
+
+def exp_fig5_kbe_utilization(
+    context: ExperimentContext,
+    queries: Sequence[str] = QUERY_NAMES,
+) -> Dict[str, Tuple[float, float]]:
+    """Fig 5: KBE VALUBusy / MemUnitBusy per query."""
+    result = {}
+    for name in queries:
+        run = context.kbe().execute(query_by_name(name))
+        result[name] = (run.counters.valu_busy, run.counters.mem_unit_busy)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2 — model evaluation (Figs 11–15; Appendix Figs 24–26)
+# ---------------------------------------------------------------------------
+
+
+def exp_fig11_model_error(
+    context: ExperimentContext,
+    queries: Sequence[str] = QUERY_NAMES,
+) -> Dict[str, Dict[str, float]]:
+    """Fig 11 / Fig 24: relative error of the model at the optimal config.
+
+    Returns per query: measured ms, estimated ms, relative error, and
+    whether the model under-estimated (the paper's typical direction).
+    """
+    result = {}
+    for name in queries:
+        optimized = context.optimized_gpl(query_by_name(name))
+        run = optimized.engine.execute(query_by_name(name))
+        measured = run.counters.elapsed_cycles
+        estimated = optimized.predicted_cycles
+        result[name] = {
+            "measured_ms": context.device.cycles_to_ms(measured),
+            "estimated_ms": context.device.cycles_to_ms(estimated),
+            "relative_error": abs(measured - estimated) / measured,
+            "underestimated": float(estimated < measured),
+        }
+    return result
+
+
+def exp_fig12_13_tile_sweep(
+    context: ExperimentContext,
+    query_name: str = "Q8",
+    tile_sizes: Sequence[int] = TILE_SIZE_CANDIDATES,
+) -> Dict[str, object]:
+    """Fig 12+13 / Fig 25+26: runtime and model error vs tile size (Q8).
+
+    Returns the measured/estimated series (normalized to the smallest
+    tile), the model's chosen tile size, and the measured-best tile size.
+    """
+    spec = query_by_name(query_name)
+    database = context.database()
+    probe = context.gpl()
+    plan = probe.prepare(spec)
+    segments = plan_cost_inputs(plan, database)
+    model = context.cost_model()
+
+    rows = []
+    for tile_bytes in tile_sizes:
+        config = GPLConfig(tile_bytes=tile_bytes)
+        engine = context.gpl(config=config)
+        run = engine.execute(spec)
+        estimated = model.estimate_plan(segments, default=config)
+        rows.append(
+            {
+                "tile_bytes": tile_bytes,
+                "measured_cycles": run.counters.elapsed_cycles,
+                "estimated_cycles": estimated,
+                "relative_error": abs(
+                    run.counters.elapsed_cycles - estimated
+                )
+                / run.counters.elapsed_cycles,
+            }
+        )
+    base = rows[0]["measured_cycles"]
+    for row in rows:
+        row["normalized_time"] = row["measured_cycles"] / base
+        row["normalized_estimate"] = row["estimated_cycles"] / base
+    model_pick = min(rows, key=lambda row: row["estimated_cycles"])
+    measured_best = min(rows, key=lambda row: row["measured_cycles"])
+    return {
+        "rows": rows,
+        "model_tile_bytes": model_pick["tile_bytes"],
+        "measured_best_tile_bytes": measured_best["tile_bytes"],
+    }
+
+
+def exp_fig14_15_workgroups(
+    context: ExperimentContext,
+    query_name: str = "Q8",
+    steps: int = 7,
+) -> Dict[str, object]:
+    """Fig 14+15: model error and delay cost across S_1..S_7 settings."""
+    spec = query_by_name(query_name)
+    database = context.database()
+    probe = context.gpl()
+    plan = probe.prepare(spec)
+    segments = plan_cost_inputs(plan, database)
+    model = context.cost_model()
+    ladder = workgroup_ladder(context.device, steps)
+
+    rows = []
+    for setting, workgroups in enumerate(ladder, start=1):
+        config = GPLConfig(default_workgroups=workgroups)
+        run = context.gpl(config=config).execute(spec)
+        estimated = model.estimate_plan(segments, default=config)
+        measured = run.counters.elapsed_cycles
+        rows.append(
+            {
+                "setting": f"S{setting}",
+                "workgroups": workgroups,
+                "measured_cycles": measured,
+                "estimated_cycles": estimated,
+                "relative_error": abs(measured - estimated) / measured,
+                "delay_cycles": run.counters.delay_cycles,
+            }
+        )
+    base_delay = max(rows[0]["delay_cycles"], 1e-9)
+    for row in rows:
+        row["normalized_delay"] = row["delay_cycles"] / base_delay
+    model_pick = min(rows, key=lambda row: row["estimated_cycles"])
+    lowest_delay = min(rows, key=lambda row: row["delay_cycles"])
+    return {
+        "rows": rows,
+        "model_setting": model_pick["setting"],
+        "lowest_delay_setting": lowest_delay["setting"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section 5.3–5.5 (Figs 16–22; Appendix Figs 27–29)
+# ---------------------------------------------------------------------------
+
+
+def exp_fig16_overall(
+    context: ExperimentContext,
+    queries: Sequence[str] = QUERY_NAMES,
+) -> Dict[str, Dict[str, float]]:
+    """Fig 16 / Fig 27: KBE vs GPL (w/o CE) vs GPL per query.
+
+    GPL runs under the model-optimized configuration, as in the paper.
+    Times are in ms, with normalized-to-KBE companions.
+    """
+    result = {}
+    for name in queries:
+        spec = query_by_name(name)
+        kbe = context.kbe().execute(spec)
+        woce = context.gpl_without_ce().execute(spec)
+        gpl = context.optimized_gpl(spec).engine.execute(spec)
+        result[name] = {
+            "KBE_ms": kbe.elapsed_ms,
+            "GPL_woCE_ms": woce.elapsed_ms,
+            "GPL_ms": gpl.elapsed_ms,
+            "GPL_woCE_normalized": woce.elapsed_ms / kbe.elapsed_ms,
+            "GPL_normalized": gpl.elapsed_ms / kbe.elapsed_ms,
+            "improvement": 1.0 - gpl.elapsed_ms / kbe.elapsed_ms,
+        }
+    return result
+
+
+def exp_fig17_materialization(
+    context: ExperimentContext,
+    queries: Sequence[str] = QUERY_NAMES,
+) -> Dict[str, float]:
+    """Fig 17: GPL materialized intermediate bytes normalized to KBE."""
+    result = {}
+    for name in queries:
+        spec = query_by_name(name)
+        kbe = context.kbe().execute(spec)
+        gpl = context.gpl().execute(spec)
+        result[name] = gpl.counters.bytes_materialized / max(
+            1.0, kbe.counters.bytes_materialized
+        )
+    return result
+
+
+def exp_fig18_gpl_intermediate(
+    context: ExperimentContext,
+    selectivities: Sequence[float] = SELECTIVITY_SWEEP,
+) -> List[Tuple[float, float, float]]:
+    """Fig 18: GPL vs KBE Q14 intermediates / input, per selectivity."""
+    input_bytes = _query_input_bytes(context)
+    rows = []
+    for selectivity in selectivities:
+        spec = q14(selectivity=selectivity)
+        gpl = context.gpl().execute(spec)
+        kbe = context.kbe().execute(spec)
+        rows.append(
+            (
+                selectivity,
+                gpl.counters.bytes_materialized / input_bytes,
+                kbe.counters.bytes_materialized / input_bytes,
+            )
+        )
+    return rows
+
+
+def exp_fig19_utilization(
+    context: ExperimentContext,
+    queries: Sequence[str] = QUERY_NAMES,
+) -> Dict[str, Dict[str, float]]:
+    """Fig 19 / Fig 28: VALUBusy & MemUnitBusy, KBE vs GPL, per query."""
+    result = {}
+    for name in queries:
+        spec = query_by_name(name)
+        kbe = context.kbe().execute(spec)
+        gpl = context.optimized_gpl(spec).engine.execute(spec)
+        result[name] = {
+            "KBE_valu": kbe.counters.valu_busy,
+            "KBE_mem": kbe.counters.mem_unit_busy,
+            "GPL_valu": gpl.counters.valu_busy,
+            "GPL_mem": gpl.counters.mem_unit_busy,
+        }
+    return result
+
+
+def exp_fig20_breakdown(
+    context: ExperimentContext,
+    query_name: str = "Q8",
+) -> Dict[str, Dict[str, float]]:
+    """Fig 20 / Fig 29: execution-time breakdown for KBE and GPL (Q8).
+
+    For GPL the communication cost is Mem + DC + Delay (Section 5.3.2).
+    """
+    spec = query_by_name(query_name)
+    kbe = context.kbe().execute(spec)
+    gpl = context.optimized_gpl(spec).engine.execute(spec)
+    kbe_breakdown = kbe.counters.breakdown()
+    gpl_breakdown = gpl.counters.breakdown()
+    kbe_breakdown["communication_share"] = kbe_breakdown["Mem_cost"]
+    gpl_breakdown["communication_share"] = (
+        gpl_breakdown["Mem_cost"]
+        + gpl_breakdown["DC_cost"]
+        + gpl_breakdown["Delay"]
+    )
+    return {"KBE": kbe_breakdown, "GPL": gpl_breakdown}
+
+
+def exp_fig21_data_sizes(
+    context: ExperimentContext,
+    scales: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2),
+    query_name: str = "Q8",
+) -> List[Dict[str, float]]:
+    """Fig 21: KBE vs GPL execution time with growing data sizes."""
+    rows = []
+    for scale in scales:
+        spec = query_by_name(query_name)
+        kbe = context.kbe(scale=scale).execute(spec)
+        gpl = context.optimized_gpl(spec, scale=scale).engine.execute(spec)
+        rows.append(
+            {
+                "scale": scale,
+                "KBE_ms": kbe.elapsed_ms,
+                "GPL_ms": gpl.elapsed_ms,
+                "improvement": 1.0 - gpl.elapsed_ms / kbe.elapsed_ms,
+            }
+        )
+    return rows
+
+
+def exp_fig22_ocelot(
+    context: ExperimentContext,
+    scales: Sequence[float] = (0.02, 0.05, 0.1),
+    queries: Sequence[str] = QUERY_NAMES,
+) -> Dict[float, Dict[str, Dict[str, float]]]:
+    """Fig 22: GPL vs Ocelot per query across scale factors.
+
+    The paper's SF 1/5/10 maps to the context's reduced scales.  One
+    Ocelot engine persists across queries within a scale so its hash-table
+    cache is effective (MonetDB's memory manager behaviour).
+    """
+    result: Dict[float, Dict[str, Dict[str, float]]] = {}
+    for scale in scales:
+        ocelot = context.ocelot(scale=scale)
+        per_query: Dict[str, Dict[str, float]] = {}
+        for name in queries:
+            spec = query_by_name(name)
+            gpl = context.optimized_gpl(spec, scale=scale).engine.execute(spec)
+            oce = ocelot.execute(spec)
+            per_query[name] = {
+                "GPL_ms": gpl.elapsed_ms,
+                "Ocelot_ms": oce.elapsed_ms,
+                "GPL_over_Ocelot": gpl.elapsed_ms / oce.elapsed_ms,
+            }
+        result[scale] = per_query
+    return result

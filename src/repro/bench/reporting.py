@@ -1,0 +1,53 @@
+"""Plain-text report formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_mapping", "banner"]
+
+
+def banner(title: str) -> str:
+    """A section header line."""
+    rule = "=" * max(8, len(title))
+    return f"\n{rule}\n{title}\n{rule}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Align a table of values as monospaced text."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append(
+            [
+                f"{value:.4g}" if isinstance(value, float) else str(value)
+                for value in row
+            ]
+        )
+    widths = [
+        max(len(line[column]) for line in rendered)
+        for column in range(len(headers))
+    ]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Dict[str, object], indent: int = 2) -> str:
+    """Render a flat mapping as aligned key/value lines."""
+    if not mapping:
+        return ""
+    width = max(len(str(key)) for key in mapping)
+    pad = " " * indent
+    lines = []
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        lines.append(f"{pad}{str(key).ljust(width)}  {value}")
+    return "\n".join(lines)

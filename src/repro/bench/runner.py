@@ -1,0 +1,128 @@
+"""Shared experiment infrastructure: cached databases, engines, model.
+
+Every benchmark builds on an :class:`ExperimentContext`, which caches
+generated databases per scale factor and the channel calibration per
+device, and knows how to produce a model-optimized GPL engine for a query
+(the paper's experiments run GPL under the analytical model's chosen
+configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core import GPLConfig, GPLEngine, GPLWithoutCEEngine
+from ..gpu import AMD_A10, DeviceSpec
+from ..kbe import KBEEngine
+from ..model import (
+    CalibrationTable,
+    ConfigurationSearch,
+    CostModel,
+    calibrate_channels,
+    plan_cost_inputs,
+)
+from ..ocelot import OcelotEngine
+from ..plans import PhysicalPlan, QuerySpec
+from ..relational import Database
+from ..tpch import generate_database
+
+__all__ = ["DEFAULT_SCALE", "OptimizedRun", "ExperimentContext"]
+
+#: Default scale factor for experiments: large enough that pipelines fill
+#: and launch overhead is amortized (the paper's SF-10 regime, scaled to
+#: what in-process numpy execution sustains comfortably).
+DEFAULT_SCALE = 0.05
+
+
+@dataclass
+class OptimizedRun:
+    """A query prepared under the model's optimal configuration."""
+
+    engine: GPLEngine
+    plan: PhysicalPlan
+    configs: Dict[str, GPLConfig]
+    predicted_cycles: float
+
+
+@dataclass
+class ExperimentContext:
+    """Caches and factories shared by all experiments."""
+
+    device: DeviceSpec = AMD_A10
+    scale: float = DEFAULT_SCALE
+    _databases: Dict[float, Database] = field(default_factory=dict)
+    _calibration: Optional[CalibrationTable] = None
+
+    def database(self, scale: Optional[float] = None) -> Database:
+        scale = self.scale if scale is None else scale
+        if scale not in self._databases:
+            self._databases[scale] = generate_database(scale=scale)
+        return self._databases[scale]
+
+    def calibration(self) -> CalibrationTable:
+        if self._calibration is None:
+            self._calibration = calibrate_channels(self.device)
+        return self._calibration
+
+    def cost_model(self) -> CostModel:
+        return CostModel(self.device, self.calibration())
+
+    def search(self) -> ConfigurationSearch:
+        return ConfigurationSearch(self.device, self.calibration())
+
+    # -- engines ---------------------------------------------------------
+
+    def kbe(self, scale: Optional[float] = None) -> KBEEngine:
+        return KBEEngine(self.database(scale), self.device)
+
+    def gpl(
+        self,
+        scale: Optional[float] = None,
+        config: Optional[GPLConfig] = None,
+        segment_configs: Optional[Dict[str, GPLConfig]] = None,
+    ) -> GPLEngine:
+        return GPLEngine(
+            self.database(scale), self.device, config, segment_configs
+        )
+
+    def gpl_without_ce(
+        self, scale: Optional[float] = None, config: Optional[GPLConfig] = None
+    ) -> GPLWithoutCEEngine:
+        return GPLWithoutCEEngine(self.database(scale), self.device, config)
+
+    def ocelot(self, scale: Optional[float] = None) -> OcelotEngine:
+        return OcelotEngine(self.database(scale), self.device)
+
+    # -- model-optimized GPL ----------------------------------------------
+
+    def optimized_gpl(
+        self, spec: QuerySpec, scale: Optional[float] = None
+    ) -> OptimizedRun:
+        """GPL under the analytical model's per-segment optimal config."""
+        database = self.database(scale)
+        probe = GPLEngine(database, self.device)
+        plan = probe.prepare(spec)
+        segments = plan_cost_inputs(plan, database)
+        configs, predicted = self.search().optimize_plan(segments)
+        engine = GPLEngine(database, self.device, segment_configs=configs)
+        return OptimizedRun(
+            engine=engine,
+            plan=plan,
+            configs=configs,
+            predicted_cycles=predicted,
+        )
+
+    def model_estimate(
+        self,
+        spec: QuerySpec,
+        configs: Optional[Dict[str, GPLConfig]] = None,
+        default: Optional[GPLConfig] = None,
+        scale: Optional[float] = None,
+    ) -> float:
+        """Predicted cycles of a query under the given configuration."""
+        database = self.database(scale)
+        probe = GPLEngine(database, self.device)
+        plan = probe.prepare(spec)
+        segments = plan_cost_inputs(plan, database)
+        return self.cost_model().estimate_plan(segments, configs, default)

@@ -1,0 +1,148 @@
+"""Workload runner: execute query suites across engines with one call.
+
+Wraps the run-every-query-on-every-engine loop (used throughout the
+evaluation) into a reusable utility that also *verifies* cross-engine
+agreement on every query — so a workload report doubles as a correctness
+audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.base import EngineBase, QueryResult
+from ..errors import ExecutionError
+from ..plans import QuerySpec
+from .reporting import banner, format_table
+
+__all__ = ["QueryOutcome", "WorkloadReport", "run_workload"]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One (query, engine) execution."""
+
+    query: str
+    engine: str
+    elapsed_ms: float
+    num_rows: int
+    valu_busy: float
+    mem_unit_busy: float
+    bytes_materialized: float
+    kernel_launches: int
+
+
+@dataclass
+class WorkloadReport:
+    """All outcomes of one workload run plus summary accessors."""
+
+    device: str
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+    baseline_engine: Optional[str] = None
+
+    def engines(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for outcome in self.outcomes:
+            seen.setdefault(outcome.engine)
+        return list(seen)
+
+    def queries(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for outcome in self.outcomes:
+            seen.setdefault(outcome.query)
+        return list(seen)
+
+    def outcome(self, query: str, engine: str) -> QueryOutcome:
+        for candidate in self.outcomes:
+            if candidate.query == query and candidate.engine == engine:
+                return candidate
+        raise ExecutionError(f"no outcome for {query!r} on {engine!r}")
+
+    def total_ms(self, engine: str) -> float:
+        return sum(
+            outcome.elapsed_ms
+            for outcome in self.outcomes
+            if outcome.engine == engine
+        )
+
+    def speedup(self, engine: str, over: Optional[str] = None) -> float:
+        """Workload-level speedup of ``engine`` over the baseline."""
+        over = over or self.baseline_engine
+        if over is None:
+            raise ExecutionError("no baseline engine recorded")
+        return self.total_ms(over) / self.total_ms(engine)
+
+    def to_text(self) -> str:
+        """The report as an aligned table plus totals."""
+        engines = self.engines()
+        rows = []
+        for query in self.queries():
+            row: List[object] = [query]
+            for engine in engines:
+                row.append(round(self.outcome(query, engine).elapsed_ms, 3))
+            rows.append(row)
+        totals: List[object] = ["TOTAL"]
+        for engine in engines:
+            totals.append(round(self.total_ms(engine), 3))
+        rows.append(totals)
+        text = banner(f"workload on {self.device} (ms)")
+        text += "\n" + format_table(["query"] + engines, rows)
+        if self.baseline_engine is not None:
+            lines = []
+            for engine in engines:
+                if engine == self.baseline_engine:
+                    continue
+                lines.append(
+                    f"{engine} speedup over {self.baseline_engine}: "
+                    f"{self.speedup(engine):.2f}x"
+                )
+            if lines:
+                text += "\n" + "\n".join(lines)
+        return text
+
+
+def run_workload(
+    engines: Sequence[EngineBase],
+    specs: Mapping[str, QuerySpec],
+    verify: bool = True,
+) -> WorkloadReport:
+    """Run every query on every engine; verify answers agree.
+
+    ``engines`` share one database; the first engine is the baseline for
+    speedup reporting (conventionally KBE).  With ``verify`` (default) a
+    cross-engine disagreement raises :class:`ExecutionError` naming the
+    query.
+    """
+    if not engines:
+        raise ExecutionError("run_workload needs at least one engine")
+    report = WorkloadReport(
+        device=engines[0].device.name,
+        baseline_engine=engines[0].name,
+    )
+    for query_name, spec in specs.items():
+        reference: Optional[QueryResult] = None
+        for engine in engines:
+            result = engine.execute(spec)
+            if verify:
+                if reference is None:
+                    reference = result
+                elif not reference.approx_equals(result):
+                    raise ExecutionError(
+                        f"{query_name}: {engine.name} disagrees with "
+                        f"{reference.engine}"
+                    )
+            counters = result.counters
+            report.outcomes.append(
+                QueryOutcome(
+                    query=query_name,
+                    engine=engine.name,
+                    elapsed_ms=result.elapsed_ms,
+                    num_rows=result.num_rows,
+                    valu_busy=counters.valu_busy,
+                    mem_unit_busy=counters.mem_unit_busy,
+                    bytes_materialized=counters.bytes_materialized,
+                    kernel_launches=counters.kernel_launches,
+                )
+            )
+    return report

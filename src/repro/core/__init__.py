@@ -1,0 +1,22 @@
+"""GPL core: the pipelined query execution engine and its components."""
+
+from .base import EngineBase, QueryResult, workgroups_for
+from .config import DEFAULT_TILE_BYTES, GPLConfig
+from .engine import GPLEngine, GPLWithoutCEEngine
+from .segments import Segment, pipeline_kernel_specs, split_into_segments
+from .tiling import TilePlan, Tiler
+
+__all__ = [
+    "EngineBase",
+    "QueryResult",
+    "workgroups_for",
+    "DEFAULT_TILE_BYTES",
+    "GPLConfig",
+    "GPLEngine",
+    "GPLWithoutCEEngine",
+    "Segment",
+    "pipeline_kernel_specs",
+    "split_into_segments",
+    "TilePlan",
+    "Tiler",
+]

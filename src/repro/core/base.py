@@ -1,0 +1,267 @@
+"""Shared engine machinery: plan preparation, sources, results.
+
+Every engine (KBE baseline, GPL, GPL w/o CE, Ocelot comparator) executes
+the *same* physical pipelines functionally — real numpy data flows through
+the operators, so all engines produce identical, verifiable answers — and
+differs only in how kernel work is *accounted* on the simulated device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..gpu import DeviceSpec, HardwareCounters, Profiler, ProfilerReport, Simulator
+from ..plans import (
+    ExecutionContext,
+    PhysicalPlan,
+    Pipeline,
+    QuerySpec,
+    SelingerOptimizer,
+    lower,
+)
+from ..plans.runtime import Batch, batch_bytes, batch_rows
+from ..relational import Database
+
+__all__ = ["QueryResult", "EngineBase", "workgroups_for"]
+
+#: Input tuples one work-group covers when an engine sizes a KBE-style
+#: grid: 64 work-items x 16 tuples per work-item.
+TUPLES_PER_WORKGROUP = 1024
+
+
+def workgroups_for(tuples: int, minimum: int = 1, maximum: int = 4096) -> int:
+    """Grid size covering ``tuples`` at :data:`TUPLES_PER_WORKGROUP` each."""
+    if tuples <= 0:
+        return minimum
+    return int(min(maximum, max(minimum, math.ceil(tuples / TUPLES_PER_WORKGROUP))))
+
+
+@dataclass
+class QueryResult:
+    """Outcome of executing one query on one engine."""
+
+    query: str
+    engine: str
+    device: str
+    batch: Batch
+    columns: Tuple[str, ...]
+    elapsed_ms: float
+    counters: HardwareCounters
+    report: ProfilerReport
+    dictionaries: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        return batch_rows(self.batch)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.batch[name]
+        except KeyError:
+            raise ExecutionError(f"result has no column {name!r}") from None
+
+    def rows(self) -> List[tuple]:
+        """The result as row tuples in output-column order."""
+        arrays = [self.batch[name] for name in self.columns]
+        return [tuple(values) for values in zip(*arrays)] if arrays else []
+
+    def sorted_rows(self) -> List[tuple]:
+        """Rows under a canonical total order (for engine comparisons)."""
+        return sorted(self.rows())
+
+    def decoded_rows(self) -> List[tuple]:
+        """Rows with dictionary codes decoded back to strings.
+
+        Columns without a dictionary pass through unchanged; Q5's
+        ``n_name`` codes become nation names, Q7's ``supp_nation`` /
+        ``cust_nation`` likewise.
+        """
+        decoders = [self.dictionaries.get(name) for name in self.columns]
+        decoded = []
+        for row in self.rows():
+            decoded.append(
+                tuple(
+                    decoder[int(value)] if decoder is not None else value
+                    for decoder, value in zip(decoders, row)
+                )
+            )
+        return decoded
+
+    def approx_equals(
+        self, other: "QueryResult", rel_tol: float = 1e-9
+    ) -> bool:
+        """Whether two results agree up to floating-point accumulation.
+
+        Engines fold aggregates in different orders (per-tile partial
+        sums vs one pass), so exact equality on floats is too strict.
+        """
+        mine, theirs = self.sorted_rows(), other.sorted_rows()
+        if len(mine) != len(theirs):
+            return False
+        for row_a, row_b in zip(mine, theirs):
+            if len(row_a) != len(row_b):
+                return False
+            for a, b in zip(row_a, row_b):
+                if abs(float(a) - float(b)) > rel_tol * max(
+                    1.0, abs(float(a)), abs(float(b))
+                ):
+                    return False
+        return True
+
+
+@dataclass
+class _PreparedQuery:
+    spec: QuerySpec
+    plan: PhysicalPlan
+
+
+class EngineBase:
+    """Template-method base: optimize/lower once, then engine-specific run."""
+
+    #: Engine display name; subclasses override.
+    name = "base"
+
+    def __init__(
+        self,
+        database: Database,
+        device: DeviceSpec,
+        partitioned_joins: bool = False,
+        num_partitions: int = 16,
+        adaptive_fact: bool = False,
+    ):
+        self.database = database
+        self.device = device
+        self.partitioned_joins = partitioned_joins
+        self.num_partitions = num_partitions
+        self.adaptive_fact = adaptive_fact
+        self._optimizer = SelingerOptimizer(
+            database, choose_fact=adaptive_fact
+        )
+
+    # -- public API -------------------------------------------------------
+
+    def prepare(self, spec: QuerySpec) -> PhysicalPlan:
+        """Optimize and lower ``spec`` (exposed for inspection/tests)."""
+        optimized = self._optimizer.optimize(spec)
+        return lower(
+            optimized,
+            self.database,
+            partitioned_joins=self.partitioned_joins,
+            num_partitions=self.num_partitions,
+        )
+
+    def explain(self, spec: QuerySpec) -> str:
+        """Human-readable plan report: join order, pipelines, estimates."""
+        optimized = self._optimizer.optimize(spec)
+        plan = lower(
+            optimized,
+            self.database,
+            partitioned_joins=self.partitioned_joins,
+            num_partitions=self.num_partitions,
+        )
+        lines = [f"== {spec.name} on {self.name} / {self.device.name} =="]
+        if optimized.join_order:
+            lines.append(
+                "probe order: "
+                + " -> ".join(optimized.join_order)
+                + f"  (~{optimized.estimated_rows:,.0f} rows estimated)"
+            )
+        lines.append(plan.describe())
+        lines.append("pipelines:")
+        for pipeline in plan.pipelines:
+            source = pipeline.source_table or f"@{pipeline.source_intermediate}"
+            lines.append(
+                f"  {pipeline.pipeline_id:20s} source={source:12s} "
+                f"~{pipeline.est_source_rows:,.0f} rows x "
+                f"{pipeline.source_row_width} B"
+            )
+            for op in pipeline.ops:
+                lines.append(
+                    f"      {op!r}  (sel~{op.est_selectivity:.4g}, "
+                    f"{op.in_width}B -> {op.out_width}B)"
+                )
+        return "\n".join(lines)
+
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """Run a query end to end: real results plus simulated timing."""
+        plan = self.prepare(spec)
+        return self.execute_plan(spec.name, plan)
+
+    def execute_plan(self, query_name: str, plan: PhysicalPlan) -> QueryResult:
+        simulator = Simulator(self.device)
+        context = ExecutionContext()
+        for pipeline in plan.pipelines:
+            self._run_pipeline(pipeline, simulator, context)
+        output = context.intermediate(plan.output_pipeline)
+        counters = simulator.counters
+        profiler = Profiler(self.device)
+        return QueryResult(
+            query=query_name,
+            engine=self.name,
+            device=self.device.name,
+            batch=output,
+            columns=plan.output_columns,
+            elapsed_ms=self.device.cycles_to_ms(counters.elapsed_cycles),
+            counters=counters,
+            report=profiler.report(counters),
+            dictionaries=dict(plan.output_dictionaries),
+        )
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _source_batch(
+        self, pipeline: Pipeline, context: ExecutionContext
+    ) -> Batch:
+        """Load the pipeline's input columns (renamed) as one batch."""
+        if pipeline.source_table is not None:
+            table = self.database.table(pipeline.source_table)
+            reverse = {new: old for old, new in pipeline.source_rename.items()}
+            return {
+                name: table.column(reverse.get(name, name))
+                for name in pipeline.source_columns
+            }
+        upstream = context.intermediate(pipeline.source_intermediate)
+        return {name: upstream[name] for name in pipeline.source_columns}
+
+    @staticmethod
+    def _register_output(
+        pipeline: Pipeline, context: ExecutionContext, output: Optional[Batch]
+    ) -> None:
+        if output is not None:
+            context.intermediates[pipeline.output_id] = output
+
+    @staticmethod
+    def _actual_selectivity(rows_in: int, rows_out: int) -> float:
+        if rows_in <= 0:
+            return 0.0
+        return rows_out / rows_in
+
+    @staticmethod
+    def _aux_working_set(context: "ExecutionContext", template) -> float:
+        """Bytes of auxiliary structure a kernel touches at a time.
+
+        Partition-clustered probes of a partitioned hash table touch one
+        partition's worth of it (``probe_working_set``); everything else
+        touches the whole structure.
+        """
+        if template.aux_build_id is None:
+            return 0.0
+        table = context.hash_table(template.aux_build_id)
+        if getattr(template, "aux_partitions", 1) > 1:
+            return float(getattr(table, "probe_working_set", table.nbytes))
+        return float(table.nbytes)
+
+    # -- engine-specific ---------------------------------------------------
+
+    def _run_pipeline(
+        self,
+        pipeline: Pipeline,
+        simulator: Simulator,
+        context: ExecutionContext,
+    ) -> None:
+        raise NotImplementedError

@@ -1,0 +1,94 @@
+"""GPL execution configuration: the tuning knobs of the paper.
+
+Three knobs govern pipelined execution (Section 3 / 4):
+
+* the tile size Δ (``tile_bytes``) — the unit streamed through a segment;
+* the channel configuration — number of channels ``n`` and packet size
+  ``p`` (AMD only; NVIDIA fixes the packet size);
+* per-kernel work-group counts ``wg_Ki`` — the resource-allocation lever
+  (Section 3.5 fixes the work-group *size* at the wavefront width and
+  adapts the *count*).
+
+Defaults mirror the paper: Δ = 1 MB ("the default size (1MB)"),
+packet = 16 bytes, and work-group counts that are integral multiples of
+#CU.  The analytical model (:mod:`repro.model`) searches better values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence
+
+from ..gpu import ChannelConfig, DeviceSpec
+from ..gpu.kernel import KernelLaunch
+from ..gpu.occupancy import check_segment_feasible
+
+__all__ = ["GPLConfig", "DEFAULT_TILE_BYTES"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Paper default tile size.
+DEFAULT_TILE_BYTES = 1 * MIB
+
+
+@dataclass(frozen=True)
+class GPLConfig:
+    """One pipelined-execution configuration."""
+
+    tile_bytes: int = DEFAULT_TILE_BYTES
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    #: Work-groups per kernel; ``None`` entries (or a missing dict) fall
+    #: back to ``default_workgroups``.  Keyed by stage position within the
+    #: segment.
+    workgroups: Optional[Dict[int, int]] = None
+    default_workgroups: int = 16
+    concurrent: bool = True  # False = the paper's "GPL (w/o CE)" variant
+
+    def __post_init__(self) -> None:
+        if self.tile_bytes < 4 * KIB:
+            raise ValueError("tile size below 4 KiB is not meaningful")
+        if self.default_workgroups < 1:
+            raise ValueError("work-group count must be positive")
+
+    def workgroups_for_stage(self, index: int) -> int:
+        if self.workgroups is not None and index in self.workgroups:
+            return max(1, self.workgroups[index])
+        return self.default_workgroups
+
+    def with_tile_bytes(self, tile_bytes: int) -> "GPLConfig":
+        return replace(self, tile_bytes=tile_bytes)
+
+    def with_channel(self, channel: ChannelConfig) -> "GPLConfig":
+        return replace(self, channel=channel)
+
+    def with_workgroups(self, workgroups: Dict[int, int]) -> "GPLConfig":
+        return replace(self, workgroups=dict(workgroups))
+
+    def without_concurrency(self) -> "GPLConfig":
+        return replace(self, concurrent=False)
+
+    def fit_workgroups(
+        self, launches: Sequence[KernelLaunch], device: DeviceSpec
+    ) -> Dict[int, int]:
+        """Scale per-stage work-group counts down until Eq. 2 holds.
+
+        The requested counts may be infeasible for deep segments (many
+        kernels sharing the device); halving everything preserves the
+        relative allocation, which is the knob's meaning.
+        """
+        counts = {
+            index: launch.workgroups for index, launch in enumerate(launches)
+        }
+        candidates = list(launches)
+        while not check_segment_feasible(candidates, device):
+            if all(count <= 1 for count in counts.values()):
+                break
+            counts = {
+                index: max(1, count // 2) for index, count in counts.items()
+            }
+            candidates = [
+                launch.with_workgroups(counts[index])
+                for index, launch in enumerate(launches)
+            ]
+        return counts

@@ -1,0 +1,78 @@
+"""Segment generation (paper Section 3.1).
+
+A query's kernel sequence ``K(K_0 ... K_n)`` contains blocking and
+non-blocking kernels; the plan is partitioned into segments, each "a
+sequence of non-blocking kernels, ending by a blocking kernel" (the
+simple segment-generation approach of Luo et al. [23] the paper adopts).
+
+In this reproduction, physical lowering already produces pipelines that
+*are* segments; this module provides the general sequence-splitting
+algorithm for validation, for the cost model, and for tests that exercise
+the invariant directly on kernel sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..gpu.kernel import KernelSpec
+from ..plans import Pipeline
+
+__all__ = ["Segment", "split_into_segments", "pipeline_kernel_specs"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of non-blocking kernels plus its ending blocker."""
+
+    kernels: Tuple[KernelSpec, ...]
+
+    @property
+    def blocking_kernel(self) -> KernelSpec:
+        return self.kernels[-1]
+
+    @property
+    def non_blocking(self) -> Tuple[KernelSpec, ...]:
+        return self.kernels[:-1]
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+
+def split_into_segments(kernels: Sequence[KernelSpec]) -> List[Segment]:
+    """Split a kernel sequence at blocking kernels.
+
+    Every segment ends with a blocking kernel except possibly the last
+    (a trailing run of non-blocking kernels forms a final segment whose
+    output is the query result).
+    """
+    segments: List[Segment] = []
+    current: List[KernelSpec] = []
+    for kernel in kernels:
+        current.append(kernel)
+        if kernel.blocking:
+            segments.append(Segment(tuple(current)))
+            current = []
+    if current:
+        segments.append(Segment(tuple(current)))
+    return segments
+
+
+def pipeline_kernel_specs(pipeline: Pipeline, flavor: str = "gpl") -> List[KernelSpec]:
+    """The kernel sequence of one physical pipeline.
+
+    ``flavor`` selects the GPL (fine-grained) or KBE (conventional)
+    expansion of each operator.
+    """
+    specs: List[KernelSpec] = []
+    for op in pipeline.ops:
+        templates = op.gpl_kernels() if flavor == "gpl" else op.kbe_kernels()
+        specs.extend(template.spec for template in templates)
+    sink_templates = (
+        pipeline.sink.gpl_kernels()
+        if flavor == "gpl"
+        else pipeline.sink.kbe_kernels()
+    )
+    specs.extend(template.spec for template in sink_templates)
+    return specs

@@ -1,0 +1,66 @@
+"""Tiling: logical partitioning of input relations (paper Section 3.3).
+
+GPL partitions each segment's input into tiles of (nearly) equal byte
+size; a tile is the scheduling unit streamed through the segment's kernel
+pipeline.  Tiles are numpy views — "logically partitioned", no copies —
+exactly like the paper's tiled relations R*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..plans.runtime import Batch, batch_rows
+
+__all__ = ["TilePlan", "Tiler"]
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """How one input is split: row counts per tile."""
+
+    total_rows: int
+    rows_per_tile: int
+    num_tiles: int
+
+    @property
+    def average_tile_rows(self) -> float:
+        if self.num_tiles == 0:
+            return 0.0
+        return self.total_rows / self.num_tiles
+
+    def boundaries(self) -> List[Tuple[int, int]]:
+        """(start, stop) row ranges of every tile."""
+        return [
+            (start, min(start + self.rows_per_tile, self.total_rows))
+            for start in range(0, self.total_rows, self.rows_per_tile)
+        ]
+
+
+class Tiler:
+    """Splits batches into tiles of a target byte size."""
+
+    def __init__(self, tile_bytes: int):
+        if tile_bytes <= 0:
+            raise ValueError("tile size must be positive")
+        self.tile_bytes = tile_bytes
+
+    def plan(self, total_rows: int, row_width: int) -> TilePlan:
+        """Tile layout for ``total_rows`` rows of ``row_width`` bytes."""
+        if total_rows <= 0:
+            return TilePlan(total_rows=0, rows_per_tile=1, num_tiles=0)
+        rows_per_tile = max(1, self.tile_bytes // max(1, row_width))
+        num_tiles = math.ceil(total_rows / rows_per_tile)
+        return TilePlan(
+            total_rows=total_rows,
+            rows_per_tile=rows_per_tile,
+            num_tiles=num_tiles,
+        )
+
+    def tiles(self, batch: Batch, row_width: int) -> Iterator[Batch]:
+        """Yield tile views of ``batch`` in order."""
+        plan = self.plan(batch_rows(batch), row_width)
+        for start, stop in plan.boundaries():
+            yield {name: array[start:stop] for name, array in batch.items()}

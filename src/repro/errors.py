@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate on the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or type was used inconsistently with its schema."""
+
+
+class ExpressionError(ReproError):
+    """An expression tree is malformed or evaluated against missing columns."""
+
+
+class PlanError(ReproError):
+    """A logical or physical query plan is invalid."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator was driven into an inconsistent state."""
+
+
+class ChannelError(SimulationError):
+    """Misuse of an inter-kernel data channel (pipe)."""
+
+
+class OccupancyError(SimulationError):
+    """A kernel configuration violates device resource limits (paper Eq. 2)."""
+
+
+class CalibrationError(ReproError):
+    """Channel calibration data is missing or cannot be interpolated."""
+
+
+class ModelError(ReproError):
+    """The analytical cost model was given inconsistent inputs."""
+
+
+class ExecutionError(ReproError):
+    """A query engine failed while executing a physical plan."""

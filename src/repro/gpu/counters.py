@@ -1,0 +1,169 @@
+"""Hardware performance counters accumulated by the simulator.
+
+These are the simulated twins of the profiler counters the paper reads with
+CodeXL / Visual Profiler (Section 2.2):
+
+* ``VALUBusy`` — fraction of elapsed device time the vector ALUs were busy;
+* ``MemUnitBusy`` — same for the memory units;
+* cache hit ratio, kernel occupancy, and the GPL-specific accounting the
+  evaluation needs: bytes materialized in global memory, bytes passed
+  through channels, pipeline delay cycles, and a per-category time
+  breakdown (compute / memory / data-channel / delay) for Fig 20/29.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["KernelRunStats", "HardwareCounters"]
+
+
+@dataclass
+class KernelRunStats:
+    """Per-kernel-launch statistics from one simulator run."""
+
+    name: str
+    elapsed_cycles: float
+    compute_cycles: float  # total VALU busy cycles across all CUs
+    memory_cycles: float  # total memory-unit busy cycles across all CUs
+    #: The communication subset of ``memory_cycles``: intermediate-result
+    #: reloads, materialization writes, and hash-table (aux) accesses —
+    #: the paper's Mem_cost.  Streaming scans of base inputs are kernel
+    #: work, not communication.
+    stall_cycles: float = 0.0
+    channel_cycles: float = 0.0  # cycles spent on channel reserve/transfer
+    delay_cycles: float = 0.0  # pipeline starvation / backpressure stalls
+    tuples: int = 0
+    workgroups: int = 0
+    active_workgroups: int = 0
+    bytes_read: float = 0.0
+    bytes_written_global: float = 0.0
+    bytes_channel: float = 0.0
+    cache_hits: float = 0.0
+    cache_accesses: float = 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        if self.cache_accesses <= 0:
+            return 0.0
+        return self.cache_hits / self.cache_accesses
+
+    @property
+    def occupancy(self) -> float:
+        """In-flight work-groups relative to what was requested."""
+        if self.workgroups <= 0:
+            return 0.0
+        return min(1.0, self.active_workgroups / self.workgroups)
+
+
+@dataclass
+class HardwareCounters:
+    """Device-level accumulation across an entire query execution."""
+
+    num_cus: int = 1
+    elapsed_cycles: float = 0.0
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    stall_cycles: float = 0.0
+    channel_cycles: float = 0.0
+    delay_cycles: float = 0.0
+    launch_overhead_cycles: float = 0.0
+    bytes_materialized: float = 0.0
+    bytes_channel: float = 0.0
+    cache_hits: float = 0.0
+    cache_accesses: float = 0.0
+    kernel_launches: int = 0
+    kernel_stats: List[KernelRunStats] = field(default_factory=list)
+
+    def record(self, stats: KernelRunStats, launches: int = 0) -> None:
+        """Fold one kernel run into the device totals.
+
+        Launch counting happens in :meth:`add_launch_overhead` (engines
+        charge dispatch cost explicitly); pass ``launches`` only when a
+        run is recorded without a separate overhead charge.
+        """
+        self.kernel_stats.append(stats)
+        self.compute_cycles += stats.compute_cycles
+        self.memory_cycles += stats.memory_cycles
+        self.stall_cycles += stats.stall_cycles
+        self.channel_cycles += stats.channel_cycles
+        self.delay_cycles += stats.delay_cycles
+        self.bytes_materialized += stats.bytes_written_global
+        self.bytes_channel += stats.bytes_channel
+        self.cache_hits += stats.cache_hits
+        self.cache_accesses += stats.cache_accesses
+        self.kernel_launches += launches
+
+    def add_elapsed(self, cycles: float) -> None:
+        """Advance the device wall clock (runs are serialized per engine)."""
+        self.elapsed_cycles += cycles
+
+    def add_launch_overhead(self, cycles: float, launches: int = 1) -> None:
+        self.launch_overhead_cycles += cycles
+        self.elapsed_cycles += cycles
+        self.kernel_launches += launches
+
+    # -- derived counters ------------------------------------------------
+
+    @property
+    def total_cycles(self) -> float:
+        return self.elapsed_cycles
+
+    @property
+    def valu_busy(self) -> float:
+        """VALUBusy: VALU-busy device-cycles / (#CU * elapsed)."""
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.compute_cycles / (self.num_cus * self.elapsed_cycles))
+
+    @property
+    def mem_unit_busy(self) -> float:
+        """MemUnitBusy: memory-unit-busy device-cycles / (#CU * elapsed)."""
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.memory_cycles / (self.num_cus * self.elapsed_cycles))
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        if self.cache_accesses <= 0:
+            return 0.0
+        return self.cache_hits / self.cache_accesses
+
+    def breakdown(self) -> Dict[str, float]:
+        """Execution-time breakdown by category (Fig 20 / Fig 29).
+
+        Fractions are of total busy accounting, normalized to sum to 1.
+        ``Mem_cost`` covers communication memory stalls (intermediate
+        ping-pong, hash-table accesses), ``DC_cost`` channel
+        reservations/transfers, ``Delay`` pipeline-imbalance idle time,
+        and ``Compute`` the kernels' own work (VALU issue plus streaming
+        input scans).
+        """
+        parts = {
+            "Compute": self.compute_cycles
+            + (self.memory_cycles - self.stall_cycles),
+            "Mem_cost": self.stall_cycles,
+            "DC_cost": self.channel_cycles,
+            "Delay": self.delay_cycles,
+        }
+        total = sum(parts.values())
+        if total <= 0:
+            return {key: 0.0 for key in parts}
+        return {key: value / total for key, value in parts.items()}
+
+    def merge(self, other: "HardwareCounters") -> None:
+        """Fold another counter set (e.g. a sub-plan) into this one."""
+        self.elapsed_cycles += other.elapsed_cycles
+        self.compute_cycles += other.compute_cycles
+        self.memory_cycles += other.memory_cycles
+        self.stall_cycles += other.stall_cycles
+        self.channel_cycles += other.channel_cycles
+        self.delay_cycles += other.delay_cycles
+        self.launch_overhead_cycles += other.launch_overhead_cycles
+        self.bytes_materialized += other.bytes_materialized
+        self.bytes_channel += other.bytes_channel
+        self.cache_hits += other.cache_hits
+        self.cache_accesses += other.cache_accesses
+        self.kernel_launches += other.kernel_launches
+        self.kernel_stats.extend(other.kernel_stats)

@@ -1,0 +1,145 @@
+"""Device specifications for the simulated GPUs.
+
+The two presets mirror Table 1 of the paper: the AMD A10 APU (coupled
+CPU-GPU, OpenCL, 2 concurrent kernels via ACEs) and the NVIDIA Tesla K40
+(Kepler, CUDA, 16 concurrent kernels).  Latency figures are not in Table 1;
+they are representative numbers for the respective memory hierarchies and
+only their *ratios* matter for the reproduced shapes (global vs cache
+latency is what makes channel communication cheaper than ping-pong through
+global memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "AMD_A10", "NVIDIA_K40", "device_by_name"]
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description consumed by the simulator and cost model.
+
+    Attributes mirror the cost-model notation of the paper (Table 2,
+    "platform input"):
+
+    * ``num_cus`` — #CU
+    * ``instruction_cycles`` — w, cycles to issue and execute one instruction
+    * ``concurrency`` — C, concurrent kernel slots
+    * ``global_latency`` — mem_l, cycles per uncached memory transaction
+    * ``cache_latency`` — c_l, cycles per cache-hit transaction
+    * ``private_mem_per_cu`` — pm_max (bytes)
+    * ``local_mem_per_cu`` — lm_max (bytes)
+    * ``max_wg_per_cu`` — wg_max
+    """
+
+    name: str
+    vendor: str
+    num_cus: int
+    core_mhz: float
+    private_mem_per_cu: int
+    local_mem_per_cu: int
+    global_mem_bytes: int
+    cache_bytes: int
+    concurrency: int
+    wavefront: int
+    max_wg_per_cu: int
+    instruction_cycles: float
+    global_latency: float
+    cache_latency: float
+    memory_parallelism: float
+    programming_api: str
+    tunable_packet_size: bool
+    #: Fixed host-side cost to launch one kernel, in device cycles.  This is
+    #: what makes tiling *without* concurrent execution slower than KBE
+    #: (Fig 16 / Fig 27): every tile re-launches every kernel.
+    launch_overhead_cycles: float = 15000.0
+    #: Workload-scheduler cost to dispatch one tile into a resident
+    #: pipeline (Section 3.1's scheduler).  Small tiles pay it often —
+    #: the left flank of the Fig 12 U-curve.
+    tile_dispatch_cycles: float = 2500.0
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert simulated cycles to milliseconds at the core clock."""
+        return cycles / (self.core_mhz * 1_000.0)
+
+    def ms_to_cycles(self, ms: float) -> float:
+        """Inverse of :meth:`cycles_to_ms`."""
+        return ms * self.core_mhz * 1_000.0
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """A copy with selected fields replaced (testing / what-if studies)."""
+        return replace(self, **kwargs)
+
+    def table1_row(self) -> dict:
+        """The fields reported in Table 1 of the paper."""
+        return {
+            "#CU": self.num_cus,
+            "Core frequency (MHz)": self.core_mhz,
+            "Private memory/CU (KB)": self.private_mem_per_cu // KIB,
+            "Local memory/CU (KB)": self.local_mem_per_cu // KIB,
+            "Global memory (GB)": self.global_mem_bytes // GIB,
+            "Cache (MB)": self.cache_bytes / MIB,
+            "Concurrent kernels": self.concurrency,
+            "Programming API": self.programming_api,
+        }
+
+
+#: AMD A10 APU (Table 1, left column).  The GPU shares system memory (32 GB).
+AMD_A10 = DeviceSpec(
+    name="AMD A10 APU",
+    vendor="AMD",
+    num_cus=8,
+    core_mhz=720.0,
+    private_mem_per_cu=64 * KIB,
+    local_mem_per_cu=32 * KIB,
+    global_mem_bytes=32 * GIB,
+    cache_bytes=4 * MIB,
+    concurrency=2,
+    wavefront=64,
+    max_wg_per_cu=16,
+    instruction_cycles=4.0,
+    global_latency=300.0,
+    cache_latency=60.0,
+    memory_parallelism=64.0,
+    programming_api="OpenCL",
+    tunable_packet_size=True,
+)
+
+#: NVIDIA Tesla K40 (Table 1, right column).  12 GB device memory; packet
+#: size is not user-tunable (Appendix A.1).
+NVIDIA_K40 = DeviceSpec(
+    name="NVIDIA Tesla K40",
+    vendor="NVIDIA",
+    num_cus=15,
+    core_mhz=875.0,
+    private_mem_per_cu=64 * KIB,
+    local_mem_per_cu=48 * KIB,
+    global_mem_bytes=12 * GIB,
+    cache_bytes=int(1.5 * MIB),
+    concurrency=16,
+    wavefront=32,
+    max_wg_per_cu=16,
+    instruction_cycles=4.0,
+    global_latency=400.0,
+    cache_latency=80.0,
+    memory_parallelism=96.0,
+    programming_api="CUDA",
+    tunable_packet_size=False,
+)
+
+_DEVICES = {"amd": AMD_A10, "nvidia": NVIDIA_K40}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a preset by vendor name (case-insensitive)."""
+    try:
+        return _DEVICES[name.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; choose one of {sorted(_DEVICES)}"
+        ) from None

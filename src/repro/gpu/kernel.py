@@ -1,0 +1,130 @@
+"""Kernel descriptions: the static program-analysis view of GPU kernels.
+
+A :class:`KernelSpec` captures everything the paper's cost model obtains
+from *program analysis* (Table 2): per-tuple compute and memory instruction
+counts, private/local memory usage per work-item, the work-group size, and
+whether the kernel is blocking.  A :class:`KernelLaunch` binds a spec to a
+concrete amount of work (tuples, byte widths, work-group count, where input
+comes from and output goes) for one simulator run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import SimulationError
+
+__all__ = ["DataLocation", "KernelSpec", "KernelLaunch"]
+
+
+class DataLocation(enum.Enum):
+    """Where a kernel reads its input from / writes its output to."""
+
+    GLOBAL = "global"  # global memory (materialized array)
+    CHANNEL = "channel"  # inter-kernel data channel (pipe)
+    NONE = "none"  # no data on this side (e.g. reduce output is trivial)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of a kernel, from off-line program analysis.
+
+    ``compute_instr`` / ``memory_instr`` are per *input tuple*; they play
+    the role of ``c_inst_Ki`` / ``m_inst_Ki`` in the paper (there per-kernel
+    totals; the launch multiplies by tuple count).
+
+    ``blocking`` marks kernels that must see their whole input before
+    producing output (prefix sum, sort, hash build's barrier).  Blocking
+    kernels end pipeline segments and force materialization.
+    """
+
+    name: str
+    compute_instr: float
+    memory_instr: float
+    pm_per_workitem: int  # bytes of private memory (registers) per work-item
+    lm_per_workitem: int  # bytes of local memory per work-item
+    blocking: bool = False
+    workgroup_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.compute_instr < 0 or self.memory_instr < 0:
+            raise SimulationError(f"kernel {self.name!r}: negative instr count")
+        if self.workgroup_size <= 0:
+            raise SimulationError(f"kernel {self.name!r}: bad work-group size")
+
+    @property
+    def instr_per_tuple(self) -> float:
+        """Total instructions per tuple (compute + memory issue)."""
+        return self.compute_instr + self.memory_instr
+
+    def scaled(self, factor: float) -> "KernelSpec":
+        """A spec with instruction counts scaled (wider tuples, etc.)."""
+        return replace(
+            self,
+            compute_instr=self.compute_instr * factor,
+            memory_instr=self.memory_instr * factor,
+        )
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel invocation: a spec bound to data and a launch config.
+
+    ``tuples`` is the number of input tuples this launch processes.
+    ``selectivity`` is the fraction of tuples surviving to the output
+    (``lambda`` in the paper's notation is expressed in bytes; here we keep
+    tuple selectivity and byte widths separate so both engines account
+    bytes identically).
+    """
+
+    spec: KernelSpec
+    tuples: int
+    workgroups: int
+    in_bytes_per_tuple: int
+    out_bytes_per_tuple: int
+    selectivity: float = 1.0
+    input_location: DataLocation = DataLocation.GLOBAL
+    output_location: DataLocation = DataLocation.GLOBAL
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.tuples < 0:
+            raise SimulationError("launch with negative tuple count")
+        if self.workgroups <= 0:
+            raise SimulationError("launch needs at least one work-group")
+        if not 0.0 <= self.selectivity:
+            raise SimulationError("selectivity must be non-negative")
+
+    @property
+    def display_name(self) -> str:
+        return self.label or self.spec.name
+
+    @property
+    def input_bytes(self) -> int:
+        """Total bytes read as primary input."""
+        return self.tuples * self.in_bytes_per_tuple
+
+    @property
+    def output_tuples(self) -> int:
+        """Expected output tuple count after selectivity."""
+        return int(round(self.tuples * self.selectivity))
+
+    @property
+    def output_bytes(self) -> int:
+        """Total bytes produced."""
+        return self.output_tuples * self.out_bytes_per_tuple
+
+    @property
+    def tuples_per_workgroup(self) -> float:
+        """Average input tuples processed by one work-group."""
+        return self.tuples / self.workgroups if self.workgroups else 0.0
+
+    def with_workgroups(self, workgroups: int) -> "KernelLaunch":
+        """Copy with a different work-group count (resource-allocation knob)."""
+        return replace(self, workgroups=workgroups)
+
+    def with_tuples(self, tuples: int) -> "KernelLaunch":
+        """Copy bound to a different amount of work (per-tile launches)."""
+        return replace(self, tuples=tuples)

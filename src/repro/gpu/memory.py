@@ -1,0 +1,82 @@
+"""Global-memory access cost model.
+
+Implements the memory half of the paper's per-kernel cost (Eq. 5)::
+
+    m_Ki = m_inst * (1 - cr) * mem_l + m_inst * cr * c_l
+
+with one refinement the event simulator needs: a wavefront's memory
+transactions are coalesced and pipelined, so the *effective* latency per
+instruction is divided by the device's memory parallelism.  Without this
+division the absolute magnitudes would be absurd (GPUs hide latency with
+thousands of in-flight loads); with it, compute-bound and memory-bound
+kernels land at realistic utilization mixes, which Figs 5/19/28 depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import CacheModel
+from .device import DeviceSpec
+
+__all__ = ["MemoryModel"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Cost model for global-memory transactions of one device."""
+
+    device: DeviceSpec
+    cache: CacheModel
+
+    @classmethod
+    def for_device(cls, device: DeviceSpec) -> "MemoryModel":
+        return cls(device=device, cache=CacheModel(device.cache_bytes))
+
+    def access_cycles(self, accesses: float, hit_ratio: float) -> float:
+        """Cycles to complete ``accesses`` transactions at ``hit_ratio``.
+
+        This is Eq. 5 with the parallelism divisor applied.
+        """
+        hit_ratio = min(1.0, max(0.0, hit_ratio))
+        raw = accesses * (
+            (1.0 - hit_ratio) * self.device.global_latency
+            + hit_ratio * self.device.cache_latency
+        )
+        return raw / self.device.memory_parallelism
+
+    def scan_hit_ratio(
+        self, working_set_bytes: float, stride_bytes: float = 8.0
+    ) -> float:
+        """Hit ratio for scanning a working set of the given size.
+
+        Tiles that fit the data cache are re-read cheaply across the kernels
+        of a segment; over-large tiles thrash (Fig 12's right slope) but a
+        sequential scan still enjoys spatial locality within cache lines,
+        so the hit ratio never falls below the streaming bound.
+        """
+        return max(
+            self.cache.hit_ratio(working_set_bytes),
+            self.cache.streaming_hit_ratio(stride_bytes),
+        )
+
+    def materialization_cycles(self, bytes_written: float) -> float:
+        """Cycles to write an intermediate result to global memory.
+
+        Writes stream straight to memory (write-allocate suppressed for
+        streaming stores), so they pay global latency per transaction of
+        one cache line.
+        """
+        transactions = bytes_written / 64.0
+        return transactions * self.device.global_latency / self.device.memory_parallelism
+
+    def reload_cycles(self, bytes_read: float, working_set_bytes: float) -> float:
+        """Cycles for the next kernel to read back a materialized result.
+
+        The "memory ping-pong" of KBE (Section 2.2, Observation 1): if the
+        intermediate fits in cache it may still be resident; otherwise it
+        comes back at global latency.
+        """
+        hit = self.cache.hit_ratio(working_set_bytes)
+        transactions = bytes_read / 64.0
+        return self.access_cycles(transactions, hit)

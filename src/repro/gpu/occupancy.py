@@ -1,0 +1,144 @@
+"""Occupancy: how many work-groups can be resident, per the paper's Eq. 2.
+
+Eq. 2 constrains, for all kernels of a segment executing concurrently::
+
+    sum_i pm_Ki * wi_Ki * wg_Ki <= pm_max * #CU
+    sum_i lm_Ki * wi_Ki * wg_Ki <= lm_max * #CU
+    sum_i wg_Ki                 <= wg_max * #CU
+
+This module provides the single-kernel active-work-group bound (the
+classic occupancy calculation), the segment-level feasibility check, and a
+proportional allocator that splits device resources among the concurrently
+resident kernels of a segment — the simulator's counterpart of the GPU's
+hardware work-group dispatcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import OccupancyError
+from .device import DeviceSpec
+from .kernel import KernelLaunch, KernelSpec
+
+__all__ = [
+    "max_active_wg_per_cu",
+    "check_segment_feasible",
+    "OccupancyShare",
+    "allocate_segment_occupancy",
+]
+
+
+def max_active_wg_per_cu(spec: KernelSpec, device: DeviceSpec) -> int:
+    """Max work-groups of ``spec`` simultaneously resident on one CU.
+
+    Limited by private memory, local memory, and the device's architectural
+    work-group cap.  This is ``a_wg_Ki`` for a kernel running alone.
+    """
+    limits: List[float] = [float(device.max_wg_per_cu)]
+    pm_per_wg = spec.pm_per_workitem * spec.workgroup_size
+    if pm_per_wg > 0:
+        limits.append(device.private_mem_per_cu / pm_per_wg)
+    lm_per_wg = spec.lm_per_workitem * spec.workgroup_size
+    if lm_per_wg > 0:
+        limits.append(device.local_mem_per_cu / lm_per_wg)
+    active = int(min(limits))
+    if active < 1:
+        raise OccupancyError(
+            f"kernel {spec.name!r} cannot fit a single work-group on a CU "
+            f"(pm/wg={pm_per_wg}B, lm/wg={lm_per_wg}B)"
+        )
+    return active
+
+
+def check_segment_feasible(
+    launches: Sequence[KernelLaunch], device: DeviceSpec
+) -> bool:
+    """Whether a set of concurrent launches satisfies Eq. 2.
+
+    ``wg_Ki`` in Eq. 2 is the number of work-groups the launch wants
+    resident at once; we use each launch's configured work-group count,
+    which is how GPL controls resource allocation (Section 3.5).
+    """
+    pm_total = 0.0
+    lm_total = 0.0
+    wg_total = 0
+    for launch in launches:
+        spec = launch.spec
+        pm_total += spec.pm_per_workitem * spec.workgroup_size * launch.workgroups
+        lm_total += spec.lm_per_workitem * spec.workgroup_size * launch.workgroups
+        wg_total += launch.workgroups
+    return (
+        pm_total <= device.private_mem_per_cu * device.num_cus
+        and lm_total <= device.local_mem_per_cu * device.num_cus
+        and wg_total <= device.max_wg_per_cu * device.num_cus
+    )
+
+
+@dataclass(frozen=True)
+class OccupancyShare:
+    """Resolved concurrency for one kernel within a segment.
+
+    ``active_workgroups`` is the number of the kernel's work-groups that may
+    execute simultaneously (``a_wg_Ki * a_CU_Ki`` in the paper's notation);
+    ``active_cus`` is the share of CUs serving it.
+    """
+
+    active_workgroups: int
+    active_cus: float
+
+
+def allocate_segment_occupancy(
+    launches: Sequence[KernelLaunch], device: DeviceSpec
+) -> Dict[str, OccupancyShare]:
+    """Split device capacity among the kernels of one segment.
+
+    CUs are shared proportionally to each launch's requested work-group
+    count (the GPL resource-allocation knob); each kernel's simultaneous
+    work-groups are then capped by its own per-CU occupancy on its CU share
+    and by its requested work-group count.  Keys of the returned dict are
+    launch display names, which the pipeline simulator uses as stage ids.
+    """
+    if not launches:
+        return {}
+    names = [launch.display_name for launch in launches]
+    if len(set(names)) != len(names):
+        raise OccupancyError(f"duplicate launch labels in segment: {names}")
+    total_wg = sum(launch.workgroups for launch in launches)
+    shares: Dict[str, OccupancyShare] = {}
+    for launch in launches:
+        cu_share = device.num_cus * launch.workgroups / total_wg
+        per_cu = max_active_wg_per_cu(launch.spec, device)
+        active = max(1, min(launch.workgroups, int(per_cu * cu_share)))
+        shares[launch.display_name] = OccupancyShare(
+            active_workgroups=active, active_cus=cu_share
+        )
+    return shares
+
+
+def scheduling_contention(requested_workgroups: int, fitted_workgroups: int) -> float:
+    """Service-time inflation from oversubscribed work-group requests.
+
+    When a segment asks for more resident work-groups than Eq. 2 allows,
+    the hardware scheduler context-switches among them; throughput decays
+    logarithmically in the oversubscription ratio.  This is what makes
+    over-sized settings (S_5..S_7 in Fig 15) lose to the balanced one.
+    """
+    import math
+
+    if fitted_workgroups <= 0 or requested_workgroups <= fitted_workgroups:
+        return 1.0
+    ratio = requested_workgroups / fitted_workgroups
+    return 1.0 + 0.12 * math.log2(ratio)
+
+
+def exclusive_occupancy(
+    launch: KernelLaunch, device: DeviceSpec
+) -> OccupancyShare:
+    """Occupancy when a kernel runs alone (the KBE execution mode)."""
+    per_cu = max_active_wg_per_cu(launch.spec, device)
+    active = max(1, min(launch.workgroups, per_cu * device.num_cus))
+    return OccupancyShare(
+        active_workgroups=active, active_cus=float(device.num_cus)
+    )

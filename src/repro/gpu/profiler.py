@@ -1,0 +1,81 @@
+"""CodeXL / Visual Profiler stand-in: turns counters into profiler reports.
+
+The paper reads VALUBusy, MemUnitBusy, kernel occupancy, and cache hit
+ratios from vendor profilers; engines here expose the same numbers through
+:class:`Profiler`, computed from the simulator's accumulated counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .counters import HardwareCounters, KernelRunStats
+from .device import DeviceSpec
+
+__all__ = ["KernelProfile", "ProfilerReport", "Profiler"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Per-kernel profiler row."""
+
+    name: str
+    elapsed_ms: float
+    valu_busy: float
+    mem_unit_busy: float
+    occupancy: float
+    cache_hit_ratio: float
+    tuples: int
+
+
+@dataclass(frozen=True)
+class ProfilerReport:
+    """Whole-run profiler output."""
+
+    device: str
+    elapsed_ms: float
+    valu_busy: float
+    mem_unit_busy: float
+    cache_hit_ratio: float
+    kernel_launches: int
+    bytes_materialized: float
+    bytes_channel: float
+    delay_cycles: float
+    breakdown: Dict[str, float]
+    kernels: List[KernelProfile]
+
+
+class Profiler:
+    """Builds :class:`ProfilerReport` objects from hardware counters."""
+
+    def __init__(self, device: DeviceSpec):
+        self._device = device
+
+    def kernel_profile(self, stats: KernelRunStats) -> KernelProfile:
+        elapsed = max(stats.elapsed_cycles, 1e-9)
+        busy_denominator = self._device.num_cus * elapsed
+        return KernelProfile(
+            name=stats.name,
+            elapsed_ms=self._device.cycles_to_ms(stats.elapsed_cycles),
+            valu_busy=min(1.0, stats.compute_cycles / busy_denominator),
+            mem_unit_busy=min(1.0, stats.memory_cycles / busy_denominator),
+            occupancy=stats.occupancy,
+            cache_hit_ratio=stats.cache_hit_ratio,
+            tuples=stats.tuples,
+        )
+
+    def report(self, counters: HardwareCounters) -> ProfilerReport:
+        return ProfilerReport(
+            device=self._device.name,
+            elapsed_ms=self._device.cycles_to_ms(counters.elapsed_cycles),
+            valu_busy=counters.valu_busy,
+            mem_unit_busy=counters.mem_unit_busy,
+            cache_hit_ratio=counters.cache_hit_ratio,
+            kernel_launches=counters.kernel_launches,
+            bytes_materialized=counters.bytes_materialized,
+            bytes_channel=counters.bytes_channel,
+            delay_cycles=counters.delay_cycles,
+            breakdown=counters.breakdown(),
+            kernels=[self.kernel_profile(k) for k in counters.kernel_stats],
+        )

@@ -1,0 +1,650 @@
+"""The GPU simulator: exclusive (KBE) and pipelined (GPL) kernel execution.
+
+Two execution modes mirror the two engines of the paper:
+
+* :meth:`Simulator.run_exclusive` — one kernel owns the whole device, as in
+  kernel-based execution.  Cost is the analytic two-resource model: vector
+  ALU issue cycles and memory-unit cycles overlap only as far as the
+  kernel's own occupancy allows latency hiding (few resident wavefronts =>
+  additive costs, the under-utilization of Section 2.2).
+
+* :meth:`Simulator.run_pipeline` — a segment's kernels run concurrently,
+  connected by channels.  This is a discrete-event simulation at
+  work-group granularity: producer work-groups reserve channel space
+  before starting (backpressure), commit packets on completion, and the
+  matching consumer work-group becomes ready immediately (the fine-grained
+  coordination of Fig 9).  At most ``C`` kernels are resident at a time
+  (2 on the AMD preset, 16 on NVIDIA); starvation and backpressure stalls
+  accumulate into the *delay* counter, the measured twin of Eq. 8.
+
+Both modes run on virtual cycles — no wall-clock, no randomness — so every
+run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+from .channel import ChannelConfig, ChannelModel, ChannelState
+from .counters import HardwareCounters, KernelRunStats
+from .device import DeviceSpec
+from .kernel import DataLocation, KernelLaunch
+from .memory import MemoryModel
+from .occupancy import (
+    allocate_segment_occupancy,
+    check_segment_feasible,
+    exclusive_occupancy,
+    max_active_wg_per_cu,
+)
+from .trace import TraceEvent
+
+__all__ = ["StageSpec", "PipelineRunResult", "Simulator"]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One kernel of a pipelined segment.
+
+    ``aux_reads_per_tuple`` / ``aux_working_set_bytes`` describe side
+    accesses to global structures (hash tables probed, dictionaries), which
+    stay in global memory even in GPL.
+    """
+
+    launch: KernelLaunch
+    aux_reads_per_tuple: float = 0.0
+    aux_working_set_bytes: float = 0.0
+
+
+@dataclass
+class PipelineRunResult:
+    """Outcome of one pipelined segment execution."""
+
+    elapsed_cycles: float
+    stage_stats: List[KernelRunStats]
+    delay_cycles: float
+    channel_bytes: float
+    peak_channel_packets: Dict[int, int] = field(default_factory=dict)
+    trace: List[TraceEvent] = field(default_factory=list)
+
+
+@dataclass
+class _StageRuntime:
+    """Mutable per-stage state of the event simulation."""
+
+    index: int
+    name: str
+    service_cycles: float
+    max_active: int
+    total_units: int
+    packets_in: int
+    packets_out: int
+    ready: int = 0
+    active: int = 0
+    completed: int = 0
+    busy_cycles: float = 0.0
+    delay_cycles: float = 0.0
+    idle_since: Optional[float] = 0.0  # stages start idle at t=0
+
+    @property
+    def finished(self) -> bool:
+        return self.completed >= self.total_units
+
+
+class Simulator:
+    """Drives kernels over a :class:`DeviceSpec`, accumulating counters."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self.memory = MemoryModel.for_device(device)
+        self.channel_model = ChannelModel.for_device(device)
+        self.counters = HardwareCounters(num_cus=device.num_cus)
+
+    # ------------------------------------------------------------------
+    # shared cost pieces
+    # ------------------------------------------------------------------
+
+    def _issue_cycles_per_tuple(self, launch: KernelLaunch) -> float:
+        """VALU issue cycles contributed by one tuple (per paper Eq. 4)."""
+        spec = launch.spec
+        return (
+            spec.instr_per_tuple
+            * self.device.instruction_cycles
+            / spec.workgroup_size
+        )
+
+    def _overlap_factor(self, active_per_cu: float) -> float:
+        """How much memory latency resident wavefronts can hide.
+
+        One resident work-group cannot overlap its own compute with its own
+        outstanding loads (additive, Eq. 7's conservative form); each extra
+        resident work-group hides more.
+        """
+        return 1.0 - 1.0 / max(1.0, active_per_cu)
+
+    def _combine(self, compute: float, mem: float, overlap: float) -> float:
+        """Wall cycles for overlapping compute and memory demand."""
+        return max(compute, mem) + (1.0 - overlap) * min(compute, mem)
+
+    # ------------------------------------------------------------------
+    # exclusive (KBE) execution
+    # ------------------------------------------------------------------
+
+    def launch_overhead(self, launches: int = 1) -> None:
+        """Charge fixed kernel-launch cost (host dispatch)."""
+        self.counters.add_launch_overhead(
+            self.device.launch_overhead_cycles * launches, launches
+        )
+
+    def run_exclusive(
+        self,
+        launch: KernelLaunch,
+        input_working_set: Optional[float] = None,
+        aux_reads_per_tuple: float = 0.0,
+        aux_working_set_bytes: float = 0.0,
+        count_materialization: bool = True,
+        input_is_intermediate: bool = False,
+    ) -> KernelRunStats:
+        """Run one kernel with the whole device to itself (KBE mode).
+
+        ``input_working_set`` drives the input cache-hit estimate; by
+        default it is the launch's full input size (a fresh intermediate or
+        base-table scan).  Engines pass the tile size for tiled variants.
+        """
+        occ = exclusive_occupancy(launch, self.device)
+        cus_used = max(1, min(self.device.num_cus, launch.workgroups))
+        tuples_per_cu = launch.tuples / cus_used
+
+        compute_per_cu = tuples_per_cu * self._issue_cycles_per_tuple(launch)
+
+        working_set = (
+            launch.input_bytes if input_working_set is None else input_working_set
+        )
+        input_hit = self.memory.scan_hit_ratio(working_set)
+        input_accesses = launch.spec.memory_instr * tuples_per_cu
+        input_cost = self.memory.access_cycles(input_accesses, input_hit)
+        mem_per_cu = input_cost
+        # Communication stalls: intermediate ping-pong + aux structures.
+        stall_per_cu = input_cost if input_is_intermediate else 0.0
+
+        aux_hit = 1.0
+        aux_accesses = 0.0
+        if aux_reads_per_tuple > 0:
+            # The streamed input competes with the probed structure for
+            # cache capacity (same contention rule as the pipelined path).
+            aux_hit = self.memory.cache.hit_ratio(
+                aux_working_set_bytes
+                + 0.5 * min(working_set, 4.0 * self.memory.cache.capacity_bytes)
+            )
+            aux_accesses = aux_reads_per_tuple * tuples_per_cu
+            aux_cost = self.memory.access_cycles(aux_accesses, aux_hit)
+            mem_per_cu += aux_cost
+            stall_per_cu += aux_cost
+
+        written = 0.0
+        if launch.output_location is DataLocation.GLOBAL:
+            written = float(launch.output_bytes)
+            write_cost = self.memory.materialization_cycles(written / cus_used)
+            mem_per_cu += write_cost
+            stall_per_cu += write_cost
+
+        active_per_cu = occ.active_workgroups / cus_used
+        overlap = self._overlap_factor(active_per_cu)
+        elapsed = self._combine(compute_per_cu, mem_per_cu, overlap)
+        if launch.tuples > 0:
+            elapsed = max(elapsed, 1.0)
+
+        total_accesses = (input_accesses + aux_accesses) * cus_used
+        total_hits = (
+            input_accesses * input_hit + aux_accesses * aux_hit
+        ) * cus_used
+
+        stats = KernelRunStats(
+            name=launch.display_name,
+            elapsed_cycles=elapsed,
+            compute_cycles=compute_per_cu * cus_used,
+            memory_cycles=mem_per_cu * cus_used,
+            stall_cycles=stall_per_cu * cus_used,
+            tuples=launch.tuples,
+            workgroups=launch.workgroups,
+            active_workgroups=occ.active_workgroups,
+            bytes_read=float(launch.input_bytes),
+            bytes_written_global=written if count_materialization else 0.0,
+            cache_hits=total_hits,
+            cache_accesses=total_accesses,
+        )
+        self.counters.record(stats)
+        self.counters.add_elapsed(elapsed)
+        return stats
+
+    # ------------------------------------------------------------------
+    # pipelined (GPL) execution
+    # ------------------------------------------------------------------
+
+    def run_pipeline(
+        self,
+        stages: Sequence[StageSpec],
+        channels: Sequence[ChannelConfig],
+        num_tiles: int,
+        tile_tuples: float,
+        tile_bytes: float,
+        contention_factor: float = 1.0,
+        trace: bool = False,
+    ) -> PipelineRunResult:
+        """Simulate one segment: ``stages`` connected by ``channels``.
+
+        ``num_tiles`` tiles of ``tile_tuples`` input tuples each stream
+        through the chain.  ``len(channels)`` must be ``len(stages) - 1``.
+        The unit of simulation is one work-group of the first stage and the
+        corresponding work of every downstream stage (Fig 9's fine-grained
+        producer/consumer coordination).
+        """
+        if not stages:
+            raise SimulationError("pipeline needs at least one stage")
+        if len(channels) != len(stages) - 1:
+            raise SimulationError(
+                f"{len(stages)} stages need {len(stages) - 1} channel "
+                f"configs, got {len(channels)}"
+            )
+        launches = [stage.launch for stage in stages]
+        if not check_segment_feasible(launches, self.device):
+            raise SimulationError(
+                "segment violates device resource limits (Eq. 2); "
+                "reduce per-kernel work-group counts"
+            )
+        if num_tiles <= 0 or tile_tuples <= 0:
+            return PipelineRunResult(0.0, [], 0.0, 0.0)
+        trace_events: Optional[List[TraceEvent]] = [] if trace else None
+
+        shares = dict(allocate_segment_occupancy(launches, self.device))
+        # Only C kernels are resident at a time; a kernel's share of the
+        # device while resident is therefore larger than a naive split
+        # across every stage of a long segment.
+        resident = max(1, min(len(stages), self.device.concurrency))
+        boost = len(stages) / resident
+        for launch in launches:
+            share = shares[launch.display_name]
+            solo_cap = max_active_wg_per_cu(launch.spec, self.device) * (
+                self.device.num_cus / resident
+            )
+            boosted = min(
+                float(launch.workgroups),
+                solo_cap,
+                share.active_workgroups * boost,
+            )
+            shares[launch.display_name] = type(share)(
+                active_workgroups=max(1, int(boosted)),
+                active_cus=share.active_cus * boost,
+            )
+        total_active_per_cu = (
+            sum(s.active_workgroups for s in shares.values())
+            * (resident / len(stages))
+            / self.device.num_cus
+        )
+        overlap = self._overlap_factor(total_active_per_cu)
+
+        units_per_tile = max(1, launches[0].workgroups)
+        total_units = num_tiles * units_per_tile
+
+        runtimes, per_unit_costs = self._build_stage_runtimes(
+            stages, channels, shares, units_per_tile, tile_tuples,
+            tile_bytes, total_units, overlap, contention_factor,
+        )
+        channel_states = [ChannelState(config) for config in channels]
+
+        elapsed = self._event_loop(
+            runtimes, channel_states, total_units, trace_events
+        )
+
+        # Device-level resource bound: however well the pipeline overlaps,
+        # the device cannot retire more VALU work than its CUs issue nor
+        # more memory/channel traffic than its memory units serve.
+        total_compute = sum(
+            costs["compute"] * runtime.completed
+            for costs, runtime in zip(per_unit_costs, runtimes)
+        )
+        total_memory = sum(
+            (costs["memory"] + costs["channel"]) * runtime.completed
+            for costs, runtime in zip(per_unit_costs, runtimes)
+        )
+        resource_floor = (
+            max(total_compute, total_memory)
+            / self.device.num_cus
+            * contention_factor
+        )
+        elapsed = max(elapsed, resource_floor)
+
+        # Pipeline delay (Eq. 8's measured twin): elapsed time beyond what
+        # a perfectly packed schedule of the same work would need,
+        # expressed in device-cycles so it is commensurable with the busy
+        # counters.
+        delay_total = max(0.0, elapsed - resource_floor) * self.device.num_cus
+
+        stage_stats, channel_bytes = self._collect_stats(
+            stages, runtimes, per_unit_costs, channel_states, elapsed,
+            delay_total,
+        )
+        for stats in stage_stats:
+            self.counters.record(stats)
+        self.counters.add_elapsed(elapsed)
+        return PipelineRunResult(
+            elapsed_cycles=elapsed,
+            stage_stats=stage_stats,
+            delay_cycles=delay_total,
+            channel_bytes=channel_bytes,
+            peak_channel_packets={
+                i: state.peak_packets for i, state in enumerate(channel_states)
+            },
+            trace=trace_events or [],
+        )
+
+    def _build_stage_runtimes(
+        self,
+        stages: Sequence[StageSpec],
+        channels: Sequence[ChannelConfig],
+        shares: Dict[str, "OccupancyShare"],
+        units_per_tile: int,
+        tile_tuples: float,
+        tile_bytes: float,
+        total_units: int,
+        overlap: float,
+        contention_factor: float = 1.0,
+    ):
+        """Precompute per-unit service times and packet counts per stage."""
+        runtimes: List[_StageRuntime] = []
+        per_unit_costs: List[dict] = []
+        unit_tuples = tile_tuples / units_per_tile
+        flow_bytes = tile_bytes  # bytes flowing per tile at current edge
+
+        # The pipelined execution's working set: the tile plus every
+        # channel flow alive at once (Section 3.3 — "the tile size
+        # determines the working set size of performing the pipelined
+        # execution").  It decides whether channel packets stay cached;
+        # over-large tiles thrash here (Fig 12's right flank).
+        working_set = tile_bytes
+        probe_flow = tile_bytes
+        for launch in [stage.launch for stage in stages][:-1]:
+            probe_flow = max(
+                1.0,
+                probe_flow
+                * launch.selectivity
+                * (launch.out_bytes_per_tuple / max(1, launch.in_bytes_per_tuple)),
+            )
+            working_set += probe_flow
+
+        for index, stage in enumerate(stages):
+            launch = stage.launch
+            share = shares[launch.display_name]
+
+            compute = unit_tuples * self._issue_cycles_per_tuple(launch)
+
+            mem = 0.0
+            stall = 0.0
+            channel_cost = 0.0
+            packets_in = 0
+            packets_out = 0
+            accesses = 0.0
+            hits = 0.0
+
+            if index == 0:
+                # First touch of a tile streams cold from global memory —
+                # only spatial locality helps, regardless of tile size.
+                # (Tile size influences *channel* traffic locality below.)
+                hit = self.memory.cache.streaming_hit_ratio(8.0)
+                input_accesses = launch.spec.memory_instr * unit_tuples
+                mem += self.memory.access_cycles(input_accesses, hit)
+                accesses += input_accesses
+                hits += input_accesses * hit
+            else:
+                config = channels[index - 1]
+                # A consumer work-group consumes exactly the packets its
+                # producer committed, whatever widths either side declares.
+                packets_in = runtimes[index - 1].packets_out
+                stream = working_set
+                # Reader reserves its read window once per work-group and
+                # pays half the packet movement (the producer paid the
+                # other half when writing).
+                read_cost = self.channel_model.reservation_cycles(
+                    config.num_channels
+                ) + packets_in * (
+                    self.channel_model.packet_transfer_cycles(config, stream)
+                    / 2.0
+                )
+                channel_cost += read_cost
+
+            if stage.aux_reads_per_tuple > 0:
+                # The streamed tile and channel flows compete with the
+                # probed structure for cache: big tiles evict hash tables.
+                aux_hit = self.memory.cache.hit_ratio(
+                    stage.aux_working_set_bytes + 0.5 * working_set
+                )
+                aux_accesses = stage.aux_reads_per_tuple * unit_tuples
+                aux_cost = self.memory.access_cycles(aux_accesses, aux_hit)
+                mem += aux_cost
+                stall += aux_cost
+                accesses += aux_accesses
+                hits += aux_accesses * aux_hit
+
+            out_tuples = unit_tuples * launch.selectivity
+            out_bytes = out_tuples * launch.out_bytes_per_tuple
+            if index < len(stages) - 1:
+                config = channels[index]
+                packets_out = config.packets_for(out_bytes)
+                flow_out = flow_bytes * launch.selectivity * (
+                    launch.out_bytes_per_tuple
+                    / max(1, launch.in_bytes_per_tuple)
+                )
+                write_cost = self.channel_model.reservation_cycles(
+                    config.num_channels
+                ) + packets_out * (
+                    self.channel_model.packet_transfer_cycles(
+                        config, working_set
+                    )
+                    / 2.0
+                )
+                channel_cost += write_cost
+                flow_bytes = max(1.0, flow_out)
+            elif launch.output_location is DataLocation.GLOBAL:
+                write_cost = self.memory.materialization_cycles(out_bytes)
+                mem += write_cost
+                stall += write_cost
+
+            service = self._combine(compute, mem, overlap) + channel_cost
+            service = max(service * contention_factor, 1.0)
+
+            runtimes.append(
+                _StageRuntime(
+                    index=index,
+                    name=launch.display_name,
+                    service_cycles=service,
+                    max_active=max(1, share.active_workgroups),
+                    total_units=total_units,
+                    packets_in=packets_in,
+                    packets_out=packets_out,
+                )
+            )
+            per_unit_costs.append(
+                {
+                    "compute": compute,
+                    "memory": mem,
+                    "stall": stall,
+                    "channel": channel_cost,
+                    "accesses": accesses,
+                    "hits": hits,
+                    "unit_tuples": unit_tuples,
+                    "out_bytes": out_bytes,
+                }
+            )
+            unit_tuples = out_tuples
+
+        return runtimes, per_unit_costs
+
+    def _event_loop(
+        self,
+        runtimes: List[_StageRuntime],
+        channel_states: List[ChannelState],
+        total_units: int,
+        trace_events: Optional[List[TraceEvent]] = None,
+    ) -> float:
+        """The discrete-event core: start/complete work-group units."""
+        concurrency = self.device.concurrency
+        last = len(runtimes) - 1
+        for stage in runtimes[:-1]:
+            capacity = channel_states[stage.index].config.capacity_packets
+            if stage.packets_out > capacity:
+                raise SimulationError(
+                    f"stage {stage.name!r} emits {stage.packets_out} packets "
+                    f"per work-group but the channel holds only {capacity}; "
+                    "increase channel depth or work-group count"
+                )
+        runtimes[0].ready = total_units
+
+        resident: set = set()
+        heap: List = []
+        sequence = itertools.count()
+        now = 0.0
+
+        def try_start(stage: _StageRuntime) -> bool:
+            if stage.ready <= 0 or stage.active >= stage.max_active:
+                return False
+            if stage.index not in resident and len(resident) >= concurrency:
+                return False
+            if stage.index < last and stage.packets_out > 0:
+                channel = channel_states[stage.index]
+                if not channel.can_reserve(stage.packets_out):
+                    return False
+                channel.reserve(stage.packets_out)
+            if stage.idle_since is not None:
+                stage.delay_cycles += now - stage.idle_since
+                stage.idle_since = None
+            stage.ready -= 1
+            stage.active += 1
+            resident.add(stage.index)
+            if trace_events is not None:
+                trace_events.append(
+                    TraceEvent(
+                        stage=stage.index,
+                        label=stage.name,
+                        start=now,
+                        end=now + stage.service_cycles,
+                    )
+                )
+            heapq.heappush(
+                heap, (now + stage.service_cycles, next(sequence), stage.index)
+            )
+            return True
+
+        def start_all() -> None:
+            progress = True
+            while progress:
+                progress = False
+                for stage in runtimes:
+                    while try_start(stage):
+                        progress = True
+
+        start_all()
+        if not heap:
+            raise SimulationError("pipeline cannot start: no runnable work")
+
+        while heap:
+            now, _, index = heapq.heappop(heap)
+            stage = runtimes[index]
+            stage.active -= 1
+            stage.completed += 1
+            stage.busy_cycles += stage.service_cycles
+            if index > 0 and stage.packets_in > 0:
+                channel_states[index - 1].consume(stage.packets_in)
+            if index < last:
+                if stage.packets_out > 0:
+                    channel_states[index].commit(stage.packets_out)
+                runtimes[index + 1].ready += 1
+            if stage.active == 0:
+                if stage.finished:
+                    resident.discard(index)
+                else:
+                    stage.idle_since = now
+            start_all()
+            # Any stage that still has no active unit after the greedy pass
+            # is either out of work or blocked on a full channel; either way
+            # it frees its residency slot so the ACE can swap in another
+            # kernel (interleaved execution) — e.g. the consumer that must
+            # drain the very channel blocking it.
+            stalled = [
+                other.index
+                for other in runtimes
+                if other.active == 0 and other.index in resident
+            ]
+            if stalled:
+                for index_ in stalled:
+                    resident.discard(index_)
+                start_all()
+
+        unfinished = [s.name for s in runtimes if not s.finished]
+        if unfinished:
+            raise SimulationError(
+                f"pipeline deadlocked with unfinished stages: {unfinished}"
+            )
+        return now
+
+    def _collect_stats(
+        self,
+        stages: Sequence[StageSpec],
+        runtimes: List[_StageRuntime],
+        per_unit_costs: List[dict],
+        channel_states: List[ChannelState],
+        elapsed: float,
+        delay_total: float,
+    ):
+        """Convert event-sim results into :class:`KernelRunStats`.
+
+        The segment-level delay is attributed to stages in proportion to
+        their raw starvation time (the event loop's per-stage idle
+        accounting), so the most-starved kernels carry the imbalance.
+        """
+        stage_stats: List[KernelRunStats] = []
+        channel_bytes = float(
+            sum(state.total_bytes for state in channel_states)
+        )
+        total_idle = sum(runtime.delay_cycles for runtime in runtimes)
+        for runtime in runtimes:
+            share = (
+                runtime.delay_cycles / total_idle if total_idle > 0 else 0.0
+            )
+            runtime.delay_cycles = delay_total * share
+        last = len(runtimes) - 1
+        for stage, runtime, costs in zip(stages, runtimes, per_unit_costs):
+            launch = stage.launch
+            units = runtime.completed
+            written = 0.0
+            if (
+                runtime.index == last
+                and launch.output_location is DataLocation.GLOBAL
+            ):
+                written = costs["out_bytes"] * units
+            stage_stats.append(
+                KernelRunStats(
+                    name=launch.display_name,
+                    elapsed_cycles=elapsed,
+                    compute_cycles=costs["compute"] * units,
+                    memory_cycles=costs["memory"] * units,
+                    stall_cycles=costs["stall"] * units,
+                    channel_cycles=costs["channel"] * units,
+                    delay_cycles=runtime.delay_cycles,
+                    tuples=int(costs["unit_tuples"] * units),
+                    workgroups=launch.workgroups,
+                    active_workgroups=runtime.max_active,
+                    bytes_read=float(launch.input_bytes),
+                    bytes_written_global=written,
+                    bytes_channel=float(
+                        channel_states[runtime.index].total_bytes
+                        if runtime.index < last
+                        else 0.0
+                    ),
+                    cache_hits=costs["hits"] * units,
+                    cache_accesses=costs["accesses"] * units,
+                )
+            )
+        return stage_stats, channel_bytes

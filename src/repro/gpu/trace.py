@@ -1,0 +1,110 @@
+"""Execution traces: inspect how a pipelined segment actually ran.
+
+`Simulator.run_pipeline(..., trace=True)` records one
+:class:`TraceEvent` per executed work-group unit; :func:`render_gantt`
+turns the trace into a text Gantt chart — one row per kernel, time
+bucketed across the terminal width — which makes pipeline fill, overlap,
+starvation, and backpressure visible at a glance.
+
+::
+
+    k_map#0      ▕████████████████████▆▁        ▏
+    k_probe#1    ▕  ▂███████████████████▆▁      ▏
+    k_reduce*#2  ▕    ▂█████████████████████▆   ▏
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["TraceEvent", "render_gantt", "stage_utilization"]
+
+#: Glyphs from empty to full occupancy of a time bucket.
+_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One work-group unit's execution interval on one pipeline stage."""
+
+    stage: int
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _stage_order(events: Sequence[TraceEvent]) -> List[int]:
+    seen: Dict[int, str] = {}
+    for event in events:
+        seen.setdefault(event.stage, event.label)
+    return sorted(seen)
+
+
+def stage_utilization(
+    events: Sequence[TraceEvent], elapsed: float
+) -> Dict[str, float]:
+    """Fraction of the run each stage had at least one unit in flight."""
+    if elapsed <= 0:
+        return {}
+    result: Dict[str, float] = {}
+    for stage in _stage_order(events):
+        intervals = sorted(
+            (event.start, event.end)
+            for event in events
+            if event.stage == stage
+        )
+        label = next(e.label for e in events if e.stage == stage)
+        covered = 0.0
+        cursor = None
+        for start, end in intervals:
+            if cursor is None or start > cursor:
+                covered += end - start
+                cursor = end
+            elif end > cursor:
+                covered += end - cursor
+                cursor = end
+        result[label] = min(1.0, covered / elapsed)
+    return result
+
+
+def render_gantt(
+    events: Sequence[TraceEvent],
+    elapsed: float,
+    width: int = 60,
+) -> str:
+    """Text Gantt chart: per stage, per time bucket, how many units ran.
+
+    Bucket intensity is the overlap-weighted occupancy normalized to the
+    busiest bucket of that stage.
+    """
+    if not events or elapsed <= 0:
+        return "(no trace events)"
+    bucket = elapsed / width
+    lines = []
+    label_width = max(len(event.label) for event in events)
+    for stage in _stage_order(events):
+        occupancy = [0.0] * width
+        label = ""
+        for event in events:
+            if event.stage != stage:
+                continue
+            label = event.label
+            first = min(width - 1, int(event.start / bucket))
+            last = min(width - 1, int(max(event.start, event.end - 1e-12) / bucket))
+            for index in range(first, last + 1):
+                lo = max(event.start, index * bucket)
+                hi = min(event.end, (index + 1) * bucket)
+                if hi > lo:
+                    occupancy[index] += (hi - lo) / bucket
+        peak = max(occupancy) or 1.0
+        cells = "".join(
+            _LEVELS[min(len(_LEVELS) - 1, int(value / peak * (len(_LEVELS) - 1)))]
+            for value in occupancy
+        )
+        lines.append(f"{label.ljust(label_width)}  ▕{cells}▏")
+    return "\n".join(lines)

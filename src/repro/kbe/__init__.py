@@ -1,0 +1,5 @@
+"""Kernel-based execution: the conventional baseline the paper improves on."""
+
+from .engine import KBEEngine
+
+__all__ = ["KBEEngine"]

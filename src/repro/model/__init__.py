@@ -1,0 +1,38 @@
+"""Analytical model: calibration (Γ), cost model (Eqs. 2–9), and the
+configuration search over Δ, n, p, wg_Ki."""
+
+from .calibration import (
+    CALIBRATION_CHANNELS,
+    CALIBRATION_PACKETS,
+    CALIBRATION_SIZES,
+    CalibrationPoint,
+    CalibrationTable,
+    calibrate_channels,
+)
+from .costmodel import CostModel, KernelEstimate, SegmentEstimate
+from .notation import KernelCostInput, SegmentCostInput, plan_cost_inputs
+from .search import (
+    TILE_SIZE_CANDIDATES,
+    ConfigurationSearch,
+    SegmentChoice,
+    workgroup_ladder,
+)
+
+__all__ = [
+    "CALIBRATION_CHANNELS",
+    "CALIBRATION_PACKETS",
+    "CALIBRATION_SIZES",
+    "CalibrationPoint",
+    "CalibrationTable",
+    "calibrate_channels",
+    "CostModel",
+    "KernelEstimate",
+    "SegmentEstimate",
+    "KernelCostInput",
+    "SegmentCostInput",
+    "plan_cost_inputs",
+    "TILE_SIZE_CANDIDATES",
+    "ConfigurationSearch",
+    "SegmentChoice",
+    "workgroup_ladder",
+]

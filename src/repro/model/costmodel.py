@@ -1,0 +1,302 @@
+"""The analytical cost model (paper Section 4, Eqs. 2–9).
+
+Given a segment description, a candidate configuration (tile size Δ,
+channel setting, per-kernel work-group counts), the device specification,
+and the calibrated Γ, the model predicts the segment's execution time:
+
+* **Eq. 2** — resource feasibility of the concurrent work-group counts;
+* **Eq. 3** — ``req_Ki``: rounds needed to run all work-groups;
+* **Eq. 4** — computation cost from instruction counts;
+* **Eq. 5** — memory cost of leaf / after-blocking kernels (global);
+* **Eq. 6** — channel cost of interior kernels, via Γ(n_max, p_max, Δλ);
+* **Eq. 7** — ``T_Ki = c_Ki + m_Ki``;
+* **Eq. 8** — delay from imbalanced producer/consumer rates;
+* **Eq. 9** — ``T_Sk = (1/C) Σ T_Ki + delay``.
+
+The model deliberately assumes ideal concurrency (the 1/C factor), which
+— as the paper observes in Section 5.2 — makes it *underestimate*: the
+event simulator additionally pays backpressure, residency swaps, and
+device-level resource contention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from ..gpu import DeviceSpec, KernelLaunch
+from ..gpu.memory import MemoryModel
+from ..gpu.occupancy import (
+    allocate_segment_occupancy,
+    check_segment_feasible,
+    scheduling_contention,
+)
+from ..core.config import GPLConfig
+from .calibration import CalibrationTable
+from .notation import KernelCostInput, SegmentCostInput
+
+__all__ = ["KernelEstimate", "SegmentEstimate", "CostModel"]
+
+
+@dataclass(frozen=True)
+class KernelEstimate:
+    """Per-kernel model output (Eq. 4–7), in cycles per tile."""
+
+    name: str
+    compute_cycles: float  # c_Ki
+    memory_cycles: float  # m_Ki
+    tiles: int  # r_Ki
+
+    @property
+    def time_cycles(self) -> float:
+        """T_Ki (Eq. 7)."""
+        return self.compute_cycles + self.memory_cycles
+
+    @property
+    def total_cycles(self) -> float:
+        return self.time_cycles * self.tiles
+
+
+@dataclass(frozen=True)
+class SegmentEstimate:
+    """Model output for one segment (Eq. 8–9)."""
+
+    name: str
+    kernels: Tuple[KernelEstimate, ...]
+    delay_cycles: float  # delay_Sk
+    total_cycles: float  # T_Sk
+    num_tiles: int
+    feasible: bool = True
+
+
+class CostModel:
+    """Evaluates configurations against segments (paper Section 4.1)."""
+
+    def __init__(self, device: DeviceSpec, calibration: CalibrationTable):
+        self.device = device
+        self.calibration = calibration
+        self.memory = MemoryModel.for_device(device)
+
+    # ------------------------------------------------------------------
+
+    def estimate_segment(
+        self, segment: SegmentCostInput, config: GPLConfig
+    ) -> SegmentEstimate:
+        """Predict one segment's execution time under ``config``."""
+        if not segment.kernels:
+            return SegmentEstimate(segment.name, (), 0.0, 0.0, 0)
+
+        tile_rows = max(1.0, config.tile_bytes / segment.source_width)
+        num_tiles = max(1, math.ceil(segment.source_rows / tile_rows))
+        tile_rows = segment.source_rows / num_tiles
+
+        launches = self._launches(segment, config, tile_rows)
+        feasible = check_segment_feasible(launches, self.device)
+        contention = 1.0
+        if not feasible:
+            fitted = config.fit_workgroups(launches, self.device)
+            requested = sum(launch.workgroups for launch in launches)
+            launches = [
+                launch.with_workgroups(fitted[index])
+                for index, launch in enumerate(launches)
+            ]
+            contention = scheduling_contention(
+                requested, sum(fitted.values())
+            )
+        shares = allocate_segment_occupancy(launches, self.device)
+        resident = max(
+            1, min(len(segment.kernels), self.device.concurrency)
+        )
+        boost = len(segment.kernels) / resident
+
+        # Working set of the pipelined execution: tile + all live channel
+        # flows (Section 3.3); decides Γ's cache-locality regime.
+        working_set = float(config.tile_bytes)
+        flow = float(config.tile_bytes)
+        for kernel in segment.kernels[:-1]:
+            flow = max(
+                1.0,
+                flow
+                * kernel.selectivity
+                * (kernel.out_width / max(1, kernel.in_width)),
+            )
+            working_set += flow
+
+        estimates: List[KernelEstimate] = []
+        tuples = tile_rows
+        for kernel, launch in zip(segment.kernels, launches):
+            share = shares[launch.display_name]
+            active = max(1.0, min(
+                float(launch.workgroups),
+                share.active_workgroups * boost,
+            ))
+            compute = self._compute_cost(kernel, tuples, active) * contention
+            memory = (
+                self._memory_cost(
+                    kernel, tuples, active, config, working_set
+                )
+                * contention
+            )
+            estimates.append(
+                KernelEstimate(
+                    name=kernel.spec.name,
+                    compute_cycles=compute,
+                    memory_cycles=memory,
+                    tiles=num_tiles,
+                )
+            )
+            tuples *= kernel.selectivity
+
+        delay = self._delay_cost(estimates)
+        concurrency = max(
+            1, min(len(segment.kernels), self.device.concurrency)
+        )
+        pipeline_total = (
+            sum(estimate.total_cycles for estimate in estimates) / concurrency
+        )
+        # Pipeline fill/drain: the pipe is empty for roughly one tile's
+        # worth of work at the start and end; with many small tiles this
+        # amortizes away, with few large tiles it does not (the right
+        # flank of Fig 12 beyond cache effects).
+        fill = (
+            pipeline_total / num_tiles * (concurrency - 1) / concurrency
+            if len(segment.kernels) > 1
+            else 0.0
+        )
+        # Scheduler costs: one launch per kernel, one dispatch per tile.
+        overheads = (
+            len(segment.kernels) * self.device.launch_overhead_cycles
+            + num_tiles * self.device.tile_dispatch_cycles
+        )
+        # A pipeline cannot finish faster than its slowest stage: the
+        # bottleneck kernel bounds throughput however many kernels overlap.
+        bottleneck = max(
+            (estimate.total_cycles for estimate in estimates), default=0.0
+        )
+        total = max(pipeline_total + fill + delay, bottleneck) + overheads
+        return SegmentEstimate(
+            name=segment.name,
+            kernels=tuple(estimates),
+            delay_cycles=delay,
+            total_cycles=total,
+            num_tiles=num_tiles,
+            feasible=feasible,
+        )
+
+    def estimate_plan(
+        self,
+        segments: Sequence[SegmentCostInput],
+        configs: Optional[Dict[str, GPLConfig]] = None,
+        default: Optional[GPLConfig] = None,
+    ) -> float:
+        """Total predicted cycles of a plan (segments run one by one)."""
+        default = default or GPLConfig()
+        configs = configs or {}
+        return sum(
+            self.estimate_segment(
+                segment, configs.get(segment.name, default)
+            ).total_cycles
+            for segment in segments
+        )
+
+    # ------------------------------------------------------------------
+
+    def _launches(
+        self,
+        segment: SegmentCostInput,
+        config: GPLConfig,
+        tile_rows: float,
+    ) -> List[KernelLaunch]:
+        launches = []
+        for index, kernel in enumerate(segment.kernels):
+            launches.append(
+                KernelLaunch(
+                    spec=kernel.spec,
+                    tuples=max(1, int(tile_rows)),
+                    workgroups=config.workgroups_for_stage(index),
+                    in_bytes_per_tuple=kernel.in_width,
+                    out_bytes_per_tuple=kernel.out_width,
+                    selectivity=kernel.selectivity,
+                    label=f"{kernel.spec.name}#{index}",
+                )
+            )
+        return launches
+
+    def _compute_cost(
+        self, kernel: KernelCostInput, tuples: float, active: float
+    ) -> float:
+        """Eq. 3 + Eq. 4: issue cycles divided over active work-groups."""
+        issue = (
+            tuples
+            * kernel.spec.instr_per_tuple
+            * self.device.instruction_cycles
+            / kernel.spec.workgroup_size
+        )
+        return issue / active
+
+    def _memory_cost(
+        self,
+        kernel: KernelCostInput,
+        tuples: float,
+        active: float,
+        config: GPLConfig,
+        working_set: float,
+    ) -> float:
+        """Eq. 5 for leaf kernels, Eq. 6 for channel-fed kernels."""
+        if kernel.is_leaf:
+            # Cold streaming read of the tile (set_l / set_b, Eq. 5).
+            hit = self.memory.cache.streaming_hit_ratio(8.0)
+            accesses = kernel.spec.memory_instr * tuples
+            cost = self.memory.access_cycles(accesses, hit) / active
+        else:
+            # Eq. 6: channel volume over calibrated throughput.  Γ is
+            # evaluated at the pipelined working set (tile plus live
+            # flows), which decides cache residency of the packets; the
+            # transfer parallelizes across the kernel's active
+            # work-groups.
+            data_bytes = tuples * kernel.in_width
+            if data_bytes > 0:
+                locality_bytes = max(data_bytes, working_set)
+                n_max, p_max = self._channel_choice(config, data_bytes)
+                gamma = self.calibration.throughput(
+                    n_max, p_max, locality_bytes
+                )
+                if gamma <= 0:
+                    raise ModelError("calibrated throughput is zero")
+                cost = data_bytes / gamma / active
+            else:
+                cost = 0.0
+        if kernel.aux_reads_per_tuple > 0:
+            # Cache contention between the streamed tile (plus flows) and
+            # the probed structure — mirrors the simulator's rule.
+            aux_hit = self.memory.cache.hit_ratio(
+                kernel.aux_working_set_bytes + 0.5 * working_set
+            )
+            aux = kernel.aux_reads_per_tuple * tuples
+            cost += self.memory.access_cycles(aux, aux_hit) / active
+        return cost
+
+    def _channel_choice(
+        self, config: GPLConfig, data_bytes: float
+    ) -> Tuple[int, int]:
+        """(n_max, p_max): from the config if pinned, else from Γ."""
+        if config.channel is not None:
+            return (
+                config.channel.num_channels,
+                config.channel.packet_bytes
+                if self.device.tunable_packet_size
+                else 16,
+            )
+        return self.calibration.best_config(data_bytes)
+
+    @staticmethod
+    def _delay_cost(estimates: Sequence[KernelEstimate]) -> float:
+        """Eq. 8: accumulated rate imbalance between adjacent kernels."""
+        delay = 0.0
+        for left, right in zip(estimates, estimates[1:]):
+            delay += abs(left.total_cycles - right.total_cycles)
+        # The imbalance manifests once per pipeline drain, not per tile
+        # pair; scale to the pipeline's critical imbalance.
+        return delay / 2.0

@@ -1,0 +1,140 @@
+"""Cost-model inputs: the notation of the paper's Table 2, as data.
+
+Table 2 groups the model's parameters by provenance:
+
+* *platform input* — lives on :class:`~repro.gpu.device.DeviceSpec`
+  (#CU, w, C, mem_l, c_l, pm_max, lm_max, wg_max);
+* *program analysis* — per-kernel instruction counts and memory
+  footprints, carried by :class:`~repro.gpu.kernel.KernelSpec`;
+* *query optimizer* — data-reduction ratios λ and leaf/after-blocking
+  kernel sets, captured here per kernel;
+* *calibration* — Γ, provided by
+  :class:`~repro.model.calibration.CalibrationTable`;
+* *model output* — Δ, n, p, wg_Ki and the time estimates computed by
+  :class:`~repro.model.costmodel.CostModel`.
+
+This module defines the structures for the middle group and a builder
+that derives them from a lowered physical plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..gpu.kernel import KernelSpec
+from ..plans import PhysicalPlan, Pipeline
+from ..plans.physical import BuildSink
+from ..relational import Database
+
+__all__ = ["KernelCostInput", "SegmentCostInput", "plan_cost_inputs"]
+
+
+@dataclass(frozen=True)
+class KernelCostInput:
+    """Everything the cost model needs to know about one kernel.
+
+    ``selectivity`` is the optimizer's λ expressed as tuple survival;
+    combined with the widths it yields the byte-level λ of Table 2.
+    ``is_leaf`` marks members of set_l (they stream tiles from global
+    memory); within a segment every non-leaf kernel receives input via a
+    channel.  (set_b membership — first kernel after a blocking kernel —
+    coincides with being a leaf of the *next* segment in this pipeline
+    decomposition, because segments materialize their outputs.)
+    """
+
+    spec: KernelSpec
+    selectivity: float
+    in_width: int
+    out_width: int
+    aux_reads_per_tuple: float = 0.0
+    aux_working_set_bytes: float = 0.0
+    is_leaf: bool = False
+
+
+@dataclass(frozen=True)
+class SegmentCostInput:
+    """One segment (pipeline) as the cost model sees it."""
+
+    name: str
+    kernels: Tuple[KernelCostInput, ...]
+    source_rows: float
+    source_width: int
+
+    @property
+    def source_bytes(self) -> float:
+        return self.source_rows * self.source_width
+
+
+def _pipeline_cost_input(
+    pipeline: Pipeline,
+    source_rows: float,
+    aux_sizes: Dict[str, float],
+) -> Tuple[SegmentCostInput, float]:
+    """Build one segment's input; returns it plus its output row estimate."""
+    kernels: List[KernelCostInput] = []
+    templates = []
+    for op in pipeline.ops:
+        templates.extend(op.gpl_kernels())
+    templates.extend(pipeline.sink.gpl_kernels())
+
+    rows = source_rows
+    for position, template in enumerate(templates):
+        aux_ws = 0.0
+        if template.aux_build_id is not None:
+            aux_ws = aux_sizes.get(template.aux_build_id, 0.0)
+            aux_ws /= max(1, getattr(template, "aux_partitions", 1))
+        kernels.append(
+            KernelCostInput(
+                spec=template.spec,
+                selectivity=template.est_selectivity,
+                in_width=template.in_width,
+                out_width=template.out_width,
+                aux_reads_per_tuple=template.aux_reads_per_tuple,
+                aux_working_set_bytes=aux_ws,
+                is_leaf=position == 0,
+            )
+        )
+        rows *= template.est_selectivity
+
+    segment = SegmentCostInput(
+        name=pipeline.pipeline_id,
+        kernels=tuple(kernels),
+        source_rows=source_rows,
+        source_width=max(1, pipeline.source_row_width),
+    )
+    return segment, rows
+
+
+def plan_cost_inputs(
+    plan: PhysicalPlan, database: Database
+) -> List[SegmentCostInput]:
+    """Derive every segment's cost input from a lowered plan.
+
+    Row estimates flow through the pipelines in execution order; hash
+    table sizes estimated for build pipelines feed the probes'
+    auxiliary working sets.
+    """
+    inputs: List[SegmentCostInput] = []
+    output_rows: Dict[str, float] = {}
+    aux_sizes: Dict[str, float] = {}
+
+    for pipeline in plan.pipelines:
+        if pipeline.source_table is not None:
+            source_rows = float(database.num_rows(pipeline.source_table))
+        else:
+            source_rows = output_rows.get(pipeline.source_intermediate, 1.0)
+        segment, out_rows = _pipeline_cost_input(
+            pipeline, source_rows, aux_sizes
+        )
+        inputs.append(segment)
+        output_rows[pipeline.output_id] = max(out_rows, 1.0)
+        if isinstance(pipeline.sink, BuildSink):
+            # Estimated hash-table bytes: surviving rows x (key + payload).
+            survivors = source_rows
+            for op in pipeline.ops:
+                for template in op.gpl_kernels():
+                    survivors *= template.est_selectivity
+            width = 8.0 * (1 + len(pipeline.sink.payload_columns))
+            aux_sizes[pipeline.sink.build_id] = survivors * width
+    return inputs

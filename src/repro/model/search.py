@@ -1,0 +1,150 @@
+"""Configuration search: picking Δ, n, p, and wg_Ki (paper Section 4.1).
+
+The paper constrains each parameter to a feasible range and exhaustively
+searches the reduced space per query segment:
+
+* tile size Δ between 256 KB and 16 MB (the Fig 12 sweep range);
+* number of channels 1–16 ("throughput continues to drop when the number
+  of channels is over 16"), chosen with the packet size from Γ's argmax
+  for the segment's transfer volume;
+* work-group counts as integral multiples of #CU, swept through the S_1–
+  S_7 doubling ladder of Section 5.2.
+
+The smallest predicted ``T_Sk`` wins (query optimization takes a few
+milliseconds, "ignorable compared with the query processing time").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import GPLConfig
+from ..gpu import ChannelConfig, DeviceSpec
+from .calibration import CalibrationTable
+from .costmodel import CostModel, SegmentEstimate
+from .notation import SegmentCostInput
+
+__all__ = [
+    "TILE_SIZE_CANDIDATES",
+    "workgroup_ladder",
+    "SegmentChoice",
+    "ConfigurationSearch",
+]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Δ candidates: 256 KB ... 16 MB in powers of two (Fig 12's sweep).
+TILE_SIZE_CANDIDATES: Tuple[int, ...] = (
+    256 * KIB,
+    512 * KIB,
+    1 * MIB,
+    2 * MIB,
+    4 * MIB,
+    8 * MIB,
+    16 * MIB,
+)
+
+
+def workgroup_ladder(device: DeviceSpec, steps: int = 7) -> List[int]:
+    """The S_1..S_7 work-group settings: S_i = S_1 * 2^(i-1).
+
+    S_1 is 2 for the AMD GPU in the paper; we generalize to one quarter
+    of #CU (>= 2) so the ladder scales to other devices.
+    """
+    base = max(2, device.num_cus // 4)
+    return [base * (2 ** i) for i in range(steps)]
+
+
+@dataclass(frozen=True)
+class SegmentChoice:
+    """Search outcome for one segment."""
+
+    segment: str
+    config: GPLConfig
+    estimate: SegmentEstimate
+
+    @property
+    def predicted_cycles(self) -> float:
+        return self.estimate.total_cycles
+
+
+class ConfigurationSearch:
+    """Exhaustive search over the reduced parameter space."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        calibration: CalibrationTable,
+        tile_candidates: Sequence[int] = TILE_SIZE_CANDIDATES,
+        workgroup_candidates: Optional[Sequence[int]] = None,
+    ):
+        self.device = device
+        self.calibration = calibration
+        self.model = CostModel(device, calibration)
+        self.tile_candidates = tuple(tile_candidates)
+        self.workgroup_candidates = tuple(
+            workgroup_candidates
+            if workgroup_candidates is not None
+            else workgroup_ladder(device)
+        )
+
+    def best_for_segment(self, segment: SegmentCostInput) -> SegmentChoice:
+        """Minimize T_Sk over (Δ, wg ladder), with (n, p) from Γ."""
+        best: Optional[SegmentChoice] = None
+        for tile_bytes in self.tile_candidates:
+            channel = self._channel_for(segment, tile_bytes)
+            for workgroups in self.workgroup_candidates:
+                config = GPLConfig(
+                    tile_bytes=tile_bytes,
+                    channel=channel,
+                    default_workgroups=workgroups,
+                )
+                estimate = self.model.estimate_segment(segment, config)
+                if best is None or (
+                    estimate.total_cycles < best.predicted_cycles
+                ):
+                    best = SegmentChoice(
+                        segment=segment.name,
+                        config=config,
+                        estimate=estimate,
+                    )
+        assert best is not None  # tile_candidates is never empty
+        return best
+
+    def optimize_plan(
+        self, segments: Sequence[SegmentCostInput]
+    ) -> Tuple[Dict[str, GPLConfig], float]:
+        """Per-segment optimal configs and the total predicted cycles."""
+        configs: Dict[str, GPLConfig] = {}
+        total = 0.0
+        for segment in segments:
+            choice = self.best_for_segment(segment)
+            configs[segment.name] = choice.config
+            total += choice.predicted_cycles
+        return configs, total
+
+    # ------------------------------------------------------------------
+
+    def _channel_for(
+        self, segment: SegmentCostInput, tile_bytes: int
+    ) -> ChannelConfig:
+        """(n_max, p_max) from Γ for the segment's typical edge volume.
+
+        The representative transfer size is Δ x λ of the first channel
+        edge (Eq. 6's d); deeper edges shrink with selectivity, and Γ's
+        argmax is stable across neighbouring sizes.
+        """
+        if len(segment.kernels) < 2:
+            return ChannelConfig()
+        first = segment.kernels[0]
+        data_bytes = max(
+            1.0,
+            tile_bytes
+            * first.selectivity
+            * (first.out_width / max(1, first.in_width)),
+        )
+        n_max, p_max = self.calibration.best_config(data_bytes)
+        return ChannelConfig(num_channels=n_max, packet_bytes=p_max)

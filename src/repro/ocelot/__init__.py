@@ -1,0 +1,5 @@
+"""Ocelot comparator: hardware-oblivious KBE with bitmaps + ht caching."""
+
+from .engine import OcelotEngine
+
+__all__ = ["OcelotEngine"]

@@ -1,0 +1,194 @@
+"""A naive row-at-a-time interpreter for query specs: the testing oracle.
+
+This module evaluates a :class:`~repro.plans.logical.QuerySpec` the
+slowest, most obvious way possible — Python dictionaries, one row at a
+time, nested-loop joins through multimaps, no tiling, no vectorization,
+no shared code with the engines' hash pipelines.  Agreement between an
+engine and this interpreter is therefore strong evidence of correctness
+for *arbitrary* queries, not just the workload with handwritten
+references.
+
+Intended for small scale factors (it is O(rows x joins) with Python
+constant factors); the test suite uses it at scale <= 0.005.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from ..relational import Database, Expression
+from .logical import AggSpec, QuerySpec
+
+__all__ = ["naive_execute"]
+
+Row = Dict[str, object]
+
+
+def _scalar_eval(expression: Expression, row: Row):
+    """Evaluate an expression against one row (via length-1 arrays)."""
+    data = {name: np.asarray([value]) for name, value in row.items()}
+    result = np.asarray(expression.evaluate(data))
+    return result.reshape(-1)[0] if result.size else result.item()
+
+
+def _table_rows(database: Database, spec: QuerySpec, alias: str) -> List[Row]:
+    """Load one aliased table as renamed row dictionaries, filtered."""
+    ref = spec.table_ref(alias)
+    table = database.table(ref.table)
+    names = [
+        ref.rename.get(column.name, column.name)
+        for column in table.schema
+    ]
+    arrays = [table.column(column.name) for column in table.schema]
+    rows = [
+        dict(zip(names, values)) for values in zip(*arrays)
+    ] if arrays else []
+    predicate = spec.filters.get(alias)
+    if predicate is not None:
+        rows = [row for row in rows if bool(_scalar_eval(predicate, row))]
+    return rows
+
+
+def _join_order(spec: QuerySpec) -> List[Tuple[str, str, str]]:
+    """(alias, chain_key, alias_key) steps reachable from the fact table."""
+    resolved = {spec.fact}
+    pending = {ref.alias for ref in spec.tables} - resolved
+    steps: List[Tuple[str, str, str]] = []
+    while pending:
+        progressed = False
+        for edge in spec.join_edges:
+            for alias in tuple(pending):
+                if edge.touches(alias) and edge.other(alias) in resolved:
+                    steps.append(
+                        (
+                            alias,
+                            edge.key_for(edge.other(alias)),
+                            edge.key_for(alias),
+                        )
+                    )
+                    resolved.add(alias)
+                    pending.discard(alias)
+                    progressed = True
+        if not progressed:
+            raise PlanError(
+                f"join graph of {spec.name} is disconnected: {pending}"
+            )
+    return steps
+
+
+def _aggregate(
+    rows: List[Row],
+    group_keys: Sequence[str],
+    aggregates: Sequence[AggSpec],
+) -> List[Row]:
+    groups: Dict[tuple, List[Row]] = defaultdict(list)
+    for row in rows:
+        groups[tuple(row[key] for key in group_keys)].append(row)
+    if not group_keys and not groups:
+        groups[()] = []
+
+    results: List[Row] = []
+    for key in sorted(groups, key=lambda k: tuple(map(float, k))):
+        members = groups[key]
+        out: Row = dict(zip(group_keys, key))
+        for agg in aggregates:
+            if agg.expr is None:
+                values = [1.0] * len(members)
+            else:
+                values = [
+                    float(_scalar_eval(agg.expr, row)) for row in members
+                ]
+            if agg.func in ("sum", "count"):
+                out[agg.name] = float(sum(values))
+            elif agg.func == "avg":
+                out[agg.name] = (
+                    float(sum(values)) / len(values) if values else 0.0
+                )
+            elif agg.func == "min":
+                out[agg.name] = min(values) if values else float("inf")
+            else:  # max
+                out[agg.name] = max(values) if values else float("-inf")
+        results.append(out)
+    return results
+
+
+def naive_execute(
+    spec: QuerySpec, database: Database
+) -> Dict[str, List]:
+    """Evaluate ``spec`` naively; returns ``{column: values}``.
+
+    Output columns follow the same convention as the engines: group keys
+    (or distinct keys) first, then aggregate names, replaced by the
+    post-projection names when one exists.
+    """
+    # 1. filtered base tables
+    fact_rows = _table_rows(database, spec, spec.fact)
+    steps = _join_order(spec)
+
+    # 2. nested-loop joins via multimaps, expanding multi-matches
+    current: List[Row] = fact_rows
+    for alias, chain_key, alias_key in steps:
+        alias_rows = _table_rows(database, spec, alias)
+        index: Dict[object, List[Row]] = defaultdict(list)
+        for row in alias_rows:
+            index[row[alias_key]].append(row)
+        joined: List[Row] = []
+        for row in current:
+            for match in index.get(row[chain_key], ()):
+                merged = dict(row)
+                merged.update(match)
+                joined.append(merged)
+        current = joined
+
+    # 3. residual filters
+    for predicate in spec.residual_filters:
+        current = [
+            row for row in current if bool(_scalar_eval(predicate, row))
+        ]
+
+    # 4. derived columns
+    for name, expression in spec.derived:
+        for row in current:
+            row[name] = _scalar_eval(expression, row)
+
+    # 5. aggregation / distinct
+    if spec.aggregates:
+        current = _aggregate(current, spec.group_keys, spec.aggregates)
+        columns = list(spec.group_keys) + [a.name for a in spec.aggregates]
+    elif spec.distinct:
+        seen = {}
+        for row in current:
+            key = tuple(row[name] for name in spec.distinct)
+            seen.setdefault(key, dict(zip(spec.distinct, key)))
+        current = list(seen.values())
+        columns = list(spec.distinct)
+    else:
+        columns = sorted(current[0]) if current else []
+
+    # 6. post-projection
+    if spec.post_projection:
+        for row in current:
+            for name, expression in spec.post_projection:
+                row[name] = _scalar_eval(expression, row)
+        if spec.aggregates:
+            columns = list(spec.group_keys) + [
+                name for name, _ in spec.post_projection
+            ]
+
+    # 7. order by / limit
+    if spec.order_by:
+        descending = tuple(spec.order_desc) + (False,) * (
+            len(spec.order_by) - len(spec.order_desc)
+        )
+        for key, desc in reversed(list(zip(spec.order_by, descending))):
+            current.sort(key=lambda row: row[key], reverse=desc)
+    if spec.limit is not None:
+        current = current[: spec.limit]
+
+    return {
+        name: [row[name] for row in current] for name in columns
+    }

@@ -1,0 +1,245 @@
+"""The kernel library: program-analysis metadata for every GPU primitive.
+
+GPL reuses and modifies the kernels of OmniDB (paper Section 3.2); this
+module is the reproduction's equivalent of that primitive code base.  Each
+factory returns a :class:`~repro.gpu.kernel.KernelSpec` whose per-tuple
+instruction counts and per-work-item memory footprints stand in for the
+off-line program analysis the paper performs with AMD's profiler tools.
+
+Instruction counts are parameterized by the expressions a kernel evaluates
+and the columns it moves, so a selection with a complex predicate really
+is more compute-heavy than one with a single comparison — which is what
+gives different kernels the different compute/memory mixes that concurrent
+execution exploits (Fig 5 vs Fig 19).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..gpu.kernel import KernelSpec
+from ..relational import Expression
+
+__all__ = [
+    "map_kernel",
+    "flag_map_kernel",
+    "prefix_sum_kernel",
+    "scatter_kernel",
+    "partition_kernel",
+    "histogram_kernel",
+    "hash_build_kernel",
+    "probe_kernel",
+    "probe_count_kernel",
+    "probe_scatter_kernel",
+    "reduce_kernel",
+    "group_accumulate_kernel",
+    "aggregate_finalize_kernel",
+    "sort_kernel",
+]
+
+#: Baseline per-tuple overhead of any kernel: index arithmetic, bounds
+#: check, loop control.
+_BASE_COMPUTE = 20.0
+#: Hashing one 4-byte key (multiply-shift plus table indexing).
+_HASH_COMPUTE = 36.0
+
+
+def _expr_compute(expressions: Sequence[Expression]) -> float:
+    return float(sum(expr.instruction_count() for expr in expressions))
+
+
+def _expr_reads(expressions: Sequence[Expression]) -> float:
+    columns = set()
+    for expr in expressions:
+        columns |= expr.columns()
+    return float(len(columns))
+
+
+def map_kernel(
+    expressions: Sequence[Expression],
+    columns_out: int,
+    name: str = "k_map",
+) -> KernelSpec:
+    """Evaluate expressions over each tuple, emitting ``columns_out`` values.
+
+    In GPL this is the whole selection/projection operator (the satisfied
+    tuples go straight to the channel); in KBE the emitted values land in
+    global memory.
+    """
+    return KernelSpec(
+        name=name,
+        compute_instr=_BASE_COMPUTE + _expr_compute(expressions),
+        memory_instr=_expr_reads(expressions) + float(columns_out),
+        pm_per_workitem=32,
+        lm_per_workitem=0,
+    )
+
+
+def flag_map_kernel(expressions: Sequence[Expression]) -> KernelSpec:
+    """KBE selection phase 1: evaluate the predicate, write a 0/1 flag."""
+    return KernelSpec(
+        name="k_map",
+        compute_instr=_BASE_COMPUTE + _expr_compute(expressions),
+        memory_instr=_expr_reads(expressions) + 1.0,  # flag write
+        pm_per_workitem=32,
+        lm_per_workitem=0,
+    )
+
+
+def prefix_sum_kernel() -> KernelSpec:
+    """KBE selection phase 2: exclusive prefix sum over the flags.
+
+    Blocking: no output position is known before every flag is seen.
+    The work-group-local scan tree uses local memory.
+    """
+    return KernelSpec(
+        name="k_prefix_sum",
+        compute_instr=26.0,
+        memory_instr=2.0,
+        pm_per_workitem=16,
+        lm_per_workitem=8,
+        blocking=True,
+    )
+
+
+def scatter_kernel(columns: int) -> KernelSpec:
+    """KBE selection phase 3: gather satisfied tuples to their offsets."""
+    return KernelSpec(
+        name="k_scatter",
+        compute_instr=_BASE_COMPUTE,
+        memory_instr=2.0 + 2.0 * columns,  # flag+offset, read+write columns
+        pm_per_workitem=24,
+        lm_per_workitem=0,
+    )
+
+
+def partition_kernel(columns: int) -> KernelSpec:
+    """Route tuples to radix partitions (non-blocking, Section 3.2).
+
+    In GPL the partition kernel hashes each key and forwards the tuple to
+    its partition's channel lane; no global materialization is needed.
+    """
+    return KernelSpec(
+        name="k_partition",
+        compute_instr=_BASE_COMPUTE + _HASH_COMPUTE,
+        memory_instr=1.0 + columns,  # key read + tuple forward
+        pm_per_workitem=32,
+        lm_per_workitem=16,
+    )
+
+
+def histogram_kernel() -> KernelSpec:
+    """KBE partition phase 1: per-partition counts (blocking follows)."""
+    return KernelSpec(
+        name="k_histogram",
+        compute_instr=_BASE_COMPUTE + _HASH_COMPUTE,
+        memory_instr=2.0,  # key read + counter bump
+        pm_per_workitem=32,
+        lm_per_workitem=32,
+    )
+
+
+def hash_build_kernel(payload_columns: int) -> KernelSpec:
+    """Insert (key, payload) pairs into a hash table in global memory.
+
+    Non-blocking per work-group, but a barrier is required after the last
+    insert before any probe may run (paper Section 3.2) — the physical
+    layer marks the *operator* as segment-ending, not the kernel.
+    """
+    return KernelSpec(
+        name="k_hash_build",
+        compute_instr=_BASE_COMPUTE + _HASH_COMPUTE + 2.0,
+        memory_instr=2.0 + payload_columns,  # key read, bucket CAS, payload
+        pm_per_workitem=32,
+        lm_per_workitem=16,
+    )
+
+
+def probe_kernel(payload_columns: int) -> KernelSpec:
+    """GPL hash probe: look up each tuple, emit matches downstream."""
+    return KernelSpec(
+        name="k_probe",
+        compute_instr=_BASE_COMPUTE + _HASH_COMPUTE + 4.0,
+        memory_instr=1.0 + payload_columns,  # key read + payload gather
+        pm_per_workitem=40,
+        lm_per_workitem=8,
+    )
+
+
+def probe_count_kernel() -> KernelSpec:
+    """KBE probe phase 1: count matches per tuple."""
+    return KernelSpec(
+        name="k_probe_count",
+        compute_instr=_BASE_COMPUTE + _HASH_COMPUTE + 2.0,
+        memory_instr=2.0,  # key read + count write
+        pm_per_workitem=40,
+        lm_per_workitem=8,
+    )
+
+
+def probe_scatter_kernel(columns_out: int) -> KernelSpec:
+    """KBE probe phase 3: re-probe and write matches at their offsets."""
+    return KernelSpec(
+        name="k_probe_scatter",
+        compute_instr=_BASE_COMPUTE + _HASH_COMPUTE + 4.0,
+        memory_instr=2.0 + columns_out,
+        pm_per_workitem=40,
+        lm_per_workitem=8,
+    )
+
+
+def reduce_kernel(expressions: Sequence[Expression]) -> KernelSpec:
+    """GPL streaming aggregation (``k_reduce*``): fold each packet into
+    work-group-local partial aggregates (paper Section 3.2)."""
+    return KernelSpec(
+        name="k_reduce*",
+        compute_instr=_BASE_COMPUTE + _expr_compute(expressions) + 2.0,
+        memory_instr=0.5,  # partial results live in local memory
+        pm_per_workitem=24,
+        lm_per_workitem=16,
+    )
+
+
+def group_accumulate_kernel(
+    expressions: Sequence[Expression], num_keys: int
+) -> KernelSpec:
+    """Hash-grouping accumulate: atomically fold into per-group slots."""
+    return KernelSpec(
+        name="k_group_accum",
+        compute_instr=_BASE_COMPUTE + _HASH_COMPUTE + _expr_compute(expressions),
+        memory_instr=1.0 + num_keys + 2.0,  # keys, slot read-modify-write
+        pm_per_workitem=48,
+        lm_per_workitem=32,
+    )
+
+
+def aggregate_finalize_kernel() -> KernelSpec:
+    """Blocking epilogue: combine partial aggregates into final values.
+
+    In KBE this is the prefix-scan-based reduction over per-tuple values
+    (OmniDB's approach); the same spec models both because the dominant
+    cost difference lives in what precedes it.
+    """
+    return KernelSpec(
+        name="k_prefix_scan",
+        compute_instr=26.0,
+        memory_instr=2.0,
+        pm_per_workitem=16,
+        lm_per_workitem=16,
+        blocking=True,
+    )
+
+
+def sort_kernel(num_tuples: int, columns: int) -> KernelSpec:
+    """Bitonic sort: per-tuple cost grows with log^2 of the input size."""
+    passes = max(1.0, math.log2(max(2, num_tuples)))
+    stages = passes * (passes + 1) / 2.0
+    return KernelSpec(
+        name="k_sort",
+        compute_instr=8.0 * stages,
+        memory_instr=0.5 * stages * columns,
+        pm_per_workitem=32,
+        lm_per_workitem=64,
+        blocking=True,
+    )

@@ -1,0 +1,51 @@
+"""Columnar relational substrate: types, schemas, tables, expressions.
+
+This package is the storage and expression layer every engine in the
+reproduction shares.  It is deliberately engine-agnostic: the KBE baseline,
+the GPL pipelined engine, and the Ocelot comparator all consume the same
+:class:`Table` objects and :class:`Expression` trees.
+"""
+
+from .database import ColumnStats, Database
+from .expressions import (
+    And,
+    Arith,
+    CaseWhen,
+    Col,
+    Compare,
+    Expression,
+    InList,
+    Lit,
+    Not,
+    Or,
+    YearOf,
+    col,
+    lit,
+)
+from .schema import ColumnDef, TableSchema
+from .table import Table
+from .types import DataType, date_to_days, days_to_date
+
+__all__ = [
+    "ColumnStats",
+    "Database",
+    "Expression",
+    "Col",
+    "Lit",
+    "Arith",
+    "Compare",
+    "And",
+    "Or",
+    "Not",
+    "InList",
+    "CaseWhen",
+    "YearOf",
+    "col",
+    "lit",
+    "ColumnDef",
+    "TableSchema",
+    "Table",
+    "DataType",
+    "date_to_days",
+    "days_to_date",
+]

@@ -1,0 +1,109 @@
+"""The database: a catalog of named tables plus per-column statistics.
+
+Statistics power the Selinger-style optimizer (paper Section 3.1) and the
+cost model's data-reduction ratios ``lambda_Ki`` (paper Table 2 — the ratio
+of intermediate data produced by a kernel to the tile size, "obtained from
+the database query optimizer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional
+
+import numpy as np
+
+from ..errors import SchemaError
+from .table import Table
+
+__all__ = ["ColumnStats", "Database"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Min/max/distinct-count summary of one column."""
+
+    minimum: float
+    maximum: float
+    distinct: int
+    count: int
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "ColumnStats":
+        if array.size == 0:
+            return cls(0.0, 0.0, 0, 0)
+        return cls(
+            minimum=float(array.min()),
+            maximum=float(array.max()),
+            distinct=int(np.unique(array).size),
+            count=int(array.size),
+        )
+
+    def range_selectivity(self, low: Optional[float], high: Optional[float]) -> float:
+        """Estimated fraction of rows in ``[low, high]`` assuming uniformity."""
+        if self.count == 0:
+            return 0.0
+        span = self.maximum - self.minimum
+        if span <= 0:
+            return 1.0
+        lo = self.minimum if low is None else max(low, self.minimum)
+        hi = self.maximum if high is None else min(high, self.maximum)
+        if hi < lo:
+            return 0.0
+        return min(1.0, max(0.0, (hi - lo) / span))
+
+    def equality_selectivity(self) -> float:
+        """Estimated fraction of rows matching one value (1 / distinct)."""
+        if self.distinct == 0:
+            return 0.0
+        return 1.0 / self.distinct
+
+
+class Database:
+    """Named tables plus lazily computed column statistics."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._stats: Dict[str, Dict[str, ColumnStats]] = {}
+
+    def add(self, name: str, table: Table) -> None:
+        """Register ``table`` under ``name`` (replacing any previous one)."""
+        self._tables[name] = table
+        self._stats.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    @property
+    def names(self) -> tuple:
+        return tuple(self._tables)
+
+    def num_rows(self, name: str) -> int:
+        return self.table(name).num_rows
+
+    def total_bytes(self) -> int:
+        """Total payload bytes across all tables (the paper's "input size")."""
+        return sum(table.nbytes for table in self._tables.values())
+
+    def stats(self, table_name: str, column_name: str) -> ColumnStats:
+        """Statistics for one column, computed on first use and cached."""
+        per_table = self._stats.setdefault(table_name, {})
+        if column_name not in per_table:
+            array = self.table(table_name).column(column_name)
+            per_table[column_name] = ColumnStats.from_array(array)
+        return per_table[column_name]
+
+    def analyze(self) -> None:
+        """Eagerly compute statistics for every column of every table."""
+        for name, table in self._tables.items():
+            for column in table.schema:
+                self.stats(name, column.name)

@@ -1,0 +1,134 @@
+"""Table schemas: ordered column definitions with types.
+
+A :class:`TableSchema` is immutable; engines rely on this to share schemas
+between the logical plan, the physical kernel plan, and the runtime without
+defensive copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from .types import DataType
+
+__all__ = ["ColumnDef", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column: a name, a type, and an optional dictionary for DICT columns.
+
+    ``dictionary`` maps int32 codes back to the original strings; it exists
+    purely for presentation (decoding result sets) and never participates in
+    kernel execution.
+    """
+
+    name: str
+    dtype: DataType
+    dictionary: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.dictionary is not None and self.dtype is not DataType.DICT:
+            raise SchemaError(
+                f"column {self.name!r}: dictionary given for non-DICT type"
+            )
+
+    def decode(self, code: int) -> str:
+        """Decode a dictionary code back to its string."""
+        if self.dictionary is None:
+            raise SchemaError(f"column {self.name!r} has no dictionary")
+        return self.dictionary[code]
+
+    def encode(self, value: str) -> int:
+        """Encode a string to its dictionary code."""
+        if self.dictionary is None:
+            raise SchemaError(f"column {self.name!r} has no dictionary")
+        try:
+            return self.dictionary.index(value)
+        except ValueError:
+            raise SchemaError(
+                f"value {value!r} not in dictionary of column {self.name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered, immutable collection of :class:`ColumnDef`."""
+
+    columns: Tuple[ColumnDef, ...]
+    _index: dict = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        index = {}
+        for position, column in enumerate(self.columns):
+            if column.name in index:
+                raise SchemaError(f"duplicate column name {column.name!r}")
+            index[column.name] = position
+        object.__setattr__(self, "_index", index)
+
+    @classmethod
+    def of(cls, *columns: ColumnDef) -> "TableSchema":
+        """Build a schema from column definitions."""
+        return cls(tuple(columns))
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[str, DataType]]) -> "TableSchema":
+        """Build a schema from ``(name, dtype)`` pairs."""
+        return cls(tuple(ColumnDef(name, dtype) for name, dtype in pairs))
+
+    def __iter__(self) -> Iterator[ColumnDef]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> ColumnDef:
+        """Look up a column definition by name."""
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def position(self, name: str) -> int:
+        """Ordinal position of ``name`` within the schema."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def row_width(self) -> int:
+        """Bytes per row across all columns."""
+        return sum(column.dtype.width for column in self.columns)
+
+    def project(self, names: Sequence[str]) -> "TableSchema":
+        """A new schema containing only ``names``, in the given order."""
+        return TableSchema(tuple(self.column(name) for name in names))
+
+    def concat(self, other: "TableSchema") -> "TableSchema":
+        """Schema of a join output: our columns followed by ``other``'s.
+
+        Duplicate names are rejected; plans qualify columns before joining.
+        """
+        return TableSchema(self.columns + other.columns)
+
+    def rename(self, mapping: dict) -> "TableSchema":
+        """A new schema with columns renamed per ``mapping`` (old -> new)."""
+        renamed = []
+        for column in self.columns:
+            new_name = mapping.get(column.name, column.name)
+            renamed.append(
+                ColumnDef(new_name, column.dtype, column.dictionary)
+            )
+        return TableSchema(tuple(renamed))

@@ -1,0 +1,23 @@
+"""Star Schema Benchmark: a second workload over the same engines."""
+
+from .dbgen import SSBConfig, generate_ssb
+from .queries import SSB_QUERIES, ssb_query
+from .schema import (
+    BRANDS,
+    CATEGORIES,
+    CITIES,
+    MFGRS,
+    SSB_SCHEMAS,
+)
+
+__all__ = [
+    "SSBConfig",
+    "generate_ssb",
+    "SSB_QUERIES",
+    "ssb_query",
+    "BRANDS",
+    "CATEGORIES",
+    "CITIES",
+    "MFGRS",
+    "SSB_SCHEMAS",
+]

@@ -1,0 +1,190 @@
+"""Deterministic Star Schema Benchmark data generator.
+
+Cardinalities follow the SSB specification at scale factor 1 (customer
+30 K, supplier 2 K, part 200 K, lineorder 6 M; the date dimension is the
+fixed 7-year calendar 1992-01-01 .. 1998-12-31), scaled linearly.  Value
+relationships the queries depend on hold exactly:
+``lo_revenue = lo_extendedprice * (100 - lo_discount) / 100`` and every
+city belongs to its nation, every nation to its region.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..relational import Database, Table
+from ..relational.types import date_to_days
+from ..tpch.schema import NATION_REGION, NATIONS
+from . import schema as _schema
+
+__all__ = ["SSBConfig", "generate_ssb"]
+
+_SF1_CUSTOMERS = 30_000
+_SF1_SUPPLIERS = 2_000
+_SF1_PARTS = 200_000
+_SF1_LINEORDERS = 6_000_000
+
+_DATE_LO = datetime.date(1992, 1, 1)
+_DATE_HI = datetime.date(1998, 12, 31)
+
+
+@dataclass(frozen=True)
+class SSBConfig:
+    """Scale factor and RNG seed for one generated SSB database."""
+
+    scale: float = 0.01
+    seed: int = 19940607  # SSB's TPC-D ancestry: SIGMOD'94
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale factor must be positive")
+
+    def rows(self, base: int) -> int:
+        return max(1, int(round(base * self.scale)))
+
+
+def _date_table() -> Table:
+    days = []
+    years = []
+    yearmonths = []
+    weeks = []
+    current = _DATE_LO
+    one = datetime.timedelta(days=1)
+    while current <= _DATE_HI:
+        days.append(date_to_days(current))
+        years.append(current.year)
+        yearmonths.append(current.year * 100 + current.month)
+        weeks.append(current.isocalendar()[1])
+        current += one
+    return Table(
+        _schema.date_schema(),
+        {
+            "d_datekey": np.asarray(days, dtype=np.int32),
+            "d_year": np.asarray(years, dtype=np.int32),
+            "d_yearmonthnum": np.asarray(yearmonths, dtype=np.int32),
+            "d_weeknuminyear": np.asarray(weeks, dtype=np.int32),
+        },
+    )
+
+
+def _geography(rng: np.random.Generator, count: int):
+    """(city, nation, region) code columns with consistent rollups."""
+    cities = rng.integers(0, len(_schema.CITIES), size=count, dtype=np.int32)
+    nation_of_city = np.asarray(_schema.CITY_NATION, dtype=np.int32)
+    region_of_nation = np.asarray(NATION_REGION, dtype=np.int32)
+    nations = nation_of_city[cities]
+    regions = region_of_nation[nations]
+    return cities, nations, regions
+
+
+def _customer(rng: np.random.Generator, config: SSBConfig) -> Table:
+    count = config.rows(_SF1_CUSTOMERS)
+    cities, nations, regions = _geography(rng, count)
+    return Table(
+        _schema.customer_schema(),
+        {
+            "c_custkey": np.arange(count, dtype=np.int32),
+            "c_city": cities,
+            "c_nation": nations,
+            "c_region": regions,
+        },
+    )
+
+
+def _supplier(rng: np.random.Generator, config: SSBConfig) -> Table:
+    count = config.rows(_SF1_SUPPLIERS)
+    cities, nations, regions = _geography(rng, count)
+    return Table(
+        _schema.supplier_schema(),
+        {
+            "s_suppkey": np.arange(count, dtype=np.int32),
+            "s_city": cities,
+            "s_nation": nations,
+            "s_region": regions,
+        },
+    )
+
+
+def _part(rng: np.random.Generator, config: SSBConfig) -> Table:
+    count = config.rows(_SF1_PARTS)
+    brands = rng.integers(0, len(_schema.BRANDS), size=count, dtype=np.int32)
+    categories = (brands // 40).astype(np.int32)
+    mfgrs = (categories // 5).astype(np.int32)
+    return Table(
+        _schema.part_schema(),
+        {
+            "p_partkey": np.arange(count, dtype=np.int32),
+            "p_mfgr": mfgrs,
+            "p_category": categories,
+            "p_brand1": brands,
+        },
+    )
+
+
+def _lineorder(
+    rng: np.random.Generator,
+    config: SSBConfig,
+    date_table: Table,
+    num_customers: int,
+    num_suppliers: int,
+    num_parts: int,
+) -> Table:
+    count = config.rows(_SF1_LINEORDERS)
+    datekeys = date_table.column("d_datekey")
+    quantity = rng.integers(1, 51, size=count, dtype=np.int32)
+    extendedprice = rng.uniform(900.0, 105_000.0, size=count)
+    discount = rng.integers(0, 11, size=count, dtype=np.int32)
+    revenue = extendedprice * (100 - discount) / 100.0
+    return Table(
+        _schema.lineorder_schema(),
+        {
+            "lo_orderkey": np.arange(count, dtype=np.int32),
+            "lo_custkey": rng.integers(
+                0, num_customers, size=count, dtype=np.int32
+            ),
+            "lo_partkey": rng.integers(
+                0, num_parts, size=count, dtype=np.int32
+            ),
+            "lo_suppkey": rng.integers(
+                0, num_suppliers, size=count, dtype=np.int32
+            ),
+            "lo_orderdate": datekeys[
+                rng.integers(0, datekeys.size, size=count)
+            ],
+            "lo_quantity": quantity,
+            "lo_extendedprice": extendedprice,
+            "lo_discount": discount,
+            "lo_revenue": revenue,
+            "lo_supplycost": rng.uniform(1.0, 1_000.0, size=count),
+        },
+    )
+
+
+def generate_ssb(scale: float = 0.01, seed: int = 19940607) -> Database:
+    """Generate a full SSB database."""
+    config = SSBConfig(scale=scale, seed=seed)
+    rng = np.random.default_rng(config.seed)
+    database = Database()
+    date_table = _date_table()
+    database.add("date", date_table)
+    customer = _customer(rng, config)
+    supplier = _supplier(rng, config)
+    part = _part(rng, config)
+    database.add("customer", customer)
+    database.add("supplier", supplier)
+    database.add("part", part)
+    database.add(
+        "lineorder",
+        _lineorder(
+            rng,
+            config,
+            date_table,
+            customer.num_rows,
+            supplier.num_rows,
+            part.num_rows,
+        ),
+    )
+    return database

@@ -1,0 +1,291 @@
+"""The thirteen Star Schema Benchmark queries as query specs.
+
+Four flights: Q1.x (revenue deltas from discount/quantity windows),
+Q2.x (revenue per brand drilled into a part hierarchy slice), Q3.x
+(customer/supplier geography over time), Q4.x (profit drill-down).
+Q3.4's original ``d_yearmonth = 'Dec1997'`` predicate is expressed via
+``d_yearmonthnum = 199712``.
+
+String predicates use dictionary codes; results decode back through
+:meth:`QueryResult.decoded_rows`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..plans import AggSpec, JoinEdge, QuerySpec, TableRef
+from ..relational import col
+from ..tpch.schema import NATIONS, REGIONS
+from .schema import BRANDS, CATEGORIES, CITIES, MFGRS
+
+__all__ = ["SSB_QUERIES", "ssb_query"]
+
+
+def _nation(name: str) -> int:
+    return NATIONS.index(name)
+
+
+def _region(name: str) -> int:
+    return REGIONS.index(name)
+
+
+def _city(name: str) -> int:
+    return CITIES.index(name)
+
+
+_REVENUE_DELTA = col("lo_extendedprice") * col("lo_discount") / 100.0
+
+_DATE = TableRef("date", "date")
+_CUSTOMER = TableRef("customer", "customer")
+_SUPPLIER = TableRef("supplier", "supplier")
+_PART = TableRef("part", "part")
+_LINEORDER = TableRef("lineorder", "lineorder")
+
+_E_DATE = JoinEdge("lineorder", "lo_orderdate", "date", "d_datekey")
+_E_CUST = JoinEdge("lineorder", "lo_custkey", "customer", "c_custkey")
+_E_SUPP = JoinEdge("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+_E_PART = JoinEdge("lineorder", "lo_partkey", "part", "p_partkey")
+
+
+def _flight1(name: str, date_filter, discount_lo, discount_hi, qty_filter):
+    return QuerySpec(
+        name=name,
+        tables=(_LINEORDER, _DATE),
+        join_edges=(_E_DATE,),
+        fact="lineorder",
+        filters={
+            "date": date_filter,
+            "lineorder": (
+                col("lo_discount").between(discount_lo, discount_hi)
+                & qty_filter
+            ),
+        },
+        aggregates=(AggSpec("revenue", "sum", _REVENUE_DELTA),),
+    )
+
+
+def q1_1() -> QuerySpec:
+    return _flight1(
+        "SSB-Q1.1",
+        col("d_year").eq(1993),
+        1, 3,
+        col("lo_quantity").lt(25),
+    )
+
+
+def q1_2() -> QuerySpec:
+    return _flight1(
+        "SSB-Q1.2",
+        col("d_yearmonthnum").eq(199401),
+        4, 6,
+        col("lo_quantity").between(26, 35),
+    )
+
+
+def q1_3() -> QuerySpec:
+    return _flight1(
+        "SSB-Q1.3",
+        col("d_weeknuminyear").eq(6) & col("d_year").eq(1994),
+        5, 7,
+        col("lo_quantity").between(26, 35),
+    )
+
+
+def _flight2(name: str, part_filter, supplier_region: str):
+    return QuerySpec(
+        name=name,
+        tables=(_LINEORDER, _DATE, _PART, _SUPPLIER),
+        join_edges=(_E_DATE, _E_PART, _E_SUPP),
+        fact="lineorder",
+        filters={
+            "part": part_filter,
+            "supplier": col("s_region").eq(_region(supplier_region)),
+        },
+        group_keys=("d_year", "p_brand1"),
+        aggregates=(AggSpec("revenue", "sum", col("lo_revenue")),),
+        order_by=("d_year", "p_brand1"),
+    )
+
+
+def q2_1() -> QuerySpec:
+    return _flight2(
+        "SSB-Q2.1",
+        col("p_category").eq(CATEGORIES.index("MFGR#12")),
+        "AMERICA",
+    )
+
+
+def q2_2() -> QuerySpec:
+    lo = BRANDS.index("MFGR#2221")
+    hi = BRANDS.index("MFGR#2228")
+    return _flight2(
+        "SSB-Q2.2", col("p_brand1").between(lo, hi), "ASIA"
+    )
+
+
+def q2_3() -> QuerySpec:
+    return _flight2(
+        "SSB-Q2.3",
+        col("p_brand1").eq(BRANDS.index("MFGR#2239")),
+        "EUROPE",
+    )
+
+
+def _flight3(name: str, cust_filter, supp_filter, date_filter, keys):
+    return QuerySpec(
+        name=name,
+        tables=(_LINEORDER, _CUSTOMER, _SUPPLIER, _DATE),
+        join_edges=(_E_CUST, _E_SUPP, _E_DATE),
+        fact="lineorder",
+        filters={
+            "customer": cust_filter,
+            "supplier": supp_filter,
+            "date": date_filter,
+        },
+        group_keys=keys + ("d_year",),
+        aggregates=(AggSpec("revenue", "sum", col("lo_revenue")),),
+        order_by=("d_year", "revenue"),
+        order_desc=(False, True),
+    )
+
+
+def q3_1() -> QuerySpec:
+    asia = _region("ASIA")
+    return _flight3(
+        "SSB-Q3.1",
+        col("c_region").eq(asia),
+        col("s_region").eq(asia),
+        col("d_year").between(1992, 1997),
+        ("c_nation", "s_nation"),
+    )
+
+
+def q3_2() -> QuerySpec:
+    us = _nation("UNITED STATES")
+    return _flight3(
+        "SSB-Q3.2",
+        col("c_nation").eq(us),
+        col("s_nation").eq(us),
+        col("d_year").between(1992, 1997),
+        ("c_city", "s_city"),
+    )
+
+
+def _two_cities():
+    return (
+        _city("UNITED KI0"),
+        _city("UNITED KI5"),
+    )
+
+
+def q3_3() -> QuerySpec:
+    city_a, city_b = _two_cities()
+    return _flight3(
+        "SSB-Q3.3",
+        col("c_city").isin([city_a, city_b]),
+        col("s_city").isin([city_a, city_b]),
+        col("d_year").between(1992, 1997),
+        ("c_city", "s_city"),
+    )
+
+
+def q3_4() -> QuerySpec:
+    city_a, city_b = _two_cities()
+    return _flight3(
+        "SSB-Q3.4",
+        col("c_city").isin([city_a, city_b]),
+        col("s_city").isin([city_a, city_b]),
+        col("d_yearmonthnum").eq(199712),
+        ("c_city", "s_city"),
+    )
+
+
+_PROFIT = col("lo_revenue") - col("lo_supplycost")
+
+
+def q4_1() -> QuerySpec:
+    america = _region("AMERICA")
+    mfgrs = [MFGRS.index("MFGR#1"), MFGRS.index("MFGR#2")]
+    return QuerySpec(
+        name="SSB-Q4.1",
+        tables=(_LINEORDER, _DATE, _CUSTOMER, _SUPPLIER, _PART),
+        join_edges=(_E_DATE, _E_CUST, _E_SUPP, _E_PART),
+        fact="lineorder",
+        filters={
+            "customer": col("c_region").eq(america),
+            "supplier": col("s_region").eq(america),
+            "part": col("p_mfgr").isin(mfgrs),
+        },
+        derived=(("profit_item", _PROFIT),),
+        group_keys=("d_year", "c_nation"),
+        aggregates=(AggSpec("profit", "sum", col("profit_item")),),
+        order_by=("d_year", "c_nation"),
+    )
+
+
+def q4_2() -> QuerySpec:
+    america = _region("AMERICA")
+    mfgrs = [MFGRS.index("MFGR#1"), MFGRS.index("MFGR#2")]
+    return QuerySpec(
+        name="SSB-Q4.2",
+        tables=(_LINEORDER, _DATE, _CUSTOMER, _SUPPLIER, _PART),
+        join_edges=(_E_DATE, _E_CUST, _E_SUPP, _E_PART),
+        fact="lineorder",
+        filters={
+            "customer": col("c_region").eq(america),
+            "supplier": col("s_region").eq(america),
+            "part": col("p_mfgr").isin(mfgrs),
+            "date": col("d_year").isin([1997, 1998]),
+        },
+        derived=(("profit_item", _PROFIT),),
+        group_keys=("d_year", "s_nation", "p_category"),
+        aggregates=(AggSpec("profit", "sum", col("profit_item")),),
+        order_by=("d_year", "s_nation", "p_category"),
+    )
+
+
+def q4_3() -> QuerySpec:
+    return QuerySpec(
+        name="SSB-Q4.3",
+        tables=(_LINEORDER, _DATE, _CUSTOMER, _SUPPLIER, _PART),
+        join_edges=(_E_DATE, _E_CUST, _E_SUPP, _E_PART),
+        fact="lineorder",
+        filters={
+            "customer": col("c_region").eq(_region("AMERICA")),
+            "supplier": col("s_nation").eq(_nation("UNITED STATES")),
+            "part": col("p_category").eq(CATEGORIES.index("MFGR#14")),
+            "date": col("d_year").isin([1997, 1998]),
+        },
+        derived=(("profit_item", _PROFIT),),
+        group_keys=("d_year", "s_city", "p_brand1"),
+        aggregates=(AggSpec("profit", "sum", col("profit_item")),),
+        order_by=("d_year", "s_city", "p_brand1"),
+    )
+
+
+SSB_QUERIES: Dict[str, "QuerySpec"] = {
+    "Q1.1": q1_1(),
+    "Q1.2": q1_2(),
+    "Q1.3": q1_3(),
+    "Q2.1": q2_1(),
+    "Q2.2": q2_2(),
+    "Q2.3": q2_3(),
+    "Q3.1": q3_1(),
+    "Q3.2": q3_2(),
+    "Q3.3": q3_3(),
+    "Q3.4": q3_4(),
+    "Q4.1": q4_1(),
+    "Q4.2": q4_2(),
+    "Q4.3": q4_3(),
+}
+
+
+def ssb_query(name: str) -> QuerySpec:
+    """Look up an SSB query by flight name ("Q1.1" ... "Q4.3")."""
+    try:
+        return SSB_QUERIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SSB query {name!r}; choose one of {sorted(SSB_QUERIES)}"
+        ) from None

@@ -1,0 +1,120 @@
+"""Star Schema Benchmark table schemas.
+
+SSB (O'Neil et al.) denormalizes TPC-H into a pure star: one fact table
+(``lineorder``) and four dimensions (``date``, ``customer``,
+``supplier``, ``part``).  It is the natural second workload for a
+star-join engine: every query is one probe chain over the fact table —
+exactly the plan shape GPL pipelines.
+
+Strings are dictionary-encoded int32 codes, consistent with the TPC-H
+package.  ``d_datekey`` is epoch days (not yyyymmdd), since all query
+predicates go through ``d_year`` / ``d_yearmonthnum`` /
+``d_weeknuminyear`` anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..relational import ColumnDef, DataType, TableSchema
+from ..tpch.schema import NATION_REGION, NATIONS, REGIONS
+
+__all__ = [
+    "CITIES",
+    "CITY_NATION",
+    "MFGRS",
+    "CATEGORIES",
+    "BRANDS",
+    "date_schema",
+    "customer_schema",
+    "supplier_schema",
+    "part_schema",
+    "lineorder_schema",
+    "SSB_SCHEMAS",
+]
+
+#: 10 cities per nation, named like SSB's "UNITED ST0".."UNITED ST9".
+CITIES: Tuple[str, ...] = tuple(
+    f"{nation[:9]:<9}{digit}"
+    for nation in NATIONS
+    for digit in range(10)
+)
+
+#: City code -> nation code (city i belongs to nation i // 10).
+CITY_NATION: Tuple[int, ...] = tuple(
+    index // 10 for index in range(len(CITIES))
+)
+
+MFGRS: Tuple[str, ...] = tuple(f"MFGR#{i}" for i in range(1, 6))
+
+#: 5 categories per manufacturer: MFGR#11 .. MFGR#55.
+CATEGORIES: Tuple[str, ...] = tuple(
+    f"MFGR#{m}{c}" for m in range(1, 6) for c in range(1, 6)
+)
+
+#: 40 brands per category: MFGR#1101 .. MFGR#5540.
+BRANDS: Tuple[str, ...] = tuple(
+    f"{category}{brand:02d}"
+    for category in CATEGORIES
+    for brand in range(1, 41)
+)
+
+
+def date_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("d_datekey", DataType.INT32),
+        ColumnDef("d_year", DataType.INT32),
+        ColumnDef("d_yearmonthnum", DataType.INT32),
+        ColumnDef("d_weeknuminyear", DataType.INT32),
+    )
+
+
+def customer_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("c_custkey", DataType.INT32),
+        ColumnDef("c_city", DataType.DICT, CITIES),
+        ColumnDef("c_nation", DataType.DICT, NATIONS),
+        ColumnDef("c_region", DataType.DICT, REGIONS),
+    )
+
+
+def supplier_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("s_suppkey", DataType.INT32),
+        ColumnDef("s_city", DataType.DICT, CITIES),
+        ColumnDef("s_nation", DataType.DICT, NATIONS),
+        ColumnDef("s_region", DataType.DICT, REGIONS),
+    )
+
+
+def part_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("p_partkey", DataType.INT32),
+        ColumnDef("p_mfgr", DataType.DICT, MFGRS),
+        ColumnDef("p_category", DataType.DICT, CATEGORIES),
+        ColumnDef("p_brand1", DataType.DICT, BRANDS),
+    )
+
+
+def lineorder_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("lo_orderkey", DataType.INT32),
+        ColumnDef("lo_custkey", DataType.INT32),
+        ColumnDef("lo_partkey", DataType.INT32),
+        ColumnDef("lo_suppkey", DataType.INT32),
+        ColumnDef("lo_orderdate", DataType.INT32),  # FK to d_datekey
+        ColumnDef("lo_quantity", DataType.INT32),
+        ColumnDef("lo_extendedprice", DataType.FLOAT64),
+        ColumnDef("lo_discount", DataType.INT32),  # whole percent, 0..10
+        ColumnDef("lo_revenue", DataType.FLOAT64),
+        ColumnDef("lo_supplycost", DataType.FLOAT64),
+    )
+
+
+SSB_SCHEMAS: Dict[str, TableSchema] = {
+    "date": date_schema(),
+    "customer": customer_schema(),
+    "supplier": supplier_schema(),
+    "part": part_schema(),
+    "lineorder": lineorder_schema(),
+}

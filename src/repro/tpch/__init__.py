@@ -1,0 +1,41 @@
+"""TPC-H workload: data generator, query specs, and reference answers."""
+
+from .dbgen import DbgenConfig, generate, generate_database
+from .queries import QUERIES, q5, q7, q8, q9, q14, query_by_name
+from .reference import (
+    reference_answer,
+    reference_q5,
+    reference_q7,
+    reference_q8,
+    reference_q9,
+    reference_q14,
+)
+from .schema import ALL_SCHEMAS, NATIONS, PART_TYPES, REGIONS
+from .tbl import export_database, import_database, read_tbl, write_tbl
+
+__all__ = [
+    "DbgenConfig",
+    "generate",
+    "generate_database",
+    "QUERIES",
+    "q5",
+    "q7",
+    "q8",
+    "q9",
+    "q14",
+    "query_by_name",
+    "reference_answer",
+    "reference_q5",
+    "reference_q7",
+    "reference_q8",
+    "reference_q9",
+    "reference_q14",
+    "ALL_SCHEMAS",
+    "NATIONS",
+    "PART_TYPES",
+    "REGIONS",
+    "export_database",
+    "import_database",
+    "read_tbl",
+    "write_tbl",
+]

@@ -1,0 +1,235 @@
+"""Deterministic in-memory TPC-H data generator ("dbgen").
+
+Generates all eight TPC-H tables at a configurable scale factor with the
+cardinalities and value distributions of the TPC-H specification (uniform
+keys, 1–7 lineitems per order, shipdate = orderdate + 1..121 days, ...).
+Data is numpy-columnar and fully deterministic for a given ``(scale, seed)``
+pair.
+
+The paper evaluates at SF 10 (~10 GB).  A pure-Python reproduction cannot
+hold 60 M lineitems comfortably, so benchmarks run at reduced scale; the
+simulated execution time is driven by tuple counts and byte volumes, which
+scale linearly in SF, so all *relative* results (speedups, crossovers)
+are unaffected.  The generator accepts any positive scale factor, including
+fractional ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..relational import Database, Table
+from ..relational.types import date_to_days
+from . import schema as _schema
+
+__all__ = ["DbgenConfig", "generate", "generate_database"]
+
+#: TPC-H base cardinalities at scale factor 1.
+_SF1_SUPPLIERS = 10_000
+_SF1_CUSTOMERS = 150_000
+_SF1_PARTS = 200_000
+_SF1_ORDERS = 1_500_000
+_SUPPLIERS_PER_PART = 4
+_MIN_LINES, _MAX_LINES = 1, 7
+
+_ORDER_DATE_LO = date_to_days("1992-01-01")
+_ORDER_DATE_HI = date_to_days("1998-08-02")
+
+
+@dataclass(frozen=True)
+class DbgenConfig:
+    """Scale factor and RNG seed for one generated database."""
+
+    scale: float = 0.01
+    seed: int = 20160626  # SIGMOD'16 started June 26, 2016
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale factor must be positive")
+
+    def rows(self, base: int) -> int:
+        """Scaled row count, at least 1."""
+        return max(1, int(round(base * self.scale)))
+
+
+def _region(rng: np.random.Generator) -> Table:
+    keys = np.arange(len(_schema.REGIONS), dtype=np.int32)
+    return Table(
+        _schema.region_schema(),
+        {"r_regionkey": keys, "r_name": keys},
+    )
+
+
+def _nation(rng: np.random.Generator) -> Table:
+    keys = np.arange(len(_schema.NATIONS), dtype=np.int32)
+    return Table(
+        _schema.nation_schema(),
+        {
+            "n_nationkey": keys,
+            "n_name": keys,
+            "n_regionkey": np.asarray(_schema.NATION_REGION, dtype=np.int32),
+        },
+    )
+
+
+def _supplier(rng: np.random.Generator, config: DbgenConfig) -> Table:
+    count = config.rows(_SF1_SUPPLIERS)
+    return Table(
+        _schema.supplier_schema(),
+        {
+            "s_suppkey": np.arange(count, dtype=np.int32),
+            "s_nationkey": rng.integers(
+                0, len(_schema.NATIONS), size=count, dtype=np.int32
+            ),
+            "s_acctbal": rng.uniform(-999.99, 9999.99, size=count),
+        },
+    )
+
+
+def _customer(rng: np.random.Generator, config: DbgenConfig) -> Table:
+    count = config.rows(_SF1_CUSTOMERS)
+    return Table(
+        _schema.customer_schema(),
+        {
+            "c_custkey": np.arange(count, dtype=np.int32),
+            "c_nationkey": rng.integers(
+                0, len(_schema.NATIONS), size=count, dtype=np.int32
+            ),
+            "c_acctbal": rng.uniform(-999.99, 9999.99, size=count),
+        },
+    )
+
+
+def _part(rng: np.random.Generator, config: DbgenConfig) -> Table:
+    count = config.rows(_SF1_PARTS)
+    return Table(
+        _schema.part_schema(),
+        {
+            "p_partkey": np.arange(count, dtype=np.int32),
+            "p_type": rng.integers(
+                0, len(_schema.PART_TYPES), size=count, dtype=np.int32
+            ),
+            "p_size": rng.integers(1, 51, size=count, dtype=np.int32),
+            "p_retailprice": rng.uniform(900.0, 2100.0, size=count),
+        },
+    )
+
+
+def _partsupp(
+    rng: np.random.Generator, config: DbgenConfig, num_parts: int,
+    num_suppliers: int,
+) -> Table:
+    """Each part is stocked by ``_SUPPLIERS_PER_PART`` distinct suppliers."""
+    partkeys = np.repeat(
+        np.arange(num_parts, dtype=np.int32), _SUPPLIERS_PER_PART
+    )
+    # TPC-H spreads the suppliers of a part deterministically; an affine
+    # stride guarantees distinctness without a per-part shuffle.
+    offsets = np.tile(
+        np.arange(_SUPPLIERS_PER_PART, dtype=np.int64), num_parts
+    )
+    stride = max(1, num_suppliers // (_SUPPLIERS_PER_PART + 1))
+    suppkeys = (
+        (partkeys.astype(np.int64) + offsets * stride) % num_suppliers
+    ).astype(np.int32)
+    count = partkeys.size
+    return Table(
+        _schema.partsupp_schema(),
+        {
+            "ps_partkey": partkeys,
+            "ps_suppkey": suppkeys,
+            "ps_availqty": rng.integers(1, 10_000, size=count, dtype=np.int32),
+            "ps_supplycost": rng.uniform(1.0, 1000.0, size=count),
+        },
+    )
+
+
+def _orders(
+    rng: np.random.Generator, config: DbgenConfig, num_customers: int
+) -> Table:
+    count = config.rows(_SF1_ORDERS)
+    orderdates = rng.integers(
+        _ORDER_DATE_LO, _ORDER_DATE_HI + 1, size=count, dtype=np.int32
+    )
+    return Table(
+        _schema.orders_schema(),
+        {
+            "o_orderkey": np.arange(count, dtype=np.int32),
+            "o_custkey": rng.integers(
+                0, num_customers, size=count, dtype=np.int32
+            ),
+            "o_orderdate": orderdates,
+            "o_totalprice": rng.uniform(857.71, 555_285.16, size=count),
+        },
+    )
+
+
+def _lineitem(
+    rng: np.random.Generator,
+    config: DbgenConfig,
+    orders: Table,
+    num_parts: int,
+    num_suppliers: int,
+) -> Table:
+    lines_per_order = rng.integers(
+        _MIN_LINES, _MAX_LINES + 1, size=orders.num_rows
+    )
+    orderkeys = np.repeat(orders.column("o_orderkey"), lines_per_order)
+    orderdates = np.repeat(orders.column("o_orderdate"), lines_per_order)
+    count = orderkeys.size
+
+    quantity = rng.integers(1, 51, size=count).astype(np.float64)
+    unit_price = rng.uniform(900.0, 2100.0, size=count)
+    return Table(
+        _schema.lineitem_schema(),
+        {
+            "l_orderkey": orderkeys.astype(np.int32),
+            "l_partkey": rng.integers(
+                0, num_parts, size=count, dtype=np.int32
+            ),
+            "l_suppkey": rng.integers(
+                0, num_suppliers, size=count, dtype=np.int32
+            ),
+            "l_quantity": quantity,
+            "l_extendedprice": quantity * unit_price,
+            "l_discount": rng.integers(0, 11, size=count) / 100.0,
+            "l_tax": rng.integers(0, 9, size=count) / 100.0,
+            "l_shipdate": (
+                orderdates + rng.integers(1, 122, size=count)
+            ).astype(np.int32),
+        },
+    )
+
+
+def generate(config: DbgenConfig = DbgenConfig()) -> Database:
+    """Generate a full TPC-H database for ``config``."""
+    rng = np.random.default_rng(config.seed)
+    database = Database()
+    database.add("region", _region(rng))
+    database.add("nation", _nation(rng))
+
+    supplier = _supplier(rng, config)
+    customer = _customer(rng, config)
+    part = _part(rng, config)
+    database.add("supplier", supplier)
+    database.add("customer", customer)
+    database.add("part", part)
+    database.add(
+        "partsupp",
+        _partsupp(rng, config, part.num_rows, supplier.num_rows),
+    )
+
+    orders = _orders(rng, config, customer.num_rows)
+    database.add("orders", orders)
+    database.add(
+        "lineitem",
+        _lineitem(rng, config, orders, part.num_rows, supplier.num_rows),
+    )
+    return database
+
+
+def generate_database(scale: float = 0.01, seed: int = 20160626) -> Database:
+    """Convenience wrapper: ``generate(DbgenConfig(scale, seed))``."""
+    return generate(DbgenConfig(scale=scale, seed=seed))

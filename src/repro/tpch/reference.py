@@ -1,0 +1,323 @@
+"""Reference query answers, computed independently of the engines.
+
+Each function evaluates one workload query with straightforward
+dictionary-based joins and per-row accumulation — a deliberately different
+algorithm from the engines' vectorized hash pipelines — so agreement
+between an engine and this module is meaningful evidence of correctness.
+
+Results are returned as ``{column: list}`` dictionaries sorted by the full
+group key, which tests compare against canonically sorted engine output.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..relational import Database
+from ..relational.types import date_to_days, days_to_date
+from .queries import _PROMO_CODES, _SHIP_HI, _SHIP_LO
+from .schema import NATIONS, PART_TYPES, REGIONS
+
+__all__ = [
+    "reference_q5",
+    "reference_q7",
+    "reference_q8",
+    "reference_q9",
+    "reference_q14",
+    "reference_answer",
+]
+
+
+def _year(days: int) -> int:
+    return days_to_date(int(days)).year
+
+
+def _build_lookup(keys: np.ndarray) -> Dict[int, List[int]]:
+    lookup: Dict[int, List[int]] = defaultdict(list)
+    for index, key in enumerate(keys.tolist()):
+        lookup[key].append(index)
+    return lookup
+
+
+def reference_q5(database: Database) -> Dict[str, list]:
+    lineitem = database.table("lineitem")
+    orders = database.table("orders")
+    customer = database.table("customer")
+    supplier = database.table("supplier")
+    nation = database.table("nation")
+    region = database.table("region")
+
+    asia = REGIONS.index("ASIA")
+    date_lo = date_to_days("1994-01-01")
+    date_hi = date_to_days("1995-01-01")
+
+    nation_region = dict(
+        zip(nation["n_nationkey"].tolist(), nation["n_regionkey"].tolist())
+    )
+    region_ok = {
+        int(k)
+        for k, name in zip(region["r_regionkey"], region["r_name"])
+        if int(name) == asia
+    }
+    order_date = dict(
+        zip(orders["o_orderkey"].tolist(), orders["o_orderdate"].tolist())
+    )
+    order_cust = dict(
+        zip(orders["o_orderkey"].tolist(), orders["o_custkey"].tolist())
+    )
+    cust_nation = dict(
+        zip(customer["c_custkey"].tolist(), customer["c_nationkey"].tolist())
+    )
+    supp_nation = dict(
+        zip(supplier["s_suppkey"].tolist(), supplier["s_nationkey"].tolist())
+    )
+
+    revenue: Dict[int, float] = defaultdict(float)
+    l_orderkey = lineitem["l_orderkey"].tolist()
+    l_suppkey = lineitem["l_suppkey"].tolist()
+    l_price = lineitem["l_extendedprice"].tolist()
+    l_discount = lineitem["l_discount"].tolist()
+    for index in range(lineitem.num_rows):
+        okey = l_orderkey[index]
+        odate = order_date.get(okey)
+        if odate is None or not (date_lo <= odate < date_hi):
+            continue
+        skey = l_suppkey[index]
+        s_nat = supp_nation.get(skey)
+        if s_nat is None:
+            continue
+        c_nat = cust_nation.get(order_cust[okey])
+        if c_nat != s_nat:
+            continue
+        if nation_region.get(s_nat) not in region_ok:
+            continue
+        revenue[s_nat] += l_price[index] * (1.0 - l_discount[index])
+
+    rows = sorted(revenue.items(), key=lambda item: -item[1])
+    return {
+        "n_name": [key for key, _ in rows],
+        "revenue": [value for _, value in rows],
+    }
+
+
+def reference_q7(database: Database) -> Dict[str, list]:
+    lineitem = database.table("lineitem")
+    orders = database.table("orders")
+    customer = database.table("customer")
+    supplier = database.table("supplier")
+
+    france = NATIONS.index("FRANCE")
+    germany = NATIONS.index("GERMANY")
+    lo = date_to_days("1995-01-01")
+    hi = date_to_days("1996-12-31")
+
+    order_cust = dict(
+        zip(orders["o_orderkey"].tolist(), orders["o_custkey"].tolist())
+    )
+    cust_nation = dict(
+        zip(customer["c_custkey"].tolist(), customer["c_nationkey"].tolist())
+    )
+    supp_nation = dict(
+        zip(supplier["s_suppkey"].tolist(), supplier["s_nationkey"].tolist())
+    )
+
+    volumes: Dict[tuple, float] = defaultdict(float)
+    for index in range(lineitem.num_rows):
+        ship = int(lineitem["l_shipdate"][index])
+        if not lo <= ship <= hi:
+            continue
+        s_nat = supp_nation.get(int(lineitem["l_suppkey"][index]))
+        c_nat = cust_nation.get(
+            order_cust.get(int(lineitem["l_orderkey"][index]))
+        )
+        pair_ok = (s_nat == france and c_nat == germany) or (
+            s_nat == germany and c_nat == france
+        )
+        if not pair_ok:
+            continue
+        volume = float(lineitem["l_extendedprice"][index]) * (
+            1.0 - float(lineitem["l_discount"][index])
+        )
+        volumes[(s_nat, c_nat, _year(ship))] += volume
+
+    rows = sorted(volumes.items(), key=lambda item: item[0])
+    return {
+        "supp_nation": [key[0] for key, _ in rows],
+        "cust_nation": [key[1] for key, _ in rows],
+        "l_year": [key[2] for key, _ in rows],
+        "revenue": [value for _, value in rows],
+    }
+
+
+def reference_q8(database: Database) -> Dict[str, list]:
+    lineitem = database.table("lineitem")
+    orders = database.table("orders")
+    customer = database.table("customer")
+    supplier = database.table("supplier")
+    part = database.table("part")
+    nation = database.table("nation")
+
+    america = REGIONS.index("AMERICA")
+    brazil = NATIONS.index("BRAZIL")
+    steel = PART_TYPES.index("ECONOMY ANODIZED STEEL")
+    lo = date_to_days("1995-01-01")
+    hi = date_to_days("1996-12-31")
+
+    part_ok = {
+        int(key)
+        for key, ptype in zip(part["p_partkey"], part["p_type"])
+        if int(ptype) == steel
+    }
+    order_cust = dict(
+        zip(orders["o_orderkey"].tolist(), orders["o_custkey"].tolist())
+    )
+    order_date = dict(
+        zip(orders["o_orderkey"].tolist(), orders["o_orderdate"].tolist())
+    )
+    cust_nation = dict(
+        zip(customer["c_custkey"].tolist(), customer["c_nationkey"].tolist())
+    )
+    supp_nation = dict(
+        zip(supplier["s_suppkey"].tolist(), supplier["s_nationkey"].tolist())
+    )
+    nation_region = dict(
+        zip(nation["n_nationkey"].tolist(), nation["n_regionkey"].tolist())
+    )
+
+    total: Dict[int, float] = defaultdict(float)
+    brazil_part: Dict[int, float] = defaultdict(float)
+    for index in range(lineitem.num_rows):
+        if int(lineitem["l_partkey"][index]) not in part_ok:
+            continue
+        odate = order_date.get(int(lineitem["l_orderkey"][index]))
+        if odate is None or not lo <= odate <= hi:
+            continue
+        c_nat = cust_nation.get(
+            order_cust[int(lineitem["l_orderkey"][index])]
+        )
+        if c_nat is None or nation_region.get(c_nat) != america:
+            continue
+        s_nat = supp_nation.get(int(lineitem["l_suppkey"][index]))
+        volume = float(lineitem["l_extendedprice"][index]) * (
+            1.0 - float(lineitem["l_discount"][index])
+        )
+        year = _year(odate)
+        total[year] += volume
+        if s_nat == brazil:
+            brazil_part[year] += volume
+
+    years = sorted(total)
+    return {
+        "o_year": years,
+        "mkt_share": [
+            brazil_part[year] / total[year] if total[year] else 0.0
+            for year in years
+        ],
+    }
+
+
+def reference_q9(database: Database) -> Dict[str, list]:
+    lineitem = database.table("lineitem")
+    orders = database.table("orders")
+    supplier = database.table("supplier")
+    part = database.table("part")
+    partsupp = database.table("partsupp")
+
+    part_ok = {
+        int(key) for key in part["p_partkey"].tolist() if key < 1000
+    }
+    supply_cost = {
+        (int(pk), int(sk)): float(cost)
+        for pk, sk, cost in zip(
+            partsupp["ps_partkey"],
+            partsupp["ps_suppkey"],
+            partsupp["ps_supplycost"],
+        )
+    }
+    order_date = dict(
+        zip(orders["o_orderkey"].tolist(), orders["o_orderdate"].tolist())
+    )
+    supp_nation = dict(
+        zip(supplier["s_suppkey"].tolist(), supplier["s_nationkey"].tolist())
+    )
+
+    profit: Dict[tuple, float] = defaultdict(float)
+    for index in range(lineitem.num_rows):
+        pk = int(lineitem["l_partkey"][index])
+        if pk not in part_ok:
+            continue
+        sk = int(lineitem["l_suppkey"][index])
+        cost = supply_cost.get((pk, sk))
+        if cost is None:
+            continue
+        nat = supp_nation.get(sk)
+        odate = order_date[int(lineitem["l_orderkey"][index])]
+        amount = float(lineitem["l_extendedprice"][index]) * (
+            1.0 - float(lineitem["l_discount"][index])
+        ) - cost * float(lineitem["l_quantity"][index])
+        profit[(nat, _year(odate))] += amount
+
+    rows = sorted(profit.items(), key=lambda item: (-item[0][1], item[0][0]))
+    return {
+        "n_name": [key[0] for key, _ in rows],
+        "o_year": [key[1] for key, _ in rows],
+        "sum_profit": [value for _, value in rows],
+    }
+
+
+def reference_q14(
+    database: Database, selectivity: Optional[float] = None
+) -> Dict[str, list]:
+    lineitem = database.table("lineitem")
+    part = database.table("part")
+
+    lo = date_to_days("1995-09-01")
+    if selectivity is None:
+        hi = date_to_days("1995-10-01")
+    else:
+        span = _SHIP_HI - _SHIP_LO
+        lo = _SHIP_LO
+        hi = lo + max(1, int(round(span * selectivity)))
+
+    promo = set(_PROMO_CODES)
+    part_type = dict(
+        zip(part["p_partkey"].tolist(), part["p_type"].tolist())
+    )
+
+    promo_sum = 0.0
+    total_sum = 0.0
+    for index in range(lineitem.num_rows):
+        ship = int(lineitem["l_shipdate"][index])
+        if not lo <= ship < hi:
+            continue
+        ptype = part_type.get(int(lineitem["l_partkey"][index]))
+        if ptype is None:
+            continue
+        volume = float(lineitem["l_extendedprice"][index]) * (
+            1.0 - float(lineitem["l_discount"][index])
+        )
+        total_sum += volume
+        if ptype in promo:
+            promo_sum += volume
+
+    share = 100.0 * promo_sum / total_sum if total_sum else 0.0
+    return {"promo_revenue": [share]}
+
+
+def reference_answer(database: Database, name: str, **kwargs) -> Dict[str, list]:
+    """Dispatch to the reference implementation of ``name``."""
+    functions = {
+        "Q5": reference_q5,
+        "Q7": reference_q7,
+        "Q8": reference_q8,
+        "Q9": reference_q9,
+        "Q14": reference_q14,
+    }
+    try:
+        function = functions[name.upper()]
+    except KeyError:
+        raise ValueError(f"no reference implementation for {name!r}") from None
+    return function(database, **kwargs)

@@ -1,0 +1,169 @@
+"""TPC-H table schemas (the columns the evaluated queries touch).
+
+The generator produces all eight TPC-H tables.  Columns are the ones the
+paper's workload (Q5, Q7, Q8, Q9, Q14) reads, plus enough extras to keep
+the tables realistically wide (row width drives the simulator's byte
+accounting).  Strings are dictionary-encoded int32 codes (see
+:mod:`repro.relational.types`), matching the 4-byte-value restriction the
+paper notes for Ocelot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..relational import ColumnDef, DataType, TableSchema
+
+__all__ = [
+    "REGIONS",
+    "NATIONS",
+    "NATION_REGION",
+    "PART_TYPES",
+    "region_schema",
+    "nation_schema",
+    "supplier_schema",
+    "customer_schema",
+    "part_schema",
+    "partsupp_schema",
+    "orders_schema",
+    "lineitem_schema",
+    "ALL_SCHEMAS",
+]
+
+#: The five TPC-H regions, in dictionary order (code = index).
+REGIONS: Tuple[str, ...] = (
+    "AFRICA",
+    "AMERICA",
+    "ASIA",
+    "EUROPE",
+    "MIDDLE EAST",
+)
+
+#: The 25 TPC-H nations (code = nationkey) ...
+NATIONS: Tuple[str, ...] = (
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
+)
+
+#: ... and their region keys, per the TPC-H specification.
+NATION_REGION: Tuple[int, ...] = (
+    0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1,
+)
+
+_TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+_TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+_TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+
+#: The 150 TPC-H part types ("ECONOMY ANODIZED STEEL", ...).
+PART_TYPES: Tuple[str, ...] = tuple(
+    f"{s1} {s2} {s3}"
+    for s1 in _TYPE_SYLLABLE_1
+    for s2 in _TYPE_SYLLABLE_2
+    for s3 in _TYPE_SYLLABLE_3
+)
+
+
+def region_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("r_regionkey", DataType.INT32),
+        ColumnDef("r_name", DataType.DICT, REGIONS),
+    )
+
+
+def nation_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("n_nationkey", DataType.INT32),
+        ColumnDef("n_name", DataType.DICT, NATIONS),
+        ColumnDef("n_regionkey", DataType.INT32),
+    )
+
+
+def supplier_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("s_suppkey", DataType.INT32),
+        ColumnDef("s_nationkey", DataType.INT32),
+        ColumnDef("s_acctbal", DataType.FLOAT64),
+    )
+
+
+def customer_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("c_custkey", DataType.INT32),
+        ColumnDef("c_nationkey", DataType.INT32),
+        ColumnDef("c_acctbal", DataType.FLOAT64),
+    )
+
+
+def part_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("p_partkey", DataType.INT32),
+        ColumnDef("p_type", DataType.DICT, PART_TYPES),
+        ColumnDef("p_size", DataType.INT32),
+        ColumnDef("p_retailprice", DataType.FLOAT64),
+    )
+
+
+def partsupp_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("ps_partkey", DataType.INT32),
+        ColumnDef("ps_suppkey", DataType.INT32),
+        ColumnDef("ps_availqty", DataType.INT32),
+        ColumnDef("ps_supplycost", DataType.FLOAT64),
+    )
+
+
+def orders_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("o_orderkey", DataType.INT32),
+        ColumnDef("o_custkey", DataType.INT32),
+        ColumnDef("o_orderdate", DataType.DATE),
+        ColumnDef("o_totalprice", DataType.FLOAT64),
+    )
+
+
+def lineitem_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("l_orderkey", DataType.INT32),
+        ColumnDef("l_partkey", DataType.INT32),
+        ColumnDef("l_suppkey", DataType.INT32),
+        ColumnDef("l_quantity", DataType.FLOAT64),
+        ColumnDef("l_extendedprice", DataType.FLOAT64),
+        ColumnDef("l_discount", DataType.FLOAT64),
+        ColumnDef("l_tax", DataType.FLOAT64),
+        ColumnDef("l_shipdate", DataType.DATE),
+    )
+
+
+ALL_SCHEMAS: Dict[str, TableSchema] = {
+    "region": region_schema(),
+    "nation": nation_schema(),
+    "supplier": supplier_schema(),
+    "customer": customer_schema(),
+    "part": part_schema(),
+    "partsupp": partsupp_schema(),
+    "orders": orders_schema(),
+    "lineitem": lineitem_schema(),
+}

@@ -1,0 +1,124 @@
+"""``.tbl`` export/import: file-format parity with the TPC-H dbgen tool.
+
+The reference ``dbgen`` writes pipe-separated ``<table>.tbl`` files with a
+trailing delimiter per line.  This module writes the same format from a
+generated :class:`~repro.relational.Database` (dates as ISO strings,
+dictionary columns decoded) and reads it back, so data can be exchanged
+with other TPC-H tooling or inspected with standard text utilities.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..relational import Database, Table, TableSchema
+from ..relational.types import DataType, date_to_days, days_to_date
+from .schema import ALL_SCHEMAS
+
+__all__ = ["write_tbl", "read_tbl", "export_database", "import_database"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _format_value(column, value) -> str:
+    if column.dtype is DataType.DATE:
+        return days_to_date(int(value)).isoformat()
+    if column.dtype is DataType.DICT and column.dictionary is not None:
+        return column.decode(int(value))
+    if column.dtype in (DataType.FLOAT32, DataType.FLOAT64):
+        return f"{float(value):.2f}"
+    return str(int(value))
+
+
+def _parse_value(column, text: str):
+    if column.dtype is DataType.DATE:
+        return date_to_days(text)
+    if column.dtype is DataType.DICT and column.dictionary is not None:
+        return column.encode(text)
+    if column.dtype in (DataType.FLOAT32, DataType.FLOAT64):
+        return float(text)
+    return int(text)
+
+
+def write_tbl(table: Table, path: PathLike) -> int:
+    """Write one table as ``dbgen``-style ``.tbl`` text; returns rows."""
+    path = pathlib.Path(path)
+    columns = list(table.schema)
+    arrays = [table.column(column.name) for column in columns]
+    with path.open("w") as handle:
+        for row in zip(*arrays):
+            fields = [
+                _format_value(column, value)
+                for column, value in zip(columns, row)
+            ]
+            handle.write("|".join(fields) + "|\n")
+    return table.num_rows
+
+
+def read_tbl(schema: TableSchema, path: PathLike) -> Table:
+    """Read a ``.tbl`` file back into a :class:`Table`."""
+    path = pathlib.Path(path)
+    columns = list(schema)
+    values: List[List] = [[] for _ in columns]
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            fields = line.split("|")
+            if fields and fields[-1] == "":
+                fields = fields[:-1]  # trailing delimiter
+            if len(fields) != len(columns):
+                raise SchemaError(
+                    f"{path.name}:{line_number}: expected "
+                    f"{len(columns)} fields, got {len(fields)}"
+                )
+            for store, column, text in zip(values, columns, fields):
+                store.append(_parse_value(column, text))
+    data = {
+        column.name: np.asarray(store, dtype=column.dtype.numpy_dtype)
+        for column, store in zip(columns, values)
+    }
+    return Table(schema, data)
+
+
+def export_database(
+    database: Database,
+    directory: PathLike,
+    tables: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """Write every (or the selected) table as ``<name>.tbl``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, int] = {}
+    for name in tables if tables is not None else database.names:
+        written[name] = write_tbl(
+            database.table(name), directory / f"{name}.tbl"
+        )
+    return written
+
+
+def import_database(
+    directory: PathLike,
+    tables: Optional[Sequence[str]] = None,
+) -> Database:
+    """Load ``<name>.tbl`` files (TPC-H schemas) into a fresh database."""
+    directory = pathlib.Path(directory)
+    database = Database()
+    names: Iterable[str] = (
+        tables if tables is not None else sorted(ALL_SCHEMAS)
+    )
+    for name in names:
+        path = directory / f"{name}.tbl"
+        if not path.exists():
+            raise SchemaError(f"missing table file {path}")
+        try:
+            schema = ALL_SCHEMAS[name]
+        except KeyError:
+            raise SchemaError(f"unknown TPC-H table {name!r}") from None
+        database.add(name, read_tbl(schema, path))
+    return database

@@ -1,0 +1,99 @@
+"""Tests for the benchmark harness package (context, experiments, reports)."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentContext,
+    banner,
+    exp_fig2_channel_calibration,
+    exp_fig5_kbe_utilization,
+    exp_fig17_materialization,
+    exp_table1_hardware,
+    format_mapping,
+    format_table,
+)
+from repro.gpu import AMD_A10, NVIDIA_K40
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(device=AMD_A10, scale=0.002)
+
+
+class TestContext:
+    def test_database_cached_per_scale(self, context):
+        assert context.database() is context.database()
+        assert context.database(0.003) is not context.database()
+
+    def test_calibration_cached(self, context):
+        assert context.calibration() is context.calibration()
+
+    def test_engine_factories(self, context):
+        assert context.kbe().name == "KBE"
+        assert context.gpl().name == "GPL"
+        assert context.gpl_without_ce().name == "GPL (w/o CE)"
+        assert context.ocelot().name == "Ocelot"
+
+    def test_optimized_gpl(self, context):
+        from repro.tpch import q14
+
+        optimized = context.optimized_gpl(q14())
+        assert optimized.predicted_cycles > 0
+        assert "main" in optimized.configs
+        result = optimized.engine.execute(q14())
+        assert result.num_rows == 1
+
+    def test_model_estimate(self, context):
+        from repro.tpch import q14
+
+        assert context.model_estimate(q14()) > 0
+
+
+class TestExperiments:
+    def test_table1(self):
+        result = exp_table1_hardware()
+        assert result["AMD"]["#CU"] == 8
+        assert result["NVIDIA"]["#CU"] == 15
+
+    def test_fig2_structure(self, context):
+        result = exp_fig2_channel_calibration(context)
+        assert set(result) == {1, 4, 16}
+        for series in result.values():
+            assert len(series) >= 4
+            assert all(gbps > 0 for _, gbps in series)
+
+    def test_fig5_structure(self, context):
+        result = exp_fig5_kbe_utilization(context, queries=("Q14",))
+        valu, mem = result["Q14"]
+        assert 0 <= valu <= 1 and 0 <= mem <= 1
+
+    def test_fig17_structure(self, context):
+        result = exp_fig17_materialization(context, queries=("Q14",))
+        assert 0 < result["Q14"] < 1
+
+    def test_nvidia_context(self):
+        context = ExperimentContext(device=NVIDIA_K40, scale=0.002)
+        result = exp_fig5_kbe_utilization(context, queries=("Q14",))
+        assert "Q14" in result
+
+
+class TestReporting:
+    def test_banner(self):
+        text = banner("Title")
+        assert "Title" in text
+        assert "=" in text
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.23456], ["bbbb", 2]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "1.235" in text  # 4 significant digits
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equally wide
+
+    def test_format_mapping(self):
+        text = format_mapping({"alpha": 1.5, "b": "x"})
+        assert "alpha" in text and "1.5" in text and "x" in text
+        assert format_mapping({}) == ""

@@ -1,0 +1,85 @@
+"""Tests for the cache and global-memory models."""
+
+import pytest
+
+from repro.gpu import AMD_A10, CacheModel, MemoryModel
+
+MIB = 1024 * 1024
+
+
+class TestCacheModel:
+    def test_fits_in_cache(self):
+        cache = CacheModel(4 * MIB)
+        assert cache.hit_ratio(1 * MIB) == 1.0
+        assert cache.hit_ratio(0) == 1.0
+
+    def test_thrashing_decay(self):
+        cache = CacheModel(4 * MIB)
+        h8 = cache.hit_ratio(8 * MIB)
+        h32 = cache.hit_ratio(32 * MIB)
+        assert 1.0 > h8 > h32 >= cache.floor
+
+    def test_monotone_nonincreasing(self):
+        cache = CacheModel(4 * MIB)
+        ratios = [cache.hit_ratio(s * MIB) for s in (1, 2, 4, 8, 16, 64, 256)]
+        assert all(b <= a for a, b in zip(ratios, ratios[1:]))
+
+    def test_floor(self):
+        cache = CacheModel(1 * MIB, floor=0.07)
+        assert cache.hit_ratio(10_000 * MIB) == 0.07
+
+    def test_streaming_hit_ratio(self):
+        cache = CacheModel(4 * MIB)
+        # 8-byte elements on 64-byte lines: 7 of 8 accesses hit.
+        assert cache.streaming_hit_ratio(8.0) == pytest.approx(1 - 8 / 64)
+        # full-line strides never hit spatially
+        assert cache.streaming_hit_ratio(64.0) == cache.floor
+        assert cache.streaming_hit_ratio(0) == 1.0
+
+    def test_effective_capacity(self):
+        cache = CacheModel(4 * MIB, usable_fraction=0.5)
+        assert cache.effective_capacity == 2 * MIB
+        assert cache.hit_ratio(2 * MIB) == 1.0
+        assert cache.hit_ratio(3 * MIB) < 1.0
+
+
+class TestMemoryModel:
+    @pytest.fixture()
+    def memory(self):
+        return MemoryModel.for_device(AMD_A10)
+
+    def test_access_cycles_scale_linearly(self, memory):
+        one = memory.access_cycles(1000, 0.5)
+        two = memory.access_cycles(2000, 0.5)
+        assert two == pytest.approx(2 * one)
+
+    def test_hits_are_cheaper(self, memory):
+        cold = memory.access_cycles(1000, 0.0)
+        warm = memory.access_cycles(1000, 1.0)
+        assert warm < cold
+        ratio = cold / warm
+        assert ratio == pytest.approx(
+            AMD_A10.global_latency / AMD_A10.cache_latency
+        )
+
+    def test_hit_ratio_clamped(self, memory):
+        assert memory.access_cycles(100, 1.5) == memory.access_cycles(100, 1.0)
+        assert memory.access_cycles(100, -1.0) == memory.access_cycles(100, 0.0)
+
+    def test_scan_hit_floor_is_streaming(self, memory):
+        # Even a giant working set scans with spatial locality.
+        assert memory.scan_hit_ratio(1e12) == pytest.approx(1 - 8 / 64)
+
+    def test_scan_hit_cached(self, memory):
+        assert memory.scan_hit_ratio(1024) == 1.0
+
+    def test_materialization_linear(self, memory):
+        assert memory.materialization_cycles(2048) == pytest.approx(
+            2 * memory.materialization_cycles(1024)
+        )
+        assert memory.materialization_cycles(0) == 0.0
+
+    def test_reload_cheaper_when_cached(self, memory):
+        small = memory.reload_cycles(1024, 1024)
+        large = memory.reload_cycles(1024, 100 * MIB)
+        assert small < large

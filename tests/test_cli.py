@@ -1,0 +1,78 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "Q14"])
+        assert args.command == "run"
+        assert args.engine == "gpl"
+        assert args.device == "amd"
+        assert args.scale == 0.02
+
+    def test_engine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "Q14", "--engine", "duckdb"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_dbgen(self, capsys):
+        assert main(["dbgen", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "lineitem" in out and "total" in out
+
+    def test_run_q14(self, capsys):
+        assert main(["run", "Q14", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "promo_revenue" in out
+        assert "elapsed" in out
+
+    def test_run_kbe_engine(self, capsys):
+        assert main(
+            ["run", "Q14", "--engine", "kbe", "--scale", "0.002"]
+        ) == 0
+        assert "KBE" in capsys.readouterr().out
+
+    def test_run_partitioned(self, capsys):
+        assert main(
+            ["run", "Q9", "--scale", "0.002", "--partitioned-joins"]
+        ) == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "Q14", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "vs KBE" in out
+        assert "Ocelot" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--device", "amd"]) == 0
+        out = capsys.readouterr().out
+        assert "best for" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "Q14", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "segment" in out and "predicted" in out
+
+    def test_explain(self, capsys):
+        assert main(["explain", "Q5", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "probe order" in out and "ProbeOp" in out
+
+    def test_nvidia_device(self, capsys):
+        assert main(
+            ["run", "Q14", "--device", "nvidia", "--scale", "0.002"]
+        ) == 0
+        assert "NVIDIA" in capsys.readouterr().out

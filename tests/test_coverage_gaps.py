@@ -1,0 +1,125 @@
+"""Targeted tests for paths the broader suites touch only indirectly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, PlanError
+from repro.plans import AggSpec, JoinEdge, QuerySpec, TableRef
+from repro.plans.interpreter import naive_execute
+from repro.plans.physical import PartitionOp, PartitionedBuildSink
+from repro.plans.runtime import ExecutionContext
+from repro.relational import col
+
+
+class TestPartitionedBuildSinkKernels:
+    def make(self):
+        sink = PartitionedBuildSink("ht", "k", ("k", "v"), num_partitions=8)
+        sink.bind(["k", "v"], {"k": 4, "v": 8})
+        return sink
+
+    def test_gpl_two_kernels(self):
+        kernels = self.make().gpl_kernels()
+        assert [k.spec.name for k in kernels] == [
+            "k_partition",
+            "k_hash_build",
+        ]
+        assert not any(k.spec.blocking for k in kernels)
+
+    def test_kbe_four_kernels(self):
+        kernels = self.make().kbe_kernels()
+        assert [k.spec.name for k in kernels] == [
+            "k_histogram",
+            "k_prefix_sum",
+            "k_scatter",
+            "k_hash_build",
+        ]
+
+    def test_functional_lifecycle(self):
+        context = ExecutionContext()
+        sink = self.make()
+        sink.start(context)
+        sink.consume(
+            {
+                "k": np.array([1, 2, 3], dtype=np.int64),
+                "v": np.array([1.0, 2.0, 3.0]),
+            },
+            context,
+        )
+        sink.finalize(context)
+        table = context.hash_table("ht")
+        assert table.num_rows == 3
+        probe_idx, _ = table.probe(np.array([2]))
+        assert probe_idx.size == 1
+
+    def test_repr(self):
+        assert "P=8" in repr(self.make())
+
+
+class TestExecutionContext:
+    def test_missing_hash_table(self):
+        with pytest.raises(ExecutionError):
+            ExecutionContext().hash_table("ghost")
+
+    def test_missing_intermediate(self):
+        with pytest.raises(ExecutionError):
+            ExecutionContext().intermediate("ghost")
+
+
+class TestInterpreterEdges:
+    def test_disconnected_graph(self, tiny_db):
+        spec = QuerySpec(
+            name="cross",
+            tables=(
+                TableRef("lineitem", "lineitem"),
+                TableRef("region", "region"),
+            ),
+            join_edges=(),
+            fact="lineitem",
+        )
+        with pytest.raises(PlanError):
+            naive_execute(spec, tiny_db)
+
+    def test_no_aggregation_returns_raw_rows(self, tiny_db):
+        spec = QuerySpec(
+            name="raw",
+            tables=(TableRef("region", "region"),),
+            join_edges=(),
+            fact="region",
+        )
+        answer = naive_execute(spec, tiny_db)
+        assert len(answer["r_regionkey"]) == 5
+
+    def test_empty_result(self, tiny_db):
+        spec = QuerySpec(
+            name="none",
+            tables=(TableRef("region", "region"),),
+            join_edges=(),
+            fact="region",
+            filters={"region": col("r_regionkey").gt(100)},
+            aggregates=(AggSpec("n", "count"),),
+        )
+        answer = naive_execute(spec, tiny_db)
+        assert answer["n"] == [0.0]
+
+    def test_limit_and_order(self, tiny_db):
+        spec = QuerySpec(
+            name="top",
+            tables=(TableRef("nation", "nation"),),
+            join_edges=(),
+            fact="nation",
+            distinct=("n_regionkey",),
+            order_by=("n_regionkey",),
+            order_desc=(True,),
+            limit=2,
+        )
+        answer = naive_execute(spec, tiny_db)
+        assert answer["n_regionkey"] == [4, 3]
+
+
+class TestPartitionOpBinding:
+    def test_partition_op_binds_widths(self):
+        op = PartitionOp("k", 4)
+        op.bind(["k", "v"], ["k", "v"], {"k": 4, "v": 8}, 1.0)
+        assert op.in_width == 12
+        assert op.out_width == 12
+        assert op.est_selectivity == 1.0

@@ -1,0 +1,89 @@
+"""Unit tests for the database catalog and column statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import ColumnDef, ColumnStats, Database, DataType, Table, TableSchema
+
+
+def make_table(values) -> Table:
+    return Table(
+        TableSchema.of(ColumnDef("x", DataType.FLOAT64)),
+        {"x": np.asarray(values, dtype=np.float64)},
+    )
+
+
+class TestColumnStats:
+    def test_from_array(self):
+        stats = ColumnStats.from_array(np.array([1.0, 5.0, 5.0, 9.0]))
+        assert stats.minimum == 1.0
+        assert stats.maximum == 9.0
+        assert stats.distinct == 3
+        assert stats.count == 4
+
+    def test_empty(self):
+        stats = ColumnStats.from_array(np.array([]))
+        assert stats.count == 0
+        assert stats.range_selectivity(None, None) == 0.0
+        assert stats.equality_selectivity() == 0.0
+
+    def test_range_selectivity_full(self):
+        stats = ColumnStats(0.0, 10.0, 11, 100)
+        assert stats.range_selectivity(None, None) == 1.0
+
+    def test_range_selectivity_half(self):
+        stats = ColumnStats(0.0, 10.0, 11, 100)
+        assert stats.range_selectivity(None, 5.0) == pytest.approx(0.5)
+        assert stats.range_selectivity(5.0, None) == pytest.approx(0.5)
+
+    def test_range_selectivity_clamps(self):
+        stats = ColumnStats(0.0, 10.0, 11, 100)
+        assert stats.range_selectivity(-100, 200) == 1.0
+        assert stats.range_selectivity(20, 30) == 0.0
+
+    def test_range_degenerate(self):
+        stats = ColumnStats(5.0, 5.0, 1, 10)
+        assert stats.range_selectivity(0, 10) == 1.0
+
+    def test_equality_selectivity(self):
+        stats = ColumnStats(0.0, 10.0, 4, 100)
+        assert stats.equality_selectivity() == pytest.approx(0.25)
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        db = Database()
+        db.add("t", make_table([1, 2, 3]))
+        assert "t" in db
+        assert db.num_rows("t") == 3
+        assert db.names == ("t",)
+
+    def test_missing_table(self):
+        with pytest.raises(SchemaError):
+            Database().table("nope")
+
+    def test_stats_cached_and_invalidated(self):
+        db = Database()
+        db.add("t", make_table([1, 2, 3]))
+        first = db.stats("t", "x")
+        assert db.stats("t", "x") is first  # cached
+        db.add("t", make_table([10, 20]))
+        second = db.stats("t", "x")
+        assert second.maximum == 20.0  # cache invalidated on replace
+
+    def test_total_bytes(self):
+        db = Database()
+        db.add("t", make_table([1, 2, 3]))
+        assert db.total_bytes() == 3 * 8
+
+    def test_analyze(self, tiny_db):
+        tiny_db.analyze()
+        stats = tiny_db.stats("lineitem", "l_discount")
+        assert 0.0 <= stats.minimum <= stats.maximum <= 0.1
+
+    def test_iteration(self):
+        db = Database()
+        db.add("a", make_table([1]))
+        db.add("b", make_table([2]))
+        assert sorted(db) == ["a", "b"]

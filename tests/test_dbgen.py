@@ -1,0 +1,149 @@
+"""Tests for the TPC-H data generator."""
+
+import numpy as np
+import pytest
+
+from repro.relational.types import date_to_days
+from repro.tpch import generate_database
+from repro.tpch.dbgen import DbgenConfig, generate
+from repro.tpch.schema import NATION_REGION, NATIONS, PART_TYPES, REGIONS
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(scale=0.005)
+
+
+class TestCardinalities:
+    def test_fixed_tables(self, db):
+        assert db.num_rows("region") == 5
+        assert db.num_rows("nation") == 25
+
+    def test_scaled_tables(self, db):
+        assert db.num_rows("supplier") == 50
+        assert db.num_rows("customer") == 750
+        assert db.num_rows("part") == 1000
+        assert db.num_rows("orders") == 7500
+
+    def test_partsupp_four_per_part(self, db):
+        assert db.num_rows("partsupp") == 4 * db.num_rows("part")
+
+    def test_lineitem_one_to_seven_per_order(self, db):
+        ratio = db.num_rows("lineitem") / db.num_rows("orders")
+        assert 1.0 <= ratio <= 7.0
+        assert ratio == pytest.approx(4.0, abs=0.5)  # uniform 1..7 averages 4
+
+    def test_scale_scales_linearly(self):
+        small = generate_database(scale=0.002)
+        large = generate_database(scale=0.004)
+        assert large.num_rows("orders") == 2 * small.num_rows("orders")
+
+    def test_minimum_one_row(self):
+        db = generate_database(scale=1e-9)
+        for name in db.names:
+            assert db.num_rows(name) >= 1
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            DbgenConfig(scale=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(DbgenConfig(scale=0.002, seed=42))
+        b = generate(DbgenConfig(scale=0.002, seed=42))
+        assert np.array_equal(
+            a.table("lineitem")["l_extendedprice"],
+            b.table("lineitem")["l_extendedprice"],
+        )
+
+    def test_different_seed_different_data(self):
+        a = generate(DbgenConfig(scale=0.002, seed=1))
+        b = generate(DbgenConfig(scale=0.002, seed=2))
+        assert not np.array_equal(
+            a.table("lineitem")["l_extendedprice"],
+            b.table("lineitem")["l_extendedprice"],
+        )
+
+
+class TestReferentialIntegrity:
+    def test_nation_region_mapping(self, db):
+        nation = db.table("nation")
+        assert list(nation["n_regionkey"]) == list(NATION_REGION)
+        assert set(nation["n_regionkey"]) <= set(range(len(REGIONS)))
+
+    def test_supplier_nation_fk(self, db):
+        assert db.table("supplier")["s_nationkey"].max() < len(NATIONS)
+
+    def test_customer_nation_fk(self, db):
+        assert db.table("customer")["c_nationkey"].max() < len(NATIONS)
+
+    def test_orders_customer_fk(self, db):
+        assert db.table("orders")["o_custkey"].max() < db.num_rows("customer")
+
+    def test_lineitem_fks(self, db):
+        lineitem = db.table("lineitem")
+        assert lineitem["l_orderkey"].max() < db.num_rows("orders")
+        assert lineitem["l_partkey"].max() < db.num_rows("part")
+        assert lineitem["l_suppkey"].max() < db.num_rows("supplier")
+
+    def test_partsupp_pairs_distinct(self, db):
+        partsupp = db.table("partsupp")
+        pairs = set(
+            zip(
+                partsupp["ps_partkey"].tolist(),
+                partsupp["ps_suppkey"].tolist(),
+            )
+        )
+        assert len(pairs) == db.num_rows("partsupp")
+
+    def test_every_lineitem_order_exists(self, db):
+        # Every order key appears, since lineitems are generated per order.
+        orders = set(db.table("orders")["o_orderkey"].tolist())
+        lineitem_orders = set(db.table("lineitem")["l_orderkey"].tolist())
+        assert lineitem_orders <= orders
+
+
+class TestValueDistributions:
+    def test_discount_and_tax_ranges(self, db):
+        lineitem = db.table("lineitem")
+        assert lineitem["l_discount"].min() >= 0.0
+        assert lineitem["l_discount"].max() <= 0.10
+        assert lineitem["l_tax"].min() >= 0.0
+        assert lineitem["l_tax"].max() <= 0.08
+
+    def test_quantity_range(self, db):
+        q = db.table("lineitem")["l_quantity"]
+        assert q.min() >= 1 and q.max() <= 50
+
+    def test_orderdate_range(self, db):
+        dates = db.table("orders")["o_orderdate"]
+        assert dates.min() >= date_to_days("1992-01-01")
+        assert dates.max() <= date_to_days("1998-08-02")
+
+    def test_shipdate_after_orderdate(self, db):
+        orders = db.table("orders")
+        lineitem = db.table("lineitem")
+        order_dates = dict(
+            zip(orders["o_orderkey"].tolist(), orders["o_orderdate"].tolist())
+        )
+        ship = lineitem["l_shipdate"]
+        okeys = lineitem["l_orderkey"]
+        for index in range(0, lineitem.num_rows, 97):  # sample
+            gap = int(ship[index]) - order_dates[int(okeys[index])]
+            assert 1 <= gap <= 121
+
+    def test_part_types_cover_promo(self, db):
+        codes = set(db.table("part")["p_type"].tolist())
+        promo = {
+            code
+            for code, name in enumerate(PART_TYPES)
+            if name.startswith("PROMO")
+        }
+        assert codes & promo, "some parts must be promotional"
+
+    def test_extendedprice_consistent_with_quantity(self, db):
+        lineitem = db.table("lineitem")
+        unit = lineitem["l_extendedprice"] / lineitem["l_quantity"]
+        assert unit.min() >= 900.0
+        assert unit.max() <= 2100.0

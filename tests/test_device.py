@@ -1,0 +1,66 @@
+"""Tests for the device presets (Table 1)."""
+
+import pytest
+
+from repro.gpu import AMD_A10, NVIDIA_K40, device_by_name
+
+
+class TestPresets:
+    def test_amd_matches_table1(self):
+        assert AMD_A10.num_cus == 8
+        assert AMD_A10.core_mhz == 720.0
+        assert AMD_A10.local_mem_per_cu == 32 * 1024
+        assert AMD_A10.global_mem_bytes == 32 * 1024 ** 3
+        assert AMD_A10.cache_bytes == 4 * 1024 ** 2
+        assert AMD_A10.concurrency == 2
+        assert AMD_A10.programming_api == "OpenCL"
+        assert AMD_A10.wavefront == 64
+
+    def test_nvidia_matches_table1(self):
+        assert NVIDIA_K40.num_cus == 15
+        assert NVIDIA_K40.core_mhz == 875.0
+        assert NVIDIA_K40.local_mem_per_cu == 48 * 1024
+        assert NVIDIA_K40.global_mem_bytes == 12 * 1024 ** 3
+        assert NVIDIA_K40.cache_bytes == int(1.5 * 1024 ** 2)
+        assert NVIDIA_K40.concurrency == 16
+        assert NVIDIA_K40.programming_api == "CUDA"
+
+    def test_w_is_four_on_both(self):
+        # "In our experiments, w is 4 for both AMD and NVIDIA GPU."
+        assert AMD_A10.instruction_cycles == 4.0
+        assert NVIDIA_K40.instruction_cycles == 4.0
+
+    def test_packet_tunability(self):
+        assert AMD_A10.tunable_packet_size
+        assert not NVIDIA_K40.tunable_packet_size
+
+
+class TestConversions:
+    def test_cycles_to_ms_round_trip(self):
+        for device in (AMD_A10, NVIDIA_K40):
+            assert device.ms_to_cycles(device.cycles_to_ms(123456.0)) == (
+                pytest.approx(123456.0)
+            )
+
+    def test_one_ms(self):
+        # 720 MHz -> 720k cycles per ms.
+        assert AMD_A10.ms_to_cycles(1.0) == pytest.approx(720_000.0)
+
+
+class TestHelpers:
+    def test_table1_row_fields(self):
+        row = AMD_A10.table1_row()
+        assert row["#CU"] == 8
+        assert row["Cache (MB)"] == 4.0
+        assert row["Local memory/CU (KB)"] == 32
+
+    def test_with_overrides(self):
+        modified = AMD_A10.with_overrides(concurrency=4)
+        assert modified.concurrency == 4
+        assert AMD_A10.concurrency == 2  # original untouched
+
+    def test_device_by_name(self):
+        assert device_by_name("amd") is AMD_A10
+        assert device_by_name("NVIDIA") is NVIDIA_K40
+        with pytest.raises(ValueError):
+            device_by_name("intel")

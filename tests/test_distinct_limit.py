@@ -1,0 +1,107 @@
+"""Tests for SELECT DISTINCT and LIMIT support."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPLEngine
+from repro.errors import PlanError
+from repro.kbe import KBEEngine
+from repro.plans import AggSpec, JoinEdge, QuerySpec, TableRef
+from repro.relational import col
+
+
+def distinct_nations_spec(limit=None) -> QuerySpec:
+    return QuerySpec(
+        name="distinct_nations",
+        tables=(TableRef("customer", "customer"),),
+        join_edges=(),
+        fact="customer",
+        filters={"customer": col("c_acctbal").gt(0.0)},
+        distinct=("c_nationkey",),
+        order_by=("c_nationkey",),
+        limit=limit,
+    )
+
+
+def top_revenue_spec(limit) -> QuerySpec:
+    return QuerySpec(
+        name="top_suppliers",
+        tables=(
+            TableRef("lineitem", "lineitem"),
+            TableRef("supplier", "supplier"),
+        ),
+        join_edges=(
+            JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+        ),
+        fact="lineitem",
+        group_keys=("s_nationkey",),
+        aggregates=(
+            AggSpec("revenue", "sum", col("l_extendedprice")),
+        ),
+        order_by=("revenue",),
+        order_desc=(True,),
+        limit=limit,
+    )
+
+
+class TestDistinct:
+    @pytest.mark.parametrize("engine_cls", (KBEEngine, GPLEngine))
+    def test_distinct_nations(self, tiny_db, amd, engine_cls):
+        result = engine_cls(tiny_db, amd).execute(distinct_nations_spec())
+        values = list(result.column("c_nationkey"))
+        # genuinely distinct and sorted
+        assert len(values) == len(set(values))
+        assert values == sorted(values)
+        # matches numpy ground truth
+        table = tiny_db.table("customer")
+        expected = sorted(
+            set(
+                table["c_nationkey"][table["c_acctbal"] > 0.0].tolist()
+            )
+        )
+        assert values == expected
+
+    def test_distinct_with_aggregates_rejected(self):
+        with pytest.raises(PlanError):
+            QuerySpec(
+                name="bad",
+                tables=(TableRef("customer", "customer"),),
+                join_edges=(),
+                fact="customer",
+                distinct=("c_nationkey",),
+                aggregates=(AggSpec("n", "count"),),
+            )
+
+    def test_distinct_engines_agree(self, tiny_db, amd):
+        kbe = KBEEngine(tiny_db, amd).execute(distinct_nations_spec())
+        gpl = GPLEngine(tiny_db, amd).execute(distinct_nations_spec())
+        assert kbe.approx_equals(gpl)
+
+
+class TestLimit:
+    @pytest.mark.parametrize("engine_cls", (KBEEngine, GPLEngine))
+    def test_top_n_with_order(self, tiny_db, amd, engine_cls):
+        limited = engine_cls(tiny_db, amd).execute(top_revenue_spec(3))
+        full = engine_cls(tiny_db, amd).execute(top_revenue_spec(None))
+        assert limited.num_rows == 3
+        # the top 3 of the full ordering
+        assert limited.rows() == full.rows()[:3]
+
+    def test_limit_larger_than_result(self, tiny_db, amd):
+        result = GPLEngine(tiny_db, amd).execute(top_revenue_spec(10_000))
+        assert result.num_rows <= 25  # at most one row per nation
+
+    def test_limit_without_order(self, tiny_db, amd):
+        result = GPLEngine(tiny_db, amd).execute(
+            distinct_nations_spec(limit=5)
+        )
+        assert result.num_rows == 5
+
+    def test_invalid_limit(self):
+        with pytest.raises(PlanError):
+            top_revenue_spec(0)
+
+    def test_limit_preserves_correctness(self, tiny_db, amd):
+        kbe = KBEEngine(tiny_db, amd).execute(top_revenue_spec(5))
+        gpl = GPLEngine(tiny_db, amd).execute(top_revenue_spec(5))
+        assert kbe.approx_equals(gpl)

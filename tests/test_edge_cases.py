@@ -1,0 +1,209 @@
+"""Edge cases through the full engine stack: empty results, degenerate
+inputs, unusual query shapes."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPLConfig, GPLEngine, GPLWithoutCEEngine
+from repro.kbe import KBEEngine
+from repro.plans import AggSpec, JoinEdge, QuerySpec, TableRef
+from repro.relational import (
+    CaseWhen,
+    ColumnDef,
+    Database,
+    DataType,
+    Table,
+    TableSchema,
+    col,
+    lit,
+)
+
+ENGINES = (KBEEngine, GPLEngine, GPLWithoutCEEngine)
+
+
+def empty_filter_spec() -> QuerySpec:
+    return QuerySpec(
+        name="empty_filter",
+        tables=(
+            TableRef("lineitem", "lineitem"),
+            TableRef("part", "part"),
+        ),
+        join_edges=(
+            JoinEdge("lineitem", "l_partkey", "part", "p_partkey"),
+        ),
+        fact="lineitem",
+        filters={"lineitem": col("l_quantity").gt(1e9)},
+        group_keys=("p_type",),
+        aggregates=(AggSpec("n", "count"),),
+        order_by=("n",),
+    )
+
+
+class TestEmptyResults:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_filter_eliminates_everything(self, tiny_db, amd, engine_cls):
+        result = engine_cls(tiny_db, amd).execute(empty_filter_spec())
+        assert result.num_rows == 0
+        assert result.elapsed_ms > 0  # scans still happened
+
+    @pytest.mark.parametrize("engine_cls", (KBEEngine, GPLEngine))
+    def test_empty_build_side(self, tiny_db, amd, engine_cls):
+        spec = QuerySpec(
+            name="empty_build",
+            tables=(
+                TableRef("lineitem", "lineitem"),
+                TableRef("part", "part"),
+            ),
+            join_edges=(
+                JoinEdge("lineitem", "l_partkey", "part", "p_partkey"),
+            ),
+            fact="lineitem",
+            filters={"part": col("p_size").gt(10_000)},
+            aggregates=(AggSpec("n", "count"),),
+        )
+        result = engine_cls(tiny_db, amd).execute(spec)
+        assert result.rows() == [(0.0,)]
+
+
+class TestDegenerateInputs:
+    def _single_row_db(self) -> Database:
+        database = Database()
+        schema = TableSchema.of(
+            ColumnDef("f_key", DataType.INT32),
+            ColumnDef("f_value", DataType.FLOAT64),
+        )
+        database.add(
+            "facts",
+            Table(schema, {"f_key": np.array([7]), "f_value": np.array([2.5])}),
+        )
+        dim_schema = TableSchema.of(
+            ColumnDef("d_key", DataType.INT32),
+            ColumnDef("d_weight", DataType.FLOAT64),
+        )
+        database.add(
+            "dims",
+            Table(
+                dim_schema,
+                {"d_key": np.array([7, 8]), "d_weight": np.array([3.0, 4.0])},
+            ),
+        )
+        return database
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_single_row_join(self, amd, engine_cls):
+        database = self._single_row_db()
+        spec = QuerySpec(
+            name="single",
+            tables=(
+                TableRef("facts", "facts"),
+                TableRef("dims", "dims"),
+            ),
+            join_edges=(JoinEdge("facts", "f_key", "dims", "d_key"),),
+            fact="facts",
+            derived=(("product", col("f_value") * col("d_weight")),),
+            aggregates=(AggSpec("total", "sum", col("product")),),
+        )
+        result = engine_cls(database, amd).execute(spec)
+        assert result.rows() == [(7.5,)]
+
+    def test_tiny_tile_size(self, tiny_db, amd):
+        from repro.tpch import q14
+
+        engine = GPLEngine(tiny_db, amd, GPLConfig(tile_bytes=4096))
+        baseline = GPLEngine(tiny_db, amd)
+        assert engine.execute(q14()).approx_equals(
+            baseline.execute(q14())
+        )
+
+    def test_one_workgroup_everywhere(self, tiny_db, amd):
+        from repro.tpch import q14
+
+        engine = GPLEngine(tiny_db, amd, GPLConfig(default_workgroups=1))
+        baseline = GPLEngine(tiny_db, amd)
+        assert engine.execute(q14()).approx_equals(
+            baseline.execute(q14())
+        )
+
+
+class TestUnusualQueryShapes:
+    @pytest.mark.parametrize("engine_cls", (KBEEngine, GPLEngine))
+    def test_no_filters_at_all(self, tiny_db, amd, engine_cls):
+        spec = QuerySpec(
+            name="unfiltered",
+            tables=(
+                TableRef("lineitem", "lineitem"),
+                TableRef("supplier", "supplier"),
+            ),
+            join_edges=(
+                JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+            ),
+            fact="lineitem",
+            group_keys=("s_nationkey",),
+            aggregates=(AggSpec("n", "count"),),
+        )
+        result = engine_cls(tiny_db, amd).execute(spec)
+        total = sum(result.column("n"))
+        assert total == tiny_db.num_rows("lineitem")
+
+    @pytest.mark.parametrize("engine_cls", (KBEEngine, GPLEngine))
+    def test_min_max_aggregates(self, tiny_db, amd, engine_cls):
+        spec = QuerySpec(
+            name="minmax",
+            tables=(TableRef("lineitem", "lineitem"),),
+            join_edges=(),
+            fact="lineitem",
+            aggregates=(
+                AggSpec("lo", "min", col("l_quantity")),
+                AggSpec("hi", "max", col("l_quantity")),
+                AggSpec("mean", "avg", col("l_quantity")),
+            ),
+        )
+        result = engine_cls(tiny_db, amd).execute(spec)
+        lo, hi, mean = result.rows()[0]
+        quantity = tiny_db.table("lineitem")["l_quantity"]
+        assert lo == quantity.min()
+        assert hi == quantity.max()
+        assert mean == pytest.approx(quantity.mean())
+
+    @pytest.mark.parametrize("engine_cls", (KBEEngine, GPLEngine))
+    def test_case_when_in_aggregate(self, tiny_db, amd, engine_cls):
+        spec = QuerySpec(
+            name="casewhen",
+            tables=(TableRef("lineitem", "lineitem"),),
+            join_edges=(),
+            fact="lineitem",
+            derived=(
+                (
+                    "cheap",
+                    CaseWhen(
+                        col("l_quantity").le(10), lit(1.0), lit(0.0)
+                    ),
+                ),
+            ),
+            aggregates=(AggSpec("cheap_count", "sum", col("cheap")),),
+        )
+        result = engine_cls(tiny_db, amd).execute(spec)
+        expected = float(
+            (tiny_db.table("lineitem")["l_quantity"] <= 10).sum()
+        )
+        assert result.rows()[0][0] == expected
+
+    def test_explain_runs_for_all_queries(self, tiny_db, amd):
+        from repro.tpch import QUERIES, query_by_name
+
+        engine = GPLEngine(tiny_db, amd)
+        for name in QUERIES:
+            text = engine.explain(query_by_name(name))
+            assert "probe order" in text
+            assert "pipelines:" in text
+
+    def test_explain_shows_partitioning(self, small_db, amd):
+        from repro.tpch import q9
+
+        engine = GPLEngine(
+            small_db, amd, partitioned_joins=True, num_partitions=8
+        )
+        # lower threshold via direct prepare is implicit; with default
+        # threshold orders may not partition at this scale, so just check
+        # the call succeeds and mentions the probe chain.
+        assert "ProbeOp" in engine.explain(q9())

@@ -1,0 +1,169 @@
+"""End-to-end correctness: every engine vs the independent reference.
+
+This is the load-bearing integration suite: the KBE baseline, GPL, the
+w/o-CE variant, and the Ocelot comparator must all return the reference
+answers for every workload query — whatever tiling, channel, or
+work-group configuration is in effect.
+"""
+
+import pytest
+
+from repro.core import GPLConfig, GPLEngine, GPLWithoutCEEngine
+from repro.gpu import ChannelConfig
+from repro.kbe import KBEEngine
+from repro.ocelot import OcelotEngine
+from repro.tpch import query_by_name, reference_answer
+from repro.tpch.queries import q14
+
+from .conftest import assert_rows_close
+
+QUERIES = ("Q5", "Q7", "Q8", "Q9", "Q14")
+
+
+def reference_rows(db, name, **kwargs):
+    answer = reference_answer(db, name, **kwargs)
+    return sorted(zip(*[answer[column] for column in answer]))
+
+
+@pytest.fixture(scope="module")
+def references(small_db):
+    return {name: reference_rows(small_db, name) for name in QUERIES}
+
+
+class TestKBECorrectness:
+    @pytest.mark.parametrize("name", QUERIES)
+    def test_matches_reference(self, small_db, amd, references, name):
+        result = KBEEngine(small_db, amd).execute(query_by_name(name))
+        assert_rows_close(result.sorted_rows(), references[name])
+
+
+class TestGPLCorrectness:
+    @pytest.mark.parametrize("name", QUERIES)
+    def test_matches_reference(self, small_db, amd, references, name):
+        result = GPLEngine(small_db, amd).execute(query_by_name(name))
+        assert_rows_close(result.sorted_rows(), references[name])
+
+    @pytest.mark.parametrize("name", QUERIES)
+    def test_nvidia_device_same_answers(
+        self, small_db, nvidia, references, name
+    ):
+        result = GPLEngine(small_db, nvidia).execute(query_by_name(name))
+        assert_rows_close(result.sorted_rows(), references[name])
+
+    @pytest.mark.parametrize("tile_kb", [64, 256, 4096])
+    def test_tile_size_never_changes_answers(
+        self, small_db, amd, references, tile_kb
+    ):
+        engine = GPLEngine(
+            small_db, amd, GPLConfig(tile_bytes=tile_kb * 1024)
+        )
+        result = engine.execute(query_by_name("Q5"))
+        assert_rows_close(result.sorted_rows(), references["Q5"])
+
+    def test_channel_config_never_changes_answers(
+        self, small_db, amd, references
+    ):
+        engine = GPLEngine(
+            small_db,
+            amd,
+            GPLConfig(channel=ChannelConfig(num_channels=1, packet_bytes=64)),
+        )
+        result = engine.execute(query_by_name("Q9"))
+        assert_rows_close(result.sorted_rows(), references["Q9"])
+
+    def test_workgroups_never_change_answers(self, small_db, amd, references):
+        engine = GPLEngine(small_db, amd, GPLConfig(default_workgroups=2))
+        result = engine.execute(query_by_name("Q8"))
+        assert_rows_close(result.sorted_rows(), references["Q8"])
+
+
+class TestWithoutCECorrectness:
+    @pytest.mark.parametrize("name", QUERIES)
+    def test_matches_reference(self, small_db, amd, references, name):
+        result = GPLWithoutCEEngine(small_db, amd).execute(query_by_name(name))
+        assert_rows_close(result.sorted_rows(), references[name])
+
+
+class TestOcelotCorrectness:
+    @pytest.mark.parametrize("name", QUERIES)
+    def test_matches_reference(self, small_db, amd, references, name):
+        result = OcelotEngine(small_db, amd).execute(query_by_name(name))
+        assert_rows_close(result.sorted_rows(), references[name])
+
+    def test_cache_does_not_change_answers(self, small_db, amd, references):
+        engine = OcelotEngine(small_db, amd)
+        first = engine.execute(query_by_name("Q5"))
+        second = engine.execute(query_by_name("Q5"))  # hash tables cached
+        assert_rows_close(first.sorted_rows(), references["Q5"])
+        assert_rows_close(second.sorted_rows(), references["Q5"])
+
+
+class TestSelectivitySweep:
+    @pytest.mark.parametrize("selectivity", [0.01, 0.25, 1.0])
+    def test_q14_sweep_correct(self, small_db, amd, selectivity):
+        expected = reference_rows(small_db, "Q14", selectivity=selectivity)
+        for engine in (KBEEngine(small_db, amd), GPLEngine(small_db, amd)):
+            result = engine.execute(q14(selectivity=selectivity))
+            assert_rows_close(result.sorted_rows(), expected, rel=1e-8)
+
+    def test_q14_full_selectivity_selects_everything(self, small_db, amd):
+        result = GPLEngine(small_db, amd).execute(q14(selectivity=1.0))
+        # With every lineitem selected, promo share approaches the PROMO
+        # type fraction (25 of 150 types).
+        (value,) = result.rows()[0]
+        assert value == pytest.approx(100.0 * 25 / 150, rel=0.1)
+
+
+class TestResultObject:
+    def test_metadata(self, small_db, amd):
+        result = GPLEngine(small_db, amd).execute(query_by_name("Q5"))
+        assert result.query == "Q5"
+        assert result.engine == "GPL"
+        assert result.device == amd.name
+        assert result.columns == ("n_name", "revenue")
+        assert result.num_rows == len(result.rows())
+        assert result.elapsed_ms > 0
+
+    def test_column_access(self, small_db, amd):
+        result = GPLEngine(small_db, amd).execute(query_by_name("Q5"))
+        assert len(result.column("revenue")) == result.num_rows
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            result.column("ghost")
+
+    def test_q5_ordered_by_revenue_desc(self, small_db, amd):
+        result = GPLEngine(small_db, amd).execute(query_by_name("Q5"))
+        revenue = list(result.column("revenue"))
+        assert revenue == sorted(revenue, reverse=True)
+
+    def test_decoded_rows(self, small_db, amd):
+        from repro.tpch.schema import NATIONS
+
+        result = GPLEngine(small_db, amd).execute(query_by_name("Q5"))
+        decoded = result.decoded_rows()
+        assert decoded, "Q5 returns rows"
+        for name, revenue in decoded:
+            assert name in NATIONS  # codes decoded to nation names
+            assert isinstance(revenue, float) or revenue == revenue
+
+    def test_decoded_rows_q7_derived(self, small_db, amd):
+        from repro.tpch.schema import NATIONS
+
+        result = GPLEngine(small_db, amd).execute(query_by_name("Q7"))
+        for supp, cust, year, revenue in result.decoded_rows():
+            assert supp in ("FRANCE", "GERMANY")
+            assert cust in ("FRANCE", "GERMANY")
+            assert supp != cust
+
+    def test_decoded_rows_without_dictionaries(self, small_db, amd):
+        result = GPLEngine(small_db, amd).execute(query_by_name("Q14"))
+        assert result.decoded_rows() == result.rows()
+
+    def test_approx_equals(self, small_db, amd):
+        a = GPLEngine(small_db, amd).execute(query_by_name("Q14"))
+        b = KBEEngine(small_db, amd).execute(query_by_name("Q14"))
+        assert a.approx_equals(b)
+        assert not a.approx_equals(
+            GPLEngine(small_db, amd).execute(query_by_name("Q5"))
+        )

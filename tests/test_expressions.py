@@ -1,0 +1,180 @@
+"""Unit tests for the expression trees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational import (
+    And,
+    Arith,
+    CaseWhen,
+    Col,
+    Compare,
+    InList,
+    Lit,
+    Not,
+    Or,
+    YearOf,
+    col,
+    lit,
+)
+from repro.relational.types import date_to_days
+
+DATA = {
+    "a": np.array([1.0, 2.0, 3.0, 4.0]),
+    "b": np.array([4.0, 3.0, 2.0, 1.0]),
+    "k": np.array([0, 1, 2, 3]),
+}
+
+
+class TestLeaves:
+    def test_col(self):
+        assert list(col("a").evaluate(DATA)) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_col_missing(self):
+        with pytest.raises(ExpressionError):
+            col("zzz").evaluate(DATA)
+
+    def test_lit(self):
+        assert float(lit(2.5).evaluate(DATA)) == 2.5
+
+    def test_columns(self):
+        assert col("a").columns() == {"a"}
+        assert lit(1).columns() == frozenset()
+
+    def test_leaf_instruction_counts(self):
+        assert col("a").instruction_count() == 0
+        assert lit(1).instruction_count() == 0
+
+
+class TestArithmetic:
+    def test_operator_sugar(self):
+        expr = col("a") + col("b") * lit(2.0)
+        assert list(expr.evaluate(DATA)) == [9.0, 8.0, 7.0, 6.0]
+
+    def test_subtraction_and_division(self):
+        expr = (col("a") - lit(1.0)) / lit(2.0)
+        assert list(expr.evaluate(DATA)) == [0.0, 0.5, 1.0, 1.5]
+
+    def test_reflected_operators(self):
+        assert list((1.0 - col("a")).evaluate(DATA)) == [0.0, -1.0, -2.0, -3.0]
+        assert list((2 * col("a")).evaluate(DATA))[0] == 2.0
+        assert list((1 + col("a")).evaluate(DATA))[0] == 2.0
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Arith("%", col("a"), lit(2))
+
+    def test_bad_operand(self):
+        with pytest.raises(ExpressionError):
+            col("a") + "not a number"
+
+    def test_division_promotes_to_float(self):
+        expr = col("k") / lit(2)
+        assert expr.evaluate(DATA).dtype == np.float64
+
+    def test_division_cost_exceeds_addition(self):
+        add = (col("a") + col("b")).instruction_count()
+        div = (col("a") / col("b")).instruction_count()
+        assert div > add
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "method,expected",
+        [
+            ("eq", [False, False, False, False]),
+            ("lt", [True, True, False, False]),
+            ("le", [True, True, False, False]),
+            ("gt", [False, False, True, True]),
+            ("ge", [False, False, True, True]),
+            ("ne", [True, True, True, True]),
+        ],
+    )
+    def test_compare(self, method, expected):
+        # a vs b: [1<4, 2<3, 3>2, 4>1]
+        expr = getattr(col("a"), method)(col("b"))
+        assert list(expr.evaluate(DATA)) == expected
+
+    def test_eq_middle(self):
+        data = {"a": np.array([1, 2, 2]), "b": np.array([2, 2, 3])}
+        assert list(col("a").eq(col("b")).evaluate(data)) == [
+            False,
+            True,
+            False,
+        ]
+
+    def test_unknown_comparison(self):
+        with pytest.raises(ExpressionError):
+            Compare("~", col("a"), col("b"))
+
+    def test_between(self):
+        expr = col("a").between(2, 3)
+        assert list(expr.evaluate(DATA)) == [False, True, True, False]
+
+
+class TestBoolean:
+    def test_and_or_not(self):
+        low = col("a").le(2)
+        high = col("a").ge(3)
+        assert list((low | high).evaluate(DATA)) == [True] * 4
+        assert list((low & high).evaluate(DATA)) == [False] * 4
+        assert list((~low).evaluate(DATA)) == [False, False, True, True]
+
+    def test_columns_union(self):
+        expr = col("a").lt(1) & col("b").gt(1)
+        assert expr.columns() == {"a", "b"}
+
+    def test_memory_reads(self):
+        expr = col("a").lt(1) & col("b").gt(col("a"))
+        assert expr.memory_reads() == 2
+
+
+class TestInList:
+    def test_membership(self):
+        expr = col("k").isin([1, 3])
+        assert list(expr.evaluate(DATA)) == [False, True, False, True]
+
+    def test_empty_list(self):
+        expr = col("k").isin([])
+        assert list(expr.evaluate(DATA)) == [False] * 4
+
+    def test_cost_scales_with_list(self):
+        small = col("k").isin([1]).instruction_count()
+        large = col("k").isin(list(range(20))).instruction_count()
+        assert large > small
+
+
+class TestCaseWhen:
+    def test_basic(self):
+        expr = CaseWhen(col("a").lt(3), col("b"), lit(0.0))
+        assert list(expr.evaluate(DATA)) == [4.0, 3.0, 0.0, 0.0]
+
+    def test_columns(self):
+        expr = CaseWhen(col("a").lt(3), col("b"), col("k"))
+        assert expr.columns() == {"a", "b", "k"}
+
+    def test_instruction_count_positive(self):
+        expr = CaseWhen(col("a").lt(3), col("b"), lit(0.0))
+        assert expr.instruction_count() > 0
+
+
+class TestYearOf:
+    def test_exact_years(self):
+        days = np.array(
+            [
+                date_to_days("1992-01-01"),
+                date_to_days("1992-12-31"),
+                date_to_days("1993-01-01"),
+                date_to_days("1996-02-29"),  # leap day
+            ],
+            dtype=np.int32,
+        )
+        years = YearOf(col("d")).evaluate({"d": days})
+        assert list(years) == [1992, 1992, 1993, 1996]
+
+    def test_columns(self):
+        assert YearOf(col("d")).columns() == {"d"}
+
+    def test_instruction_count(self):
+        assert YearOf(col("d")).instruction_count() > 0

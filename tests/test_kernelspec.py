@@ -1,0 +1,93 @@
+"""Tests for kernel specifications and launches."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu import DataLocation, KernelLaunch, KernelSpec
+
+
+def spec(**kwargs) -> KernelSpec:
+    base = dict(
+        name="k_test",
+        compute_instr=10.0,
+        memory_instr=2.0,
+        pm_per_workitem=32,
+        lm_per_workitem=8,
+    )
+    base.update(kwargs)
+    return KernelSpec(**base)
+
+
+class TestKernelSpec:
+    def test_instr_per_tuple(self):
+        assert spec().instr_per_tuple == 12.0
+
+    def test_negative_instr_rejected(self):
+        with pytest.raises(SimulationError):
+            spec(compute_instr=-1.0)
+
+    def test_bad_workgroup_size(self):
+        with pytest.raises(SimulationError):
+            spec(workgroup_size=0)
+
+    def test_scaled(self):
+        doubled = spec().scaled(2.0)
+        assert doubled.compute_instr == 20.0
+        assert doubled.memory_instr == 4.0
+        assert doubled.name == "k_test"
+
+    def test_default_not_blocking(self):
+        assert not spec().blocking
+        assert spec(blocking=True).blocking
+
+
+class TestKernelLaunch:
+    def launch(self, **kwargs) -> KernelLaunch:
+        base = dict(
+            spec=spec(),
+            tuples=1000,
+            workgroups=8,
+            in_bytes_per_tuple=16,
+            out_bytes_per_tuple=8,
+            selectivity=0.5,
+        )
+        base.update(kwargs)
+        return KernelLaunch(**base)
+
+    def test_sizes(self):
+        launch = self.launch()
+        assert launch.input_bytes == 16_000
+        assert launch.output_tuples == 500
+        assert launch.output_bytes == 4_000
+        assert launch.tuples_per_workgroup == 125.0
+
+    def test_expansion_selectivity(self):
+        launch = self.launch(selectivity=4.0)  # joins can expand
+        assert launch.output_tuples == 4000
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            self.launch(tuples=-1)
+        with pytest.raises(SimulationError):
+            self.launch(workgroups=0)
+        with pytest.raises(SimulationError):
+            self.launch(selectivity=-0.1)
+
+    def test_with_workgroups(self):
+        modified = self.launch().with_workgroups(32)
+        assert modified.workgroups == 32
+        assert modified.tuples == 1000
+
+    def test_with_tuples(self):
+        modified = self.launch().with_tuples(10)
+        assert modified.tuples == 10
+        assert modified.workgroups == 8
+
+    def test_display_name(self):
+        assert self.launch().display_name == "k_test"
+        assert self.launch(label="stage0").display_name == "stage0"
+
+    def test_default_locations(self):
+        launch = self.launch()
+        assert launch.input_location is DataLocation.GLOBAL
+        assert launch.output_location is DataLocation.GLOBAL

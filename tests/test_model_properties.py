@@ -1,0 +1,121 @@
+"""Property-based tests on the analytical cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GPLConfig
+from repro.gpu import AMD_A10, KernelSpec
+from repro.model import (
+    CostModel,
+    KernelCostInput,
+    SegmentCostInput,
+    calibrate_channels,
+)
+
+MIB = 1024 * 1024
+
+_MODEL = None
+
+
+def model() -> CostModel:
+    global _MODEL
+    if _MODEL is None:
+        _MODEL = CostModel(AMD_A10, calibrate_channels(AMD_A10))
+    return _MODEL
+
+
+def kernel(compute, memory, sel, leaf):
+    return KernelCostInput(
+        spec=KernelSpec(
+            name="k",
+            compute_instr=compute,
+            memory_instr=memory,
+            pm_per_workitem=32,
+            lm_per_workitem=8,
+        ),
+        selectivity=sel,
+        in_width=16,
+        out_width=8,
+        is_leaf=leaf,
+    )
+
+
+@st.composite
+def segments(draw):
+    num = draw(st.integers(min_value=1, max_value=4))
+    kernels = []
+    for index in range(num):
+        kernels.append(
+            kernel(
+                compute=draw(st.floats(min_value=1, max_value=200)),
+                memory=draw(st.floats(min_value=0, max_value=8)),
+                sel=draw(st.floats(min_value=0.01, max_value=1.5)),
+                leaf=index == 0,
+            )
+        )
+    rows = draw(st.integers(min_value=1_000, max_value=2_000_000))
+    return SegmentCostInput(
+        name="seg", kernels=tuple(kernels), source_rows=rows, source_width=16
+    )
+
+
+class TestModelProperties:
+    @given(segment=segments())
+    @settings(max_examples=60, deadline=None)
+    def test_estimates_finite_and_positive(self, segment):
+        estimate = model().estimate_segment(segment, GPLConfig())
+        assert estimate.total_cycles > 0
+        assert estimate.delay_cycles >= 0
+        assert estimate.num_tiles >= 1
+        for kernel_estimate in estimate.kernels:
+            assert kernel_estimate.compute_cycles >= 0
+            assert kernel_estimate.memory_cycles >= 0
+
+    @given(segment=segments())
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_rows(self, segment):
+        small = model().estimate_segment(segment, GPLConfig())
+        bigger = SegmentCostInput(
+            name=segment.name,
+            kernels=segment.kernels,
+            source_rows=segment.source_rows * 4,
+            source_width=segment.source_width,
+        )
+        large = model().estimate_segment(bigger, GPLConfig())
+        assert large.total_cycles > small.total_cycles
+
+    @given(segment=segments())
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_instruction_scale(self, segment):
+        base = model().estimate_segment(segment, GPLConfig())
+        scaled = SegmentCostInput(
+            name=segment.name,
+            kernels=tuple(
+                KernelCostInput(
+                    spec=k.spec.scaled(3.0),
+                    selectivity=k.selectivity,
+                    in_width=k.in_width,
+                    out_width=k.out_width,
+                    aux_reads_per_tuple=k.aux_reads_per_tuple,
+                    aux_working_set_bytes=k.aux_working_set_bytes,
+                    is_leaf=k.is_leaf,
+                )
+                for k in segment.kernels
+            ),
+            source_rows=segment.source_rows,
+            source_width=segment.source_width,
+        )
+        heavier = model().estimate_segment(scaled, GPLConfig())
+        assert heavier.total_cycles > base.total_cycles
+
+    @given(
+        segment=segments(),
+        tile_kb=st.sampled_from([256, 1024, 4096, 16384]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, segment, tile_kb):
+        config = GPLConfig(tile_bytes=tile_kb * 1024)
+        first = model().estimate_segment(segment, config)
+        second = model().estimate_segment(segment, config)
+        assert first.total_cycles == second.total_cycles

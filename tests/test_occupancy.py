@@ -1,0 +1,137 @@
+"""Tests for occupancy (paper Eq. 2) and resource allocation."""
+
+import pytest
+
+from repro.errors import OccupancyError
+from repro.gpu import (
+    AMD_A10,
+    KernelLaunch,
+    KernelSpec,
+    allocate_segment_occupancy,
+    check_segment_feasible,
+    exclusive_occupancy,
+    max_active_wg_per_cu,
+)
+from repro.gpu.occupancy import scheduling_contention
+
+
+def spec(pm=32, lm=8, name="k") -> KernelSpec:
+    return KernelSpec(
+        name=name,
+        compute_instr=10,
+        memory_instr=2,
+        pm_per_workitem=pm,
+        lm_per_workitem=lm,
+    )
+
+
+def launch(pm=32, lm=8, wg=8, name="k") -> KernelLaunch:
+    return KernelLaunch(
+        spec=spec(pm, lm, name),
+        tuples=1000,
+        workgroups=wg,
+        in_bytes_per_tuple=8,
+        out_bytes_per_tuple=8,
+        label=name,
+    )
+
+
+class TestMaxActive:
+    def test_architectural_cap(self):
+        # negligible memory use -> capped by wg_max
+        assert max_active_wg_per_cu(spec(pm=1, lm=0), AMD_A10) == (
+            AMD_A10.max_wg_per_cu
+        )
+
+    def test_local_memory_limit(self):
+        # 512 B/wi x 64 wi = 32 KB per work-group = exactly one per CU.
+        assert max_active_wg_per_cu(spec(pm=1, lm=512), AMD_A10) == 1
+
+    def test_private_memory_limit(self):
+        # 256 B/wi x 64 wi = 16 KB -> 4 per CU from the 64 KB budget.
+        assert max_active_wg_per_cu(spec(pm=256, lm=0), AMD_A10) == 4
+
+    def test_unschedulable_kernel(self):
+        with pytest.raises(OccupancyError):
+            max_active_wg_per_cu(spec(lm=1024), AMD_A10)  # 64 KB lm/wg
+
+
+class TestEq2Feasibility:
+    def test_small_segment_feasible(self):
+        launches = [launch(name=f"k{i}") for i in range(3)]
+        assert check_segment_feasible(launches, AMD_A10)
+
+    def test_workgroup_count_violation(self):
+        total = AMD_A10.max_wg_per_cu * AMD_A10.num_cus
+        launches = [launch(wg=total + 1)]
+        assert not check_segment_feasible(launches, AMD_A10)
+
+    def test_local_memory_violation(self):
+        # lm: 256 B/wi x 64 wi x wg -> budget 32 KB x 8 CU = 256 KB -> 16 wgs
+        launches = [launch(lm=256, wg=17)]
+        assert not check_segment_feasible(launches, AMD_A10)
+
+    def test_private_memory_violation(self):
+        # pm: 512 B/wi x 64 wi x wg -> budget 64 KB x 8 = 512 KB -> 16 wgs
+        launches = [launch(pm=512, wg=17)]
+        assert not check_segment_feasible(launches, AMD_A10)
+
+    def test_sum_across_kernels(self):
+        # two kernels of 9 wgs each violate a 16-wg budget together
+        launches = [launch(lm=256, wg=9, name="a"), launch(lm=256, wg=9, name="b")]
+        assert not check_segment_feasible(launches, AMD_A10)
+
+
+class TestAllocation:
+    def test_empty(self):
+        assert allocate_segment_occupancy([], AMD_A10) == {}
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(OccupancyError):
+            allocate_segment_occupancy(
+                [launch(name="same"), launch(name="same")], AMD_A10
+            )
+
+    def test_proportional_cu_shares(self):
+        shares = allocate_segment_occupancy(
+            [launch(wg=24, name="big"), launch(wg=8, name="small")], AMD_A10
+        )
+        assert shares["big"].active_cus == pytest.approx(6.0)
+        assert shares["small"].active_cus == pytest.approx(2.0)
+
+    def test_active_capped_by_requested(self):
+        shares = allocate_segment_occupancy([launch(wg=2, name="k")], AMD_A10)
+        assert shares["k"].active_workgroups <= 2
+
+    def test_at_least_one_active(self):
+        shares = allocate_segment_occupancy(
+            [launch(wg=1, name=f"k{i}") for i in range(8)], AMD_A10
+        )
+        assert all(s.active_workgroups >= 1 for s in shares.values())
+
+
+class TestExclusive:
+    def test_uses_whole_device(self):
+        occ = exclusive_occupancy(launch(wg=1000), AMD_A10)
+        assert occ.active_cus == AMD_A10.num_cus
+        assert occ.active_workgroups == (
+            AMD_A10.max_wg_per_cu * AMD_A10.num_cus
+        )
+
+    def test_small_grid(self):
+        occ = exclusive_occupancy(launch(wg=4), AMD_A10)
+        assert occ.active_workgroups == 4
+
+
+class TestSchedulingContention:
+    def test_no_oversubscription(self):
+        assert scheduling_contention(10, 10) == 1.0
+        assert scheduling_contention(5, 10) == 1.0
+
+    def test_grows_with_ratio(self):
+        mild = scheduling_contention(20, 10)
+        severe = scheduling_contention(80, 10)
+        assert 1.0 < mild < severe
+
+    def test_zero_fitted(self):
+        assert scheduling_contention(10, 0) == 1.0

@@ -1,0 +1,122 @@
+"""Tests for the Selinger-style join-order optimizer."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans import (
+    GroupAggregate,
+    Join,
+    JoinEdge,
+    OrderBy,
+    QuerySpec,
+    Scan,
+    SelingerOptimizer,
+    Select,
+    TableRef,
+)
+from repro.relational import col
+from repro.tpch import q5, q7, q8, q9, q14
+
+
+@pytest.fixture()
+def optimizer(tiny_db):
+    return SelingerOptimizer(tiny_db)
+
+
+class TestJoinOrdering:
+    @pytest.mark.parametrize("factory", [q5, q7, q8, q9, q14])
+    def test_all_queries_optimize(self, optimizer, factory):
+        optimized = optimizer.optimize(factory())
+        spec = factory()
+        dimension_aliases = {
+            ref.alias for ref in spec.tables if ref.alias != spec.fact
+        }
+        assert set(optimized.join_order) == dimension_aliases
+        assert optimized.estimated_rows >= 1.0
+
+    def test_q14_single_join(self, optimizer):
+        optimized = optimizer.optimize(q14())
+        assert optimized.join_order == ("part",)
+
+    def test_selective_dimension_joined_early(self, optimizer):
+        # Q8's part filter (1/150) is the most selective; the DP should
+        # probe it before unselective dimensions like supplier.
+        optimized = optimizer.optimize(q8())
+        order = list(optimized.join_order)
+        assert order.index("part") < order.index("supplier")
+
+    def test_connectivity_respected(self, optimizer):
+        # region joins only through a nation alias; it can never precede
+        # every nation alias in the probe order.
+        optimized = optimizer.optimize(q5())
+        order = list(optimized.join_order)
+        assert order.index("nation") < order.index("region")
+        # customer connects via orders
+        assert order.index("orders") < order.index("customer")
+
+    def test_disconnected_graph_rejected(self, optimizer):
+        spec = QuerySpec(
+            name="cross",
+            tables=(
+                TableRef("lineitem", "lineitem"),
+                TableRef("region", "region"),
+            ),
+            join_edges=(),  # no edge: cross join
+            fact="lineitem",
+        )
+        with pytest.raises(PlanError):
+            optimizer.optimize(spec)
+
+    def test_single_table_query(self, optimizer):
+        spec = QuerySpec(
+            name="single",
+            tables=(TableRef("lineitem", "lineitem"),),
+            join_edges=(),
+            fact="lineitem",
+            filters={"lineitem": col("l_discount").le(0.02)},
+        )
+        optimized = optimizer.optimize(spec)
+        assert optimized.join_order == ()
+
+
+class TestPlanShape:
+    def test_left_deep_structure(self, optimizer):
+        optimized = optimizer.optimize(q5())
+        node = optimized.plan
+        # peel epilogue
+        while isinstance(node, (OrderBy, GroupAggregate)) or (
+            type(node).__name__ == "Project"
+        ):
+            node = node.children()[0]
+        joins = 0
+        while not isinstance(node, Scan):
+            if isinstance(node, Join):
+                joins += 1
+                # right side must be a base table (optionally filtered)
+                right = node.right
+                if isinstance(right, Select):
+                    right = right.child
+                assert isinstance(right, Scan)
+                node = node.left
+            else:
+                node = node.children()[0]
+        assert joins == 5
+
+    def test_residual_filter_in_tree(self, optimizer):
+        optimized = optimizer.optimize(q5())
+        found = any(
+            isinstance(node, Select)
+            and node.predicate.columns() == {"c_nationkey", "s_nationkey"}
+            for node in optimized.plan.post_order()
+        )
+        assert found, "Q5 residual c_nationkey = s_nationkey must be placed"
+
+    def test_epilogue_nodes(self, optimizer):
+        optimized = optimizer.optimize(q5())
+        assert isinstance(optimized.plan, OrderBy)
+        names = [type(n).__name__ for n in optimized.plan.post_order()]
+        assert "GroupAggregate" in names
+
+    def test_estimator_exposed(self, optimizer):
+        optimized = optimizer.optimize(q14())
+        assert optimized.estimator.selectivity(col("l_discount").le(0.05)) > 0

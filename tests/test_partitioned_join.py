@@ -1,0 +1,209 @@
+"""Tests for the partitioned hash join extension (paper Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GPLEngine
+from repro.errors import ExecutionError
+from repro.kbe import KBEEngine
+from repro.plans import SelingerOptimizer, lower
+from repro.plans.physical import PartitionOp, PartitionedBuildSink, ProbeOp
+from repro.plans.runtime import ExecutionContext, HashTable, PartitionedHashTable
+from repro.tpch import q9, query_by_name, reference_answer
+
+from .conftest import assert_rows_close
+
+int_arrays = st.lists(
+    st.integers(min_value=0, max_value=100), min_size=0, max_size=200
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+class TestPartitionedHashTable:
+    def build(self, keys, num_partitions=4):
+        table = PartitionedHashTable("k", ("k", "v"), num_partitions)
+        table.insert(
+            {
+                "k": np.asarray(keys, dtype=np.int64),
+                "v": np.asarray(keys, dtype=np.float64) * 10.0,
+            }
+        )
+        table.finalize()
+        return table
+
+    def test_basic_probe(self):
+        table = self.build([1, 2, 3, 2])
+        probe_idx, build_idx = table.probe(np.array([2, 9]))
+        assert list(probe_idx) == [0, 0]
+        payload = table.payload_rows(build_idx)
+        assert sorted(payload["v"]) == [20.0, 20.0]
+
+    def test_row_and_byte_counts(self):
+        table = self.build(range(100))
+        assert table.num_rows == 100
+        assert table.nbytes > 0
+        assert table.probe_working_set <= table.nbytes
+
+    def test_partition_bound(self):
+        table = self.build(range(1000), num_partitions=8)
+        # The largest partition is far smaller than the whole table.
+        assert table.probe_working_set < table.nbytes / 2
+
+    def test_lifecycle_errors(self):
+        table = PartitionedHashTable("k", ("k",), 4)
+        with pytest.raises(ExecutionError):
+            table.probe(np.array([1]))
+        table.finalize()
+        with pytest.raises(ExecutionError):
+            table.insert({"k": np.array([1])})
+
+    def test_bad_partition_count(self):
+        with pytest.raises(ExecutionError):
+            PartitionedHashTable("k", ("k",), 0)
+
+    def test_empty(self):
+        table = PartitionedHashTable("k", ("k",), 4)
+        table.finalize()
+        probe_idx, _ = table.probe(np.array([1, 2, 3]))
+        assert probe_idx.size == 0
+
+    @given(build=int_arrays, probe=int_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_to_flat_table(self, build, probe):
+        """Partitioned and flat tables give identical join results."""
+        flat = HashTable("k", ("k",))
+        flat.insert({"k": build})
+        flat.finalize()
+        parted = PartitionedHashTable("k", ("k",), 8)
+        parted.insert({"k": build})
+        parted.finalize()
+
+        fi, fb = flat.probe(probe)
+        pi, pb = parted.probe(probe)
+        flat_pairs = sorted(
+            zip(fi.tolist(), flat.payload_rows(fb)["k"].tolist())
+        )
+        part_pairs = sorted(
+            zip(pi.tolist(), parted.payload_rows(pb)["k"].tolist())
+        )
+        assert flat_pairs == part_pairs
+
+
+class TestPartitionOp:
+    def test_reorders_but_preserves_rows(self):
+        op = PartitionOp("k", 4)
+        op.bind(["k", "v"], ["k", "v"], {"k": 4, "v": 8}, 1.0)
+        batch = {
+            "k": np.arange(100, dtype=np.int64),
+            "v": np.arange(100, dtype=np.float64),
+        }
+        out = op.apply(batch, ExecutionContext())
+        # multiset preserved, rows stay aligned
+        assert sorted(out["k"]) == sorted(batch["k"])
+        assert np.array_equal(out["v"], out["k"].astype(np.float64))
+
+    def test_clusters_by_partition(self):
+        op = PartitionOp("k", 4)
+        op.bind(["k"], ["k"], {"k": 4}, 1.0)
+        out = op.apply(
+            {"k": np.arange(64, dtype=np.int64)}, ExecutionContext()
+        )
+        parts = (out["k"] * np.int64(2654435761)) % 4
+        # partition ids are non-decreasing after clustering
+        assert all(b >= a for a, b in zip(parts, parts[1:]))
+
+    def test_kernels(self):
+        op = PartitionOp("k", 16)
+        op.bind(["k"], ["k"], {"k": 4}, 1.0)
+        gpl = op.gpl_kernels()
+        assert len(gpl) == 1 and gpl[0].spec.name == "k_partition"
+        assert not gpl[0].spec.blocking
+        kbe = [k.spec.name for k in op.kbe_kernels()]
+        assert kbe == ["k_histogram", "k_prefix_sum", "k_scatter"]
+
+
+class TestLoweringWithPartitions:
+    def test_large_builds_partitioned(self, small_db):
+        optimized = SelingerOptimizer(small_db).optimize(q9())
+        plan = lower(
+            optimized, small_db,
+            partitioned_joins=True,
+            partition_threshold_rows=10_000,
+        )
+        partitioned_sinks = [
+            p for p in plan.pipelines
+            if isinstance(p.sink, PartitionedBuildSink)
+        ]
+        assert partitioned_sinks, "orders/partsupp must partition"
+        main = plan.pipeline("main")
+        partition_ops = [
+            op for op in main.ops if isinstance(op, PartitionOp)
+        ]
+        assert len(partition_ops) == len(partitioned_sinks)
+
+    def test_small_builds_stay_flat(self, small_db):
+        optimized = SelingerOptimizer(small_db).optimize(q9())
+        plan = lower(
+            optimized, small_db,
+            partitioned_joins=True,
+            partition_threshold_rows=10_000,
+        )
+        nation_build = next(
+            p for p in plan.pipelines if p.pipeline_id.endswith("nation")
+        )
+        assert not isinstance(nation_build.sink, PartitionedBuildSink)
+
+    def test_disabled_by_default(self, small_db):
+        optimized = SelingerOptimizer(small_db).optimize(q9())
+        plan = lower(optimized, small_db)
+        assert not any(
+            isinstance(p.sink, PartitionedBuildSink) for p in plan.pipelines
+        )
+
+    def test_probe_marks_partitioning(self, small_db):
+        optimized = SelingerOptimizer(small_db).optimize(q9())
+        plan = lower(
+            optimized, small_db,
+            partitioned_joins=True,
+            partition_threshold_rows=10_000,
+        )
+        main = plan.pipeline("main")
+        partitioned_probes = [
+            op
+            for op in main.ops
+            if isinstance(op, ProbeOp) and op.partitioned
+        ]
+        assert partitioned_probes
+        for probe in partitioned_probes:
+            assert probe.num_partitions == 16
+            template = probe.gpl_kernels()[0]
+            assert template.aux_partitions == 16
+
+
+class TestEngineCorrectness:
+    @pytest.mark.parametrize("name", ["Q5", "Q9", "Q14"])
+    def test_gpl_partitioned_matches_reference(self, small_db, amd, name):
+        reference = reference_answer(small_db, name)
+        expected = sorted(zip(*[reference[c] for c in reference]))
+        engine = GPLEngine(
+            small_db, amd, partitioned_joins=True, num_partitions=8
+        )
+        result = engine.execute(query_by_name(name))
+        assert_rows_close(result.sorted_rows(), expected)
+
+    def test_kbe_partitioned_matches_reference(self, small_db, amd):
+        reference = reference_answer(small_db, "Q9")
+        expected = sorted(zip(*[reference[c] for c in reference]))
+        engine = KBEEngine(small_db, amd, partitioned_joins=True)
+        result = engine.execute(query_by_name("Q9"))
+        assert_rows_close(result.sorted_rows(), expected)
+
+    def test_partitioned_launches_more_kernels(self, small_db, amd):
+        plain = GPLEngine(small_db, amd).execute(query_by_name("Q9"))
+        parted = GPLEngine(
+            small_db, amd, partitioned_joins=True
+        ).execute(query_by_name("Q9"))
+        assert (
+            parted.counters.kernel_launches >= plain.counters.kernel_launches
+        )

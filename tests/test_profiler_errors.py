@@ -1,0 +1,136 @@
+"""Tests for the profiler facade and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.gpu import (
+    AMD_A10,
+    HardwareCounters,
+    KernelLaunch,
+    KernelRunStats,
+    KernelSpec,
+    Profiler,
+    Simulator,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "SchemaError",
+            "ExpressionError",
+            "PlanError",
+            "SimulationError",
+            "ChannelError",
+            "OccupancyError",
+            "CalibrationError",
+            "ModelError",
+            "ExecutionError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_simulation_subtypes(self):
+        assert issubclass(errors.ChannelError, errors.SimulationError)
+        assert issubclass(errors.OccupancyError, errors.SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PlanError("nope")
+
+
+class TestKernelRunStats:
+    def make(self, **kwargs):
+        base = dict(
+            name="k",
+            elapsed_cycles=1000.0,
+            compute_cycles=4000.0,
+            memory_cycles=2000.0,
+            tuples=100,
+            workgroups=10,
+            active_workgroups=5,
+            cache_hits=80.0,
+            cache_accesses=100.0,
+        )
+        base.update(kwargs)
+        return KernelRunStats(**base)
+
+    def test_cache_hit_ratio(self):
+        assert self.make().cache_hit_ratio == pytest.approx(0.8)
+        assert self.make(cache_accesses=0.0).cache_hit_ratio == 0.0
+
+    def test_occupancy(self):
+        assert self.make().occupancy == pytest.approx(0.5)
+        assert self.make(workgroups=0).occupancy == 0.0
+        assert self.make(active_workgroups=100).occupancy == 1.0  # capped
+
+
+class TestHardwareCounters:
+    def test_busy_ratios(self):
+        counters = HardwareCounters(num_cus=8)
+        counters.record(
+            KernelRunStats(
+                name="k",
+                elapsed_cycles=1000.0,
+                compute_cycles=4000.0,
+                memory_cycles=2000.0,
+            )
+        )
+        counters.add_elapsed(1000.0)
+        assert counters.valu_busy == pytest.approx(0.5)
+        assert counters.mem_unit_busy == pytest.approx(0.25)
+
+    def test_zero_elapsed(self):
+        counters = HardwareCounters(num_cus=8)
+        assert counters.valu_busy == 0.0
+        assert counters.mem_unit_busy == 0.0
+        assert counters.breakdown() == {
+            "Compute": 0.0,
+            "Mem_cost": 0.0,
+            "DC_cost": 0.0,
+            "Delay": 0.0,
+        }
+
+    def test_merge(self):
+        a = HardwareCounters(num_cus=8)
+        a.add_elapsed(100.0)
+        a.bytes_materialized = 50.0
+        b = HardwareCounters(num_cus=8)
+        b.add_elapsed(200.0)
+        b.bytes_materialized = 25.0
+        a.merge(b)
+        assert a.elapsed_cycles == 300.0
+        assert a.bytes_materialized == 75.0
+
+
+class TestProfiler:
+    def test_report_fields(self):
+        simulator = Simulator(AMD_A10)
+        spec = KernelSpec(
+            name="k_test",
+            compute_instr=10,
+            memory_instr=2,
+            pm_per_workitem=32,
+            lm_per_workitem=8,
+        )
+        simulator.launch_overhead()
+        simulator.run_exclusive(
+            KernelLaunch(
+                spec=spec,
+                tuples=10_000,
+                workgroups=16,
+                in_bytes_per_tuple=8,
+                out_bytes_per_tuple=8,
+            )
+        )
+        report = Profiler(AMD_A10).report(simulator.counters)
+        assert report.device == AMD_A10.name
+        assert report.elapsed_ms > 0
+        assert report.kernel_launches == 1
+        assert len(report.kernels) == 1
+        kernel = report.kernels[0]
+        assert kernel.name == "k_test"
+        assert kernel.tuples == 10_000
+        assert 0 <= kernel.valu_busy <= 1
+        assert 0 <= kernel.mem_unit_busy <= 1
+        assert sum(report.breakdown.values()) == pytest.approx(1.0)

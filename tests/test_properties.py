@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Tiler, split_into_segments
+from repro.gpu import CacheModel, ChannelConfig, ChannelState, KernelSpec
+from repro.errors import ChannelError
+from repro.plans import AggSpec
+from repro.plans.physical import FilterOp
+from repro.plans.runtime import ExecutionContext, GroupAggState, HashTable
+from repro.relational import col
+
+ints = st.integers(min_value=0, max_value=50)
+int_arrays = st.lists(ints, min_size=0, max_size=200).map(
+    lambda xs: np.asarray(xs, dtype=np.int64)
+)
+float_arrays = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=0,
+    max_size=200,
+)
+
+
+class TestHashTableProperties:
+    @given(build=int_arrays, probe=int_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_probe_matches_brute_force(self, build, probe):
+        """Every (probe, build) pair with equal keys appears exactly once."""
+        table = HashTable("k", ("k",))
+        table.insert({"k": build})
+        table.finalize()
+        probe_idx, build_rows = table.probe(probe)
+        payload = table.payload_rows(build_rows)
+
+        got = sorted(zip(probe_idx.tolist(), payload["k"].tolist()))
+        expected = sorted(
+            (i, int(b))
+            for i, p in enumerate(probe.tolist())
+            for b in build.tolist()
+            if b == p
+        )
+        assert [(i, k) for i, k in got] == expected
+
+    @given(build=int_arrays, splits=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_incremental_build_equals_bulk(self, build, splits):
+        bulk = HashTable("k", ("k",))
+        bulk.insert({"k": build})
+        bulk.finalize()
+
+        parts = HashTable("k", ("k",))
+        for chunk in np.array_split(build, splits):
+            parts.insert({"k": chunk})
+        parts.finalize()
+
+        probe = np.arange(0, 51)
+        a_idx, _ = bulk.probe(probe)
+        b_idx, _ = parts.probe(probe)
+        assert np.array_equal(a_idx, b_idx)
+
+
+class TestGroupAggProperties:
+    @given(
+        keys=st.lists(ints, min_size=0, max_size=150),
+        chunk=st.integers(min_value=1, max_value=17),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_sum_matches_numpy(self, keys, chunk):
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.arange(keys.size, dtype=np.float64)
+        state = GroupAggState(("g",), (AggSpec("s", "sum", col("v")),))
+        for start in range(0, keys.size, chunk):
+            state.update(
+                {
+                    "g": keys[start : start + chunk],
+                    "v": values[start : start + chunk],
+                }
+            )
+        result = state.result()
+        for group, total in zip(result["g"], result["s"]):
+            assert total == pytest.approx(values[keys == group].sum())
+
+    @given(values=float_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_global_min_max_count(self, values):
+        array = np.asarray(values, dtype=np.float64)
+        state = GroupAggState(
+            (),
+            (
+                AggSpec("lo", "min", col("v")),
+                AggSpec("hi", "max", col("v")),
+                AggSpec("n", "count"),
+            ),
+        )
+        state.update({"v": array})
+        result = state.result()
+        if array.size:
+            assert result["lo"][0] == array.min()
+            assert result["hi"][0] == array.max()
+        assert result["n"][0] == array.size
+
+
+class TestFilterProperties:
+    @given(values=int_arrays, threshold=ints)
+    @settings(max_examples=60, deadline=None)
+    def test_filter_equals_mask(self, values, threshold):
+        op = FilterOp(col("x").ge(int(threshold)))
+        op.bind(["x"], ["x"], {"x": 8}, 0.5)
+        out = op.apply({"x": values}, ExecutionContext())
+        assert np.array_equal(out["x"], values[values >= threshold])
+
+
+class TestTilerProperties:
+    @given(
+        rows=st.integers(min_value=0, max_value=5000),
+        width=st.integers(min_value=1, max_value=64),
+        tile=st.integers(min_value=64, max_value=65536),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_is_exact_cover(self, rows, width, tile):
+        plan = Tiler(tile).plan(rows, width)
+        boundaries = plan.boundaries()
+        assert len(boundaries) == plan.num_tiles
+        if rows == 0:
+            assert boundaries == []
+            return
+        assert boundaries[0][0] == 0
+        assert boundaries[-1][1] == rows
+        covered = sum(stop - start for start, stop in boundaries)
+        assert covered == rows
+        for start, stop in boundaries:
+            assert 0 < stop - start <= plan.rows_per_tile
+
+    @given(
+        rows=st.integers(min_value=1, max_value=3000),
+        tile=st.integers(min_value=64, max_value=8192),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tiles_reassemble(self, rows, tile):
+        batch = {"x": np.arange(rows)}
+        pieces = list(Tiler(tile).tiles(batch, row_width=8))
+        reassembled = np.concatenate([p["x"] for p in pieces])
+        assert np.array_equal(reassembled, batch["x"])
+
+
+class TestSegmentationProperties:
+    @given(flags=st.lists(st.booleans(), min_size=0, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_invariants(self, flags):
+        kernels = [
+            KernelSpec(
+                name=f"k{i}",
+                compute_instr=1,
+                memory_instr=1,
+                pm_per_workitem=8,
+                lm_per_workitem=0,
+                blocking=blocking,
+            )
+            for i, blocking in enumerate(flags)
+        ]
+        segments = split_into_segments(kernels)
+        # 1. order is preserved, nothing lost or duplicated
+        flattened = [k.name for s in segments for k in s.kernels]
+        assert flattened == [k.name for k in kernels]
+        # 2. blocking kernels appear only in terminal positions
+        for segment in segments:
+            for kernel in segment.non_blocking:
+                assert not kernel.blocking
+        # 3. every segment except possibly the last ends with a blocker
+        for segment in segments[:-1]:
+            assert segment.blocking_kernel.blocking
+        # 4. segment count = blockers (+1 for a non-blocking tail)
+        blockers = sum(flags)
+        tail = 1 if (flags and not flags[-1]) else 0
+        if not flags:
+            assert segments == []
+        else:
+            assert len(segments) == blockers + tail
+
+
+class TestChannelStateProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["reserve", "commit", "consume"]), st.integers(1, 50)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_never_exceeded(self, operations):
+        state = ChannelState(ChannelConfig(num_channels=2, depth_packets=32))
+        capacity = state.config.capacity_packets
+        for operation, count in operations:
+            try:
+                if operation == "reserve":
+                    state.reserve(count)
+                elif operation == "commit":
+                    state.commit(count)
+                else:
+                    state.consume(count)
+            except ChannelError:
+                continue
+            assert 0 <= state.buffered_packets
+            assert 0 <= state.reserved_packets
+            assert state.in_flight <= capacity
+            assert state.peak_packets <= capacity
+
+
+class TestCacheProperties:
+    @given(
+        capacity=st.integers(min_value=1024, max_value=1 << 24),
+        sizes=st.lists(
+            st.integers(min_value=0, max_value=1 << 28), min_size=2, max_size=20
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_hit_ratio_bounded_and_monotone(self, capacity, sizes):
+        cache = CacheModel(capacity)
+        for size in sizes:
+            ratio = cache.hit_ratio(size)
+            assert 0.0 < ratio <= 1.0
+        ordered = sorted(sizes)
+        ratios = [cache.hit_ratio(s) for s in ordered]
+        assert all(b <= a + 1e-12 for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,180 @@
+"""Tests for the shared runtime structures: HashTable, GroupAggState."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.plans import AggSpec
+from repro.plans.runtime import (
+    GroupAggState,
+    HashTable,
+    batch_bytes,
+    batch_rows,
+)
+from repro.relational import col
+
+
+class TestBatchHelpers:
+    def test_rows(self):
+        assert batch_rows({}) == 0
+        assert batch_rows({"a": np.arange(5)}) == 5
+
+    def test_bytes(self):
+        batch = {"a": np.arange(4, dtype=np.int32)}
+        assert batch_bytes(batch) == 16
+
+
+class TestHashTable:
+    def build(self):
+        table = HashTable("k", ("k", "payload"))
+        table.insert(
+            {"k": np.array([2, 1, 2]), "payload": np.array([20.0, 10.0, 21.0])}
+        )
+        table.insert({"k": np.array([3]), "payload": np.array([30.0])})
+        table.finalize()
+        return table
+
+    def test_incremental_build(self):
+        table = self.build()
+        assert table.num_rows == 4
+        assert table.nbytes > 0
+
+    def test_probe_single_match(self):
+        table = self.build()
+        probe_idx, build_idx = table.probe(np.array([1]))
+        assert list(probe_idx) == [0]
+        payload = table.payload_rows(build_idx)
+        assert list(payload["payload"]) == [10.0]
+
+    def test_probe_multi_match_expansion(self):
+        table = self.build()
+        probe_idx, build_idx = table.probe(np.array([2]))
+        assert list(probe_idx) == [0, 0]
+        payload = table.payload_rows(build_idx)
+        assert sorted(payload["payload"]) == [20.0, 21.0]
+
+    def test_probe_no_match(self):
+        table = self.build()
+        probe_idx, build_idx = table.probe(np.array([99, 98]))
+        assert probe_idx.size == 0 and build_idx.size == 0
+
+    def test_probe_mixed(self):
+        table = self.build()
+        probe_idx, build_idx = table.probe(np.array([9, 3, 2]))
+        # key 9: none; key 3: one; key 2: two -> 3 matches
+        assert list(probe_idx) == [1, 2, 2]
+
+    def test_probe_before_finalize(self):
+        table = HashTable("k", ("k",))
+        table.insert({"k": np.array([1])})
+        with pytest.raises(ExecutionError):
+            table.probe(np.array([1]))
+
+    def test_insert_after_finalize(self):
+        table = self.build()
+        with pytest.raises(ExecutionError):
+            table.insert({"k": np.array([5]), "payload": np.array([1.0])})
+
+    def test_empty_table(self):
+        table = HashTable("k", ("k",))
+        table.finalize()
+        probe_idx, _ = table.probe(np.array([1, 2]))
+        assert probe_idx.size == 0
+
+    def test_key_not_in_payload(self):
+        table = HashTable("k", ("v",))
+        table.insert({"k": np.array([1, 2]), "v": np.array([5.0, 6.0])})
+        table.finalize()
+        _, build_idx = table.probe(np.array([2]))
+        assert list(table.payload_rows(build_idx)["v"]) == [6.0]
+
+
+class TestGroupAggState:
+    def batch(self):
+        return {
+            "g": np.array([0, 1, 0, 1, 2]),
+            "v": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        }
+
+    def test_grouped_sum_and_count(self):
+        state = GroupAggState(
+            ("g",),
+            (AggSpec("total", "sum", col("v")), AggSpec("n", "count")),
+        )
+        state.update(self.batch())
+        result = state.result()
+        assert list(result["g"]) == [0, 1, 2]
+        assert list(result["total"]) == [4.0, 6.0, 5.0]
+        assert list(result["n"]) == [2.0, 2.0, 1.0]
+
+    def test_streaming_equals_single_batch(self):
+        whole = GroupAggState(("g",), (AggSpec("total", "sum", col("v")),))
+        whole.update(self.batch())
+        parts = GroupAggState(("g",), (AggSpec("total", "sum", col("v")),))
+        batch = self.batch()
+        for index in range(5):
+            parts.update(
+                {name: arr[index : index + 1] for name, arr in batch.items()}
+            )
+        assert list(whole.result()["total"]) == list(parts.result()["total"])
+
+    def test_avg(self):
+        state = GroupAggState(("g",), (AggSpec("mean", "avg", col("v")),))
+        state.update(self.batch())
+        assert list(state.result()["mean"]) == [2.0, 3.0, 5.0]
+
+    def test_min_max(self):
+        state = GroupAggState(
+            ("g",),
+            (AggSpec("lo", "min", col("v")), AggSpec("hi", "max", col("v"))),
+        )
+        state.update(self.batch())
+        result = state.result()
+        assert list(result["lo"]) == [1.0, 2.0, 5.0]
+        assert list(result["hi"]) == [3.0, 4.0, 5.0]
+
+    def test_global_aggregate(self):
+        state = GroupAggState((), (AggSpec("total", "sum", col("v")),))
+        state.update(self.batch())
+        state.update(self.batch())
+        result = state.result()
+        assert list(result["total"]) == [30.0]
+
+    def test_global_empty_input(self):
+        state = GroupAggState((), (AggSpec("total", "sum", col("v")),))
+        result = state.result()
+        assert list(result["total"]) == [0.0]
+
+    def test_grouped_empty_input(self):
+        state = GroupAggState(("g",), (AggSpec("total", "sum", col("v")),))
+        result = state.result()
+        assert batch_rows(result) == 0
+
+    def test_empty_batches_ignored(self):
+        state = GroupAggState(("g",), (AggSpec("total", "sum", col("v")),))
+        state.update({"g": np.array([]), "v": np.array([])})
+        state.update(self.batch())
+        assert state.num_groups == 3
+
+    def test_multi_key_groups(self):
+        state = GroupAggState(
+            ("g", "h"), (AggSpec("n", "count"),)
+        )
+        state.update(
+            {
+                "g": np.array([0, 0, 1]),
+                "h": np.array([0, 1, 0]),
+                "v": np.array([1.0, 2.0, 3.0]),
+            }
+        )
+        result = state.result()
+        assert list(zip(result["g"], result["h"])) == [(0, 0), (0, 1), (1, 0)]
+
+    def test_expression_aggregate(self):
+        state = GroupAggState(
+            (), (AggSpec("weighted", "sum", col("v") * col("g")),)
+        )
+        state.update(self.batch())
+        assert list(state.result()["weighted"]) == [
+            pytest.approx(0 + 2 + 0 + 4 + 10)
+        ]

@@ -1,0 +1,99 @@
+"""Unit tests for column definitions and table schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import ColumnDef, DataType, TableSchema
+
+
+def make_schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("a", DataType.INT32),
+        ColumnDef("b", DataType.FLOAT64),
+        ColumnDef("c", DataType.DICT, ("x", "y", "z")),
+    )
+
+
+class TestColumnDef:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("", DataType.INT32)
+
+    def test_dictionary_requires_dict_type(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("a", DataType.INT32, ("x",))
+
+    def test_decode_encode(self):
+        column = ColumnDef("c", DataType.DICT, ("x", "y", "z"))
+        assert column.decode(1) == "y"
+        assert column.encode("z") == 2
+
+    def test_encode_unknown_value(self):
+        column = ColumnDef("c", DataType.DICT, ("x",))
+        with pytest.raises(SchemaError):
+            column.encode("nope")
+
+    def test_decode_without_dictionary(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("a", DataType.INT32).decode(0)
+
+
+class TestTableSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.of(
+                ColumnDef("a", DataType.INT32),
+                ColumnDef("a", DataType.INT64),
+            )
+
+    def test_lookup(self):
+        schema = make_schema()
+        assert schema.column("b").dtype is DataType.FLOAT64
+        assert schema.position("c") == 2
+        assert "a" in schema
+        assert "zzz" not in schema
+
+    def test_missing_column(self):
+        with pytest.raises(SchemaError):
+            make_schema().column("missing")
+        with pytest.raises(SchemaError):
+            make_schema().position("missing")
+
+    def test_names_and_len(self):
+        schema = make_schema()
+        assert schema.names == ("a", "b", "c")
+        assert len(schema) == 3
+        assert [c.name for c in schema] == ["a", "b", "c"]
+
+    def test_row_width(self):
+        assert make_schema().row_width == 4 + 8 + 4
+
+    def test_project_preserves_order(self):
+        projected = make_schema().project(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_project_missing(self):
+        with pytest.raises(SchemaError):
+            make_schema().project(["nope"])
+
+    def test_concat(self):
+        other = TableSchema.of(ColumnDef("d", DataType.INT64))
+        combined = make_schema().concat(other)
+        assert combined.names == ("a", "b", "c", "d")
+
+    def test_concat_duplicate_rejected(self):
+        other = TableSchema.of(ColumnDef("a", DataType.INT64))
+        with pytest.raises(SchemaError):
+            make_schema().concat(other)
+
+    def test_rename(self):
+        renamed = make_schema().rename({"a": "alpha"})
+        assert renamed.names == ("alpha", "b", "c")
+        # dictionary survives renames
+        assert renamed.column("c").dictionary == ("x", "y", "z")
+
+    def test_from_pairs(self):
+        schema = TableSchema.from_pairs(
+            [("k", DataType.INT32), ("v", DataType.FLOAT64)]
+        )
+        assert schema.names == ("k", "v")

@@ -1,0 +1,176 @@
+"""Tests for segment generation, tiling, and GPL configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPLConfig, Segment, TilePlan, Tiler, split_into_segments
+from repro.core.segments import pipeline_kernel_specs
+from repro.gpu import AMD_A10, KernelLaunch, KernelSpec
+from repro.gpu.occupancy import check_segment_feasible
+from repro.plans import SelingerOptimizer, lower
+from repro.tpch import q14
+
+
+def spec(name, blocking=False):
+    return KernelSpec(
+        name=name,
+        compute_instr=10,
+        memory_instr=2,
+        pm_per_workitem=32,
+        lm_per_workitem=8,
+        blocking=blocking,
+    )
+
+
+class TestSegmentation:
+    def test_paper_example(self):
+        # map -> reduce* are both non-blocking: one segment (Fig 7c).
+        kernels = [spec("k_map"), spec("k_reduce*")]
+        segments = split_into_segments(kernels)
+        assert len(segments) == 1
+        assert len(segments[0]) == 2
+
+    def test_kbe_selection_splits(self):
+        kernels = [
+            spec("k_map"),
+            spec("k_prefix_sum", blocking=True),
+            spec("k_scatter"),
+        ]
+        segments = split_into_segments(kernels)
+        assert len(segments) == 2
+        assert segments[0].blocking_kernel.name == "k_prefix_sum"
+        assert segments[0].non_blocking[0].name == "k_map"
+
+    def test_every_segment_ends_with_blocker_except_last(self):
+        kernels = [
+            spec("a"),
+            spec("b", blocking=True),
+            spec("c"),
+            spec("d", blocking=True),
+            spec("e"),
+        ]
+        segments = split_into_segments(kernels)
+        assert len(segments) == 3
+        for segment in segments[:-1]:
+            assert segment.blocking_kernel.blocking
+        # Order is preserved end to end.
+        flattened = [k.name for s in segments for k in s.kernels]
+        assert flattened == ["a", "b", "c", "d", "e"]
+
+    def test_empty(self):
+        assert split_into_segments([]) == []
+
+    def test_pipeline_kernel_specs_flavors(self, tiny_db):
+        plan = lower(SelingerOptimizer(tiny_db).optimize(q14()), tiny_db)
+        main = plan.pipeline("main")
+        gpl_specs = pipeline_kernel_specs(main, "gpl")
+        kbe_specs = pipeline_kernel_specs(main, "kbe")
+        assert len(kbe_specs) > len(gpl_specs)
+        # GPL main segment is entirely non-blocking (Fig 7c).
+        assert not any(k.blocking for k in gpl_specs)
+        # KBE expansion contains blocking prefix sums.
+        assert any(k.blocking for k in kbe_specs)
+
+
+class TestTiler:
+    def test_plan_covers_exactly(self):
+        plan = Tiler(1024).plan(total_rows=1000, row_width=16)
+        boundaries = plan.boundaries()
+        assert boundaries[0][0] == 0
+        assert boundaries[-1][1] == 1000
+        for (a_start, a_stop), (b_start, _) in zip(boundaries, boundaries[1:]):
+            assert a_stop == b_start
+
+    def test_rows_per_tile(self):
+        plan = Tiler(1024).plan(total_rows=1000, row_width=16)
+        assert plan.rows_per_tile == 64
+        assert plan.num_tiles == 16  # ceil(1000/64)
+
+    def test_tiles_reassemble(self):
+        batch = {"x": np.arange(777)}
+        tiler = Tiler(100 * 8)
+        tiles = list(tiler.tiles(batch, row_width=8))
+        reassembled = np.concatenate([t["x"] for t in tiles])
+        assert np.array_equal(reassembled, batch["x"])
+
+    def test_ragged_last_tile(self):
+        plan = Tiler(80).plan(total_rows=25, row_width=8)
+        sizes = [stop - start for start, stop in plan.boundaries()]
+        assert sizes == [10, 10, 5]
+
+    def test_empty_input(self):
+        plan = Tiler(1024).plan(total_rows=0, row_width=8)
+        assert plan.num_tiles == 0
+        assert plan.average_tile_rows == 0.0
+
+    def test_wide_rows(self):
+        # Rows wider than the tile still make progress one row at a time.
+        plan = Tiler(16).plan(total_rows=5, row_width=100)
+        assert plan.rows_per_tile == 1
+        assert plan.num_tiles == 5
+
+    def test_invalid_tile_size(self):
+        with pytest.raises(ValueError):
+            Tiler(0)
+
+
+class TestGPLConfig:
+    def test_defaults_match_paper(self):
+        config = GPLConfig()
+        assert config.tile_bytes == 1024 * 1024  # "the default size (1MB)"
+        assert config.concurrent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPLConfig(tile_bytes=100)
+        with pytest.raises(ValueError):
+            GPLConfig(default_workgroups=0)
+
+    def test_with_helpers(self):
+        config = GPLConfig()
+        assert config.with_tile_bytes(2 << 20).tile_bytes == 2 << 20
+        assert not config.without_concurrency().concurrent
+        assert config.with_workgroups({0: 4}).workgroups_for_stage(0) == 4
+
+    def test_workgroups_fallback(self):
+        config = GPLConfig(workgroups={1: 4}, default_workgroups=16)
+        assert config.workgroups_for_stage(0) == 16
+        assert config.workgroups_for_stage(1) == 4
+
+    def test_fit_workgroups_feasible_untouched(self):
+        config = GPLConfig(default_workgroups=8)
+        launches = [
+            KernelLaunch(
+                spec=spec(f"k{i}"),
+                tuples=100,
+                workgroups=8,
+                in_bytes_per_tuple=8,
+                out_bytes_per_tuple=8,
+                label=f"k{i}",
+            )
+            for i in range(2)
+        ]
+        fitted = config.fit_workgroups(launches, AMD_A10)
+        assert fitted == {0: 8, 1: 8}
+
+    def test_fit_workgroups_scales_down(self):
+        config = GPLConfig(default_workgroups=128)
+        launches = [
+            KernelLaunch(
+                spec=spec(f"k{i}"),
+                tuples=100,
+                workgroups=128,
+                in_bytes_per_tuple=8,
+                out_bytes_per_tuple=8,
+                label=f"k{i}",
+            )
+            for i in range(4)
+        ]
+        fitted = config.fit_workgroups(launches, AMD_A10)
+        fitted_launches = [
+            launch.with_workgroups(fitted[index])
+            for index, launch in enumerate(launches)
+        ]
+        assert check_segment_feasible(fitted_launches, AMD_A10)
+        # Relative allocation is preserved (all equal here).
+        assert len(set(fitted.values())) == 1

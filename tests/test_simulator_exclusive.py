@@ -1,0 +1,134 @@
+"""Tests for exclusive (KBE-mode) kernel simulation."""
+
+import pytest
+
+from repro.gpu import (
+    AMD_A10,
+    DataLocation,
+    KernelLaunch,
+    KernelSpec,
+    Simulator,
+)
+
+MIB = 1024 * 1024
+
+
+def spec(compute=10.0, memory=2.0, lm=8) -> KernelSpec:
+    return KernelSpec(
+        name="k",
+        compute_instr=compute,
+        memory_instr=memory,
+        pm_per_workitem=32,
+        lm_per_workitem=lm,
+    )
+
+
+def launch(tuples=100_000, wg=128, sel=1.0, out_loc=DataLocation.GLOBAL, **spec_kwargs):
+    return KernelLaunch(
+        spec=spec(**spec_kwargs),
+        tuples=tuples,
+        workgroups=wg,
+        in_bytes_per_tuple=16,
+        out_bytes_per_tuple=8,
+        selectivity=sel,
+        output_location=out_loc,
+    )
+
+
+class TestScaling:
+    def test_time_scales_with_tuples(self):
+        sim = Simulator(AMD_A10)
+        small = sim.run_exclusive(launch(tuples=100_000))
+        large = sim.run_exclusive(launch(tuples=400_000, wg=512))
+        assert large.elapsed_cycles > 2 * small.elapsed_cycles
+
+    def test_compute_bound_kernel(self):
+        sim = Simulator(AMD_A10)
+        stats = sim.run_exclusive(launch(compute=500.0, memory=0.5))
+        assert stats.compute_cycles > stats.memory_cycles
+
+    def test_memory_bound_kernel(self):
+        sim = Simulator(AMD_A10)
+        stats = sim.run_exclusive(launch(compute=1.0, memory=8.0))
+        assert stats.memory_cycles > stats.compute_cycles
+
+    def test_zero_tuples(self):
+        sim = Simulator(AMD_A10)
+        stats = sim.run_exclusive(launch(tuples=0))
+        assert stats.elapsed_cycles == 0.0
+
+
+class TestOverlap:
+    def test_more_workgroups_hide_latency(self):
+        # Same work split over more work-groups -> better latency hiding.
+        slow = Simulator(AMD_A10).run_exclusive(launch(wg=8))
+        fast = Simulator(AMD_A10).run_exclusive(launch(wg=128))
+        assert fast.elapsed_cycles < slow.elapsed_cycles
+
+    def test_elapsed_at_least_max_component(self):
+        sim = Simulator(AMD_A10)
+        stats = sim.run_exclusive(launch())
+        per_cu_compute = stats.compute_cycles / AMD_A10.num_cus
+        per_cu_memory = stats.memory_cycles / AMD_A10.num_cus
+        assert stats.elapsed_cycles >= max(per_cu_compute, per_cu_memory) * 0.99
+
+
+class TestAccounting:
+    def test_materialization_counted(self):
+        sim = Simulator(AMD_A10)
+        stats = sim.run_exclusive(launch(sel=0.5))
+        assert stats.bytes_written_global == 100_000 * 0.5 * 8
+        assert sim.counters.bytes_materialized == stats.bytes_written_global
+
+    def test_channel_output_not_materialized(self):
+        sim = Simulator(AMD_A10)
+        stats = sim.run_exclusive(launch(out_loc=DataLocation.CHANNEL))
+        assert stats.bytes_written_global == 0.0
+
+    def test_stall_classification(self):
+        base = Simulator(AMD_A10).run_exclusive(
+            launch(out_loc=DataLocation.NONE)
+        )
+        reload = Simulator(AMD_A10).run_exclusive(
+            launch(out_loc=DataLocation.NONE), input_is_intermediate=True
+        )
+        # Intermediate reads count as stalls; base-table streams do not.
+        assert base.stall_cycles == 0.0
+        assert reload.stall_cycles > 0.0
+        assert reload.stall_cycles <= reload.memory_cycles
+
+    def test_aux_working_set_effect(self):
+        cheap = Simulator(AMD_A10).run_exclusive(
+            launch(), aux_reads_per_tuple=2.0, aux_working_set_bytes=64 * 1024
+        )
+        costly = Simulator(AMD_A10).run_exclusive(
+            launch(), aux_reads_per_tuple=2.0, aux_working_set_bytes=256 * MIB
+        )
+        assert costly.memory_cycles > cheap.memory_cycles
+
+    def test_cache_counters(self):
+        sim = Simulator(AMD_A10)
+        stats = sim.run_exclusive(launch())
+        assert 0 < stats.cache_hits <= stats.cache_accesses
+        assert 0.0 < stats.cache_hit_ratio <= 1.0
+
+    def test_elapsed_accumulates(self):
+        sim = Simulator(AMD_A10)
+        first = sim.run_exclusive(launch())
+        total_after_one = sim.counters.elapsed_cycles
+        sim.run_exclusive(launch())
+        assert sim.counters.elapsed_cycles > total_after_one
+        assert total_after_one == first.elapsed_cycles
+
+    def test_launch_overhead(self):
+        sim = Simulator(AMD_A10)
+        sim.launch_overhead(3)
+        assert sim.counters.kernel_launches == 3
+        assert sim.counters.elapsed_cycles == (
+            3 * AMD_A10.launch_overhead_cycles
+        )
+
+    def test_determinism(self):
+        a = Simulator(AMD_A10).run_exclusive(launch())
+        b = Simulator(AMD_A10).run_exclusive(launch())
+        assert a.elapsed_cycles == b.elapsed_cycles

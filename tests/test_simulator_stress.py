@@ -1,0 +1,186 @@
+"""Stress properties: random pipelines must simulate safely.
+
+The discrete-event simulator must never deadlock, lose work, or produce
+non-physical results, whatever (feasible) pipeline shape it is given.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    AMD_A10,
+    ChannelConfig,
+    DataLocation,
+    KernelLaunch,
+    KernelSpec,
+    Simulator,
+    StageSpec,
+)
+
+
+@st.composite
+def pipelines(draw):
+    """Random feasible pipeline descriptions."""
+    num_stages = draw(st.integers(min_value=1, max_value=5))
+    tuples = draw(st.integers(min_value=100, max_value=200_000))
+    tiles = draw(st.integers(min_value=1, max_value=6))
+    workgroups = draw(st.sampled_from([2, 4, 8, 16]))
+    stages = []
+    flowing = float(tuples)
+    for index in range(num_stages):
+        selectivity = draw(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+        )
+        compute = draw(st.floats(min_value=1.0, max_value=200.0))
+        memory = draw(st.floats(min_value=0.0, max_value=8.0))
+        spec = KernelSpec(
+            name=f"k{index}",
+            compute_instr=compute,
+            memory_instr=memory,
+            pm_per_workitem=32,
+            lm_per_workitem=8,
+        )
+        stages.append(
+            StageSpec(
+                KernelLaunch(
+                    spec=spec,
+                    tuples=max(1, int(flowing)),
+                    workgroups=workgroups,
+                    in_bytes_per_tuple=16,
+                    out_bytes_per_tuple=8,
+                    selectivity=selectivity,
+                    input_location=(
+                        DataLocation.GLOBAL
+                        if index == 0
+                        else DataLocation.CHANNEL
+                    ),
+                    output_location=(
+                        DataLocation.GLOBAL
+                        if index == num_stages - 1
+                        else DataLocation.CHANNEL
+                    ),
+                    label=f"k{index}",
+                )
+            )
+        )
+        flowing *= selectivity
+    return stages, tuples, tiles
+
+
+class TestRandomPipelines:
+    @given(description=pipelines())
+    @settings(max_examples=80, deadline=None)
+    def test_never_deadlocks_and_conserves_work(self, description):
+        stages, tuples, tiles = description
+        # size channels generously like the engine does
+        tile_tuples = tuples / tiles
+        unit_tuples = tile_tuples / stages[0].launch.workgroups
+        channels = []
+        for stage in stages[:-1]:
+            launch = stage.launch
+            out_bytes = (
+                unit_tuples
+                * launch.selectivity
+                * launch.out_bytes_per_tuple
+            )
+            packets = max(1, int(np.ceil(out_bytes / 16)))
+            depth = max(2048, 2 * launch.workgroups * packets)
+            channels.append(
+                ChannelConfig(num_channels=4, depth_packets=depth)
+            )
+            unit_tuples *= launch.selectivity
+
+        simulator = Simulator(AMD_A10)
+        result = simulator.run_pipeline(
+            stages,
+            channels,
+            num_tiles=tiles,
+            tile_tuples=tile_tuples,
+            tile_bytes=tile_tuples * 16,
+        )
+        # 1. terminates with sensible time
+        assert result.elapsed_cycles > 0
+        assert np.isfinite(result.elapsed_cycles)
+        # 2. non-negative, finite accounting
+        assert result.delay_cycles >= 0
+        for stats in result.stage_stats:
+            assert stats.compute_cycles >= 0
+            assert stats.memory_cycles >= 0
+            assert stats.channel_cycles >= 0
+        # 3. device-level physics: elapsed >= max resource demand / #CU
+        total_compute = sum(s.compute_cycles for s in result.stage_stats)
+        assert result.elapsed_cycles >= (
+            total_compute / AMD_A10.num_cus - 1e-6
+        )
+        # 4. determinism
+        again = Simulator(AMD_A10).run_pipeline(
+            stages,
+            channels,
+            num_tiles=tiles,
+            tile_tuples=tile_tuples,
+            tile_bytes=tile_tuples * 16,
+        )
+        assert again.elapsed_cycles == result.elapsed_cycles
+
+    @given(
+        tuples=st.integers(min_value=1000, max_value=100_000),
+        selectivity=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_selectivity_traffic(self, tuples, selectivity):
+        """More surviving tuples never means less channel traffic."""
+
+        def run(sel):
+            stages = [
+                StageSpec(
+                    KernelLaunch(
+                        spec=KernelSpec(
+                            name="p",
+                            compute_instr=10,
+                            memory_instr=1,
+                            pm_per_workitem=32,
+                            lm_per_workitem=8,
+                        ),
+                        tuples=tuples,
+                        workgroups=8,
+                        in_bytes_per_tuple=16,
+                        out_bytes_per_tuple=8,
+                        selectivity=sel,
+                        output_location=DataLocation.CHANNEL,
+                        label="p",
+                    )
+                ),
+                StageSpec(
+                    KernelLaunch(
+                        spec=KernelSpec(
+                            name="c",
+                            compute_instr=10,
+                            memory_instr=0,
+                            pm_per_workitem=32,
+                            lm_per_workitem=8,
+                        ),
+                        tuples=int(tuples * sel),
+                        workgroups=8,
+                        in_bytes_per_tuple=8,
+                        out_bytes_per_tuple=8,
+                        selectivity=0.0,
+                        input_location=DataLocation.CHANNEL,
+                        output_location=DataLocation.NONE,
+                        label="c",
+                    )
+                ),
+            ]
+            channel = ChannelConfig(num_channels=4, depth_packets=65536)
+            return Simulator(AMD_A10).run_pipeline(
+                stages,
+                [channel],
+                num_tiles=1,
+                tile_tuples=tuples,
+                tile_bytes=tuples * 16,
+            ).channel_bytes
+
+        low = run(selectivity / 2)
+        high = run(selectivity)
+        assert high >= low

@@ -1,0 +1,149 @@
+"""Tests for the Star Schema Benchmark workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPLEngine
+from repro.kbe import KBEEngine
+from repro.plans.interpreter import naive_execute
+from repro.ssb import (
+    BRANDS,
+    CATEGORIES,
+    CITIES,
+    MFGRS,
+    SSB_QUERIES,
+    generate_ssb,
+    ssb_query,
+)
+from repro.ssb.schema import CITY_NATION
+from repro.tpch.schema import NATION_REGION, NATIONS
+
+from .conftest import assert_rows_close
+
+ALL_QUERIES = tuple(SSB_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def ssb_micro():
+    return generate_ssb(scale=0.002)
+
+
+@pytest.fixture(scope="module")
+def ssb_small():
+    return generate_ssb(scale=0.05)
+
+
+class TestSchema:
+    def test_hierarchies(self):
+        assert len(MFGRS) == 5
+        assert len(CATEGORIES) == 25
+        assert len(BRANDS) == 1000
+        assert len(CITIES) == 250
+        # brand -> category -> mfgr rollup by construction
+        assert BRANDS[0].startswith(CATEGORIES[0])
+        assert CATEGORIES[0].startswith("MFGR#1")
+
+    def test_city_nation_mapping(self):
+        assert len(CITY_NATION) == len(CITIES)
+        assert CITY_NATION[0] == 0
+        assert CITY_NATION[19] == 1
+
+    def test_lookup(self):
+        assert ssb_query("Q1.1").name == "SSB-Q1.1"
+        with pytest.raises(ValueError):
+            ssb_query("Q9.9")
+
+
+class TestDbgen:
+    def test_cardinalities(self, ssb_micro):
+        assert ssb_micro.num_rows("date") == 2557  # 7 years of days
+        assert ssb_micro.num_rows("customer") == 60
+        assert ssb_micro.num_rows("supplier") == 4
+        assert ssb_micro.num_rows("part") == 400
+        assert ssb_micro.num_rows("lineorder") == 12_000
+
+    def test_revenue_identity(self, ssb_micro):
+        lineorder = ssb_micro.table("lineorder")
+        expected = (
+            lineorder["lo_extendedprice"]
+            * (100 - lineorder["lo_discount"])
+            / 100.0
+        )
+        assert np.allclose(lineorder["lo_revenue"], expected)
+
+    def test_geography_rollups(self, ssb_micro):
+        customer = ssb_micro.table("customer")
+        nation_of_city = np.asarray(CITY_NATION)
+        region_of_nation = np.asarray(NATION_REGION)
+        assert np.array_equal(
+            customer["c_nation"], nation_of_city[customer["c_city"]]
+        )
+        assert np.array_equal(
+            customer["c_region"], region_of_nation[customer["c_nation"]]
+        )
+
+    def test_orderdate_fk(self, ssb_micro):
+        datekeys = set(ssb_micro.table("date")["d_datekey"].tolist())
+        assert set(
+            ssb_micro.table("lineorder")["lo_orderdate"].tolist()
+        ) <= datekeys
+
+    def test_determinism(self):
+        a = generate_ssb(scale=0.002, seed=1)
+        b = generate_ssb(scale=0.002, seed=1)
+        assert np.array_equal(
+            a.table("lineorder")["lo_revenue"],
+            b.table("lineorder")["lo_revenue"],
+        )
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            generate_ssb(scale=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ALL_QUERIES)
+    def test_gpl_matches_interpreter(self, ssb_micro, amd, name):
+        spec = ssb_query(name)
+        reference = naive_execute(spec, ssb_micro)
+        expected = sorted(zip(*[reference[c] for c in reference]))
+        result = GPLEngine(ssb_micro, amd).execute(spec)
+        assert_rows_close(result.sorted_rows(), expected, rel=1e-8)
+
+    @pytest.mark.parametrize("name", ("Q1.1", "Q2.1", "Q3.1", "Q4.1"))
+    def test_kbe_matches_interpreter(self, ssb_micro, amd, name):
+        spec = ssb_query(name)
+        reference = naive_execute(spec, ssb_micro)
+        expected = sorted(zip(*[reference[c] for c in reference]))
+        result = KBEEngine(ssb_micro, amd).execute(spec)
+        assert_rows_close(result.sorted_rows(), expected, rel=1e-8)
+
+    @pytest.mark.parametrize("name", ALL_QUERIES)
+    def test_engines_agree_at_scale(self, ssb_small, amd, name):
+        spec = ssb_query(name)
+        kbe = KBEEngine(ssb_small, amd).execute(spec)
+        gpl = GPLEngine(ssb_small, amd).execute(spec)
+        assert kbe.approx_equals(gpl)
+
+    def test_flight3_nonempty_at_scale(self, ssb_small, amd):
+        result = GPLEngine(ssb_small, amd).execute(ssb_query("Q3.1"))
+        assert result.num_rows > 0
+        # ordered by year asc, then revenue desc within year
+        rows = result.rows()
+        years = [row[-2] for row in rows]
+        assert years == sorted(years)
+
+    def test_decoded_output(self, ssb_small, amd):
+        result = GPLEngine(ssb_small, amd).execute(ssb_query("Q4.1"))
+        for year, nation, profit in result.decoded_rows():
+            assert nation in NATIONS
+            assert 1992 <= year <= 1998
+
+
+class TestPerformanceShape:
+    def test_gpl_beats_kbe_on_ssb(self, ssb_small, amd):
+        for name in ("Q2.1", "Q3.1", "Q4.1"):
+            spec = ssb_query(name)
+            kbe = KBEEngine(ssb_small, amd).execute(spec)
+            gpl = GPLEngine(ssb_small, amd).execute(spec)
+            assert gpl.elapsed_ms < kbe.elapsed_ms, name

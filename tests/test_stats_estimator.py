@@ -1,0 +1,135 @@
+"""Tests for selectivity and cardinality estimation."""
+
+import pytest
+
+from repro.plans import DEFAULT_SELECTIVITY, StatisticsEstimator
+from repro.relational import col, lit
+from repro.relational.types import date_to_days
+
+
+@pytest.fixture()
+def estimator(tiny_db):
+    est = StatisticsEstimator(tiny_db)
+    est.register_columns("lineitem", tiny_db.table("lineitem").schema, {})
+    est.register_columns("orders", tiny_db.table("orders").schema, {})
+    est.register_columns(
+        "nation",
+        tiny_db.table("nation").schema,
+        {"n_name": "n1_name", "n_nationkey": "n1_nationkey", "n_regionkey": "n1_regionkey"},
+    )
+    return est
+
+
+class TestPredicateSelectivity:
+    def test_range_half(self, estimator, tiny_db):
+        stats = tiny_db.stats("lineitem", "l_shipdate")
+        midpoint = (stats.minimum + stats.maximum) / 2
+        selectivity = estimator.selectivity(col("l_shipdate").le(midpoint))
+        assert selectivity == pytest.approx(0.5, abs=0.05)
+
+    def test_range_flipped_literal(self, estimator, tiny_db):
+        stats = tiny_db.stats("lineitem", "l_shipdate")
+        midpoint = (stats.minimum + stats.maximum) / 2
+        # literal <= column is the mirror image
+        selectivity = estimator.selectivity(lit(midpoint).le(col("l_shipdate")))
+        assert selectivity == pytest.approx(0.5, abs=0.05)
+
+    def test_impossible_range(self, estimator):
+        far_future = date_to_days("2050-01-01")
+        assert estimator.selectivity(col("l_shipdate").ge(far_future)) == 0.0
+
+    def test_equality_uses_distinct(self, estimator, tiny_db):
+        distinct = tiny_db.stats("orders", "o_custkey").distinct
+        selectivity = estimator.selectivity(col("o_custkey").eq(5))
+        assert selectivity == pytest.approx(1.0 / distinct)
+
+    def test_interval_recognized(self, estimator, tiny_db):
+        stats = tiny_db.stats("lineitem", "l_shipdate")
+        span = stats.maximum - stats.minimum
+        lo = stats.minimum + span * 0.4
+        hi = stats.minimum + span * 0.6
+        predicate = col("l_shipdate").ge(lo) & col("l_shipdate").lt(hi)
+        # Interval detection gives ~0.2, not independence's ~0.24*0.6.
+        assert estimator.selectivity(predicate) == pytest.approx(0.2, abs=0.03)
+
+    def test_interval_different_columns_not_confused(self, estimator):
+        predicate = col("l_discount").ge(0.02) & col("l_tax").lt(0.04)
+        a = estimator.selectivity(col("l_discount").ge(0.02))
+        b = estimator.selectivity(col("l_tax").lt(0.04))
+        assert estimator.selectivity(predicate) == pytest.approx(a * b)
+
+    def test_conjunction_multiplies(self, estimator):
+        a = col("l_discount").le(0.05)
+        b = col("l_tax").le(0.04)
+        combined = estimator.selectivity(a & b)
+        assert combined == pytest.approx(
+            estimator.selectivity(a) * estimator.selectivity(b)
+        )
+
+    def test_disjunction_inclusion_exclusion(self, estimator):
+        a = col("l_discount").le(0.05)
+        b = col("l_tax").le(0.04)
+        sa, sb = estimator.selectivity(a), estimator.selectivity(b)
+        assert estimator.selectivity(a | b) == pytest.approx(
+            sa + sb - sa * sb
+        )
+
+    def test_negation(self, estimator):
+        a = col("l_discount").le(0.05)
+        assert estimator.selectivity(~a) == pytest.approx(
+            1.0 - estimator.selectivity(a)
+        )
+
+    def test_renamed_column_resolves(self, estimator):
+        selectivity = estimator.selectivity(col("n1_name").eq(6))
+        assert selectivity == pytest.approx(1.0 / 25)
+
+    def test_unknown_column_falls_back(self, estimator):
+        assert estimator.selectivity(col("mystery").le(5)) == (
+            DEFAULT_SELECTIVITY
+        )
+
+    def test_column_equals_column(self, estimator, tiny_db):
+        predicate = col("o_custkey").eq(col("l_orderkey"))
+        distinct = max(
+            tiny_db.stats("orders", "o_custkey").distinct,
+            tiny_db.stats("lineitem", "l_orderkey").distinct,
+        )
+        assert estimator.selectivity(predicate) == pytest.approx(1.0 / distinct)
+
+    def test_inlist(self, estimator):
+        selectivity = estimator.selectivity(col("n1_name").isin([1, 2, 3]))
+        assert selectivity == pytest.approx(3 / 25)
+
+    def test_inlist_caps_at_one(self, estimator):
+        selectivity = estimator.selectivity(
+            col("n1_name").isin(list(range(100)))
+        )
+        assert selectivity == 1.0
+
+
+class TestJoinAndGroup:
+    def test_join_cardinality_pk_fk(self, estimator, tiny_db):
+        lineitem_rows = tiny_db.num_rows("lineitem")
+        orders_rows = tiny_db.num_rows("orders")
+        estimate = estimator.join_cardinality(
+            lineitem_rows, orders_rows, "l_orderkey", "o_orderkey"
+        )
+        # PK-FK join keeps roughly the fact-table cardinality.
+        assert estimate == pytest.approx(lineitem_rows, rel=0.05)
+
+    def test_join_cardinality_without_stats(self):
+        from repro.relational import Database
+
+        estimator = StatisticsEstimator(Database())
+        assert estimator.join_cardinality(100, 50, "a", "b") == 5000.0
+
+    def test_group_cardinality_capped_by_rows(self, estimator):
+        assert estimator.group_cardinality(10, ["n1_name"]) == 10
+
+    def test_group_cardinality_product(self, estimator):
+        estimate = estimator.group_cardinality(1e9, ["n1_name", "n1_regionkey"])
+        assert estimate == pytest.approx(25 * 5)
+
+    def test_global_aggregate(self, estimator):
+        assert estimator.group_cardinality(1e9, []) == 1.0

@@ -1,0 +1,179 @@
+"""Unit tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import ColumnDef, DataType, Table, TableSchema
+
+
+def schema() -> TableSchema:
+    return TableSchema.of(
+        ColumnDef("k", DataType.INT32),
+        ColumnDef("v", DataType.FLOAT64),
+    )
+
+
+def table() -> Table:
+    return Table(
+        schema(),
+        {"k": np.array([3, 1, 2, 1]), "v": np.array([0.3, 0.1, 0.2, 0.4])},
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = table()
+        assert t.num_rows == 4
+        assert len(t) == 4
+        assert t.nbytes == 4 * (4 + 8)
+
+    def test_missing_column(self):
+        with pytest.raises(SchemaError):
+            Table(schema(), {"k": np.array([1])})
+
+    def test_extra_column(self):
+        with pytest.raises(SchemaError):
+            Table(
+                schema(),
+                {"k": np.array([1]), "v": np.array([1.0]), "x": np.array([1])},
+            )
+
+    def test_ragged_columns(self):
+        with pytest.raises(SchemaError):
+            Table(schema(), {"k": np.array([1, 2]), "v": np.array([1.0])})
+
+    def test_2d_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(
+                schema(),
+                {"k": np.zeros((2, 2)), "v": np.array([1.0, 2.0])},
+            )
+
+    def test_dtype_coercion(self):
+        t = Table(schema(), {"k": np.array([1.9, 2.9]), "v": np.array([1, 2])})
+        assert t.column("k").dtype == np.int32
+        assert t.column("v").dtype == np.float64
+
+    def test_empty(self):
+        t = Table.empty(schema())
+        assert t.num_rows == 0
+        assert t.nbytes == 0
+
+    def test_from_rows(self):
+        t = Table.from_rows(schema(), [(1, 1.5), (2, 2.5)])
+        assert t.to_rows() == [(1, 1.5), (2, 2.5)]
+
+
+class TestAccessors:
+    def test_column_missing(self):
+        with pytest.raises(SchemaError):
+            table().column("zzz")
+
+    def test_getitem(self):
+        assert list(table()["k"]) == [3, 1, 2, 1]
+
+    def test_columns_copy_is_shallow(self):
+        t = table()
+        mapping = t.columns
+        assert set(mapping) == {"k", "v"}
+
+
+class TestOperations:
+    def test_project(self):
+        t = table().project(["v"])
+        assert t.schema.names == ("v",)
+        assert t.num_rows == 4
+
+    def test_rename(self):
+        t = table().rename({"k": "key"})
+        assert t.schema.names == ("key", "v")
+        assert list(t["key"]) == [3, 1, 2, 1]
+
+    def test_filter(self):
+        mask = table()["k"] == 1
+        filtered = table().filter(mask)
+        assert filtered.num_rows == 2
+        assert list(filtered["v"]) == [0.1, 0.4]
+
+    def test_filter_bad_mask(self):
+        with pytest.raises(SchemaError):
+            table().filter(np.array([True, False]))
+        with pytest.raises(SchemaError):
+            table().filter(np.array([1, 0, 1, 0]))
+
+    def test_take(self):
+        taken = table().take(np.array([2, 0]))
+        assert taken.to_rows() == [(2, 0.2), (3, 0.3)]
+
+    def test_slice_is_view(self):
+        t = table()
+        sliced = t.slice(1, 3)
+        assert sliced.num_rows == 2
+        assert sliced.column("k").base is not None  # numpy view
+
+    def test_with_column(self):
+        extra = table().with_column(
+            ColumnDef("w", DataType.INT64), np.array([1, 2, 3, 4])
+        )
+        assert extra.schema.names == ("k", "v", "w")
+
+    def test_concat_rows(self):
+        combined = table().concat_rows(table())
+        assert combined.num_rows == 8
+
+    def test_concat_rows_schema_mismatch(self):
+        other = Table(
+            TableSchema.of(ColumnDef("x", DataType.INT32)),
+            {"x": np.array([1])},
+        )
+        with pytest.raises(SchemaError):
+            table().concat_rows(other)
+
+    def test_concat_all(self):
+        combined = Table.concat_all([table(), table(), table()])
+        assert combined.num_rows == 12
+
+    def test_concat_all_empty(self):
+        with pytest.raises(SchemaError):
+            Table.concat_all([])
+
+
+class TestSorting:
+    def test_single_key(self):
+        t = table().sort_by(["k"])
+        assert [row[0] for row in t.to_rows()] == [1, 1, 2, 3]
+
+    def test_descending(self):
+        t = table().sort_by(["k"], [True])
+        assert [row[0] for row in t.to_rows()] == [3, 2, 1, 1]
+
+    def test_stability(self):
+        # equal keys keep input order
+        t = table().sort_by(["k"])
+        ones = [row for row in t.to_rows() if row[0] == 1]
+        assert [row[1] for row in ones] == [0.1, 0.4]
+
+    def test_stability_under_descending(self):
+        t = table().sort_by(["k"], [True])
+        ones = [row for row in t.to_rows() if row[0] == 1]
+        assert [row[1] for row in ones] == [0.1, 0.4]
+
+    def test_multi_key(self):
+        t = Table.from_rows(
+            schema(), [(1, 2.0), (2, 1.0), (1, 1.0), (2, 2.0)]
+        ).sort_by(["k", "v"], [False, True])
+        assert t.to_rows() == [(1, 2.0), (1, 1.0), (2, 2.0), (2, 1.0)]
+
+    def test_no_keys_is_identity(self):
+        assert table().sort_by([]).to_rows() == table().to_rows()
+
+
+class TestDecoding:
+    def test_decoded_rows(self):
+        s = TableSchema.of(
+            ColumnDef("name", DataType.DICT, ("ann", "bob")),
+            ColumnDef("n", DataType.INT32),
+        )
+        t = Table(s, {"name": np.array([1, 0]), "n": np.array([10, 20])})
+        assert t.decoded_rows() == [("bob", 10), ("ann", 20)]

@@ -1,0 +1,108 @@
+"""Tests for dbgen-style .tbl export/import."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import ColumnDef, DataType, Table, TableSchema
+from repro.tpch import export_database, generate_database, import_database
+from repro.tpch.tbl import read_tbl, write_tbl
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(scale=0.002)
+
+
+class TestRoundTrip:
+    def test_database_round_trip(self, db, tmp_path):
+        written = export_database(db, tmp_path)
+        assert set(written) == set(db.names)
+        reloaded = import_database(tmp_path)
+        for name in db.names:
+            original = db.table(name)
+            loaded = reloaded.table(name)
+            assert loaded.num_rows == original.num_rows
+            for column in original.schema:
+                if column.dtype in (DataType.FLOAT32, DataType.FLOAT64):
+                    # .tbl stores 2 decimal places, like dbgen
+                    assert np.allclose(
+                        loaded[column.name],
+                        original[column.name],
+                        atol=0.005,
+                    )
+                else:
+                    assert np.array_equal(
+                        loaded[column.name], original[column.name]
+                    )
+
+    def test_selected_tables_only(self, db, tmp_path):
+        export_database(db, tmp_path, tables=["nation", "region"])
+        assert (tmp_path / "nation.tbl").exists()
+        assert not (tmp_path / "lineitem.tbl").exists()
+        reloaded = import_database(tmp_path, tables=["nation", "region"])
+        assert set(reloaded.names) == {"nation", "region"}
+
+    def test_queries_agree_on_reimported_data(self, db, tmp_path, amd):
+        from repro.core import GPLEngine
+        from repro.tpch import q14
+
+        export_database(db, tmp_path)
+        reloaded = import_database(tmp_path)
+        original_run = GPLEngine(db, amd).execute(q14())
+        reloaded_run = GPLEngine(reloaded, amd).execute(q14())
+        # prices round to cents in the file format; answers stay close
+        assert abs(
+            original_run.rows()[0][0] - reloaded_run.rows()[0][0]
+        ) < 0.01
+
+
+class TestFormat:
+    def test_dbgen_line_format(self, db, tmp_path):
+        write_tbl(db.table("nation"), tmp_path / "nation.tbl")
+        lines = (tmp_path / "nation.tbl").read_text().splitlines()
+        assert len(lines) == 25
+        # trailing pipe, decoded strings, ISO-free integer keys
+        assert lines[0] == "0|ALGERIA|0|"
+
+    def test_dates_are_iso(self, db, tmp_path):
+        write_tbl(db.table("orders"), tmp_path / "orders.tbl")
+        first = (tmp_path / "orders.tbl").read_text().splitlines()[0]
+        fields = first.split("|")
+        year = fields[2].split("-")[0]
+        assert 1992 <= int(year) <= 1998
+
+    def test_floats_two_decimals(self, db, tmp_path):
+        write_tbl(db.table("partsupp"), tmp_path / "ps.tbl")
+        first = (tmp_path / "ps.tbl").read_text().splitlines()[0]
+        cost = first.split("|")[3]
+        assert len(cost.split(".")[1]) == 2
+
+
+class TestErrors:
+    def test_field_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.tbl"
+        path.write_text("1|2|3|\n")
+        schema = TableSchema.of(
+            ColumnDef("a", DataType.INT32), ColumnDef("b", DataType.INT32)
+        )
+        with pytest.raises(SchemaError):
+            read_tbl(schema, path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SchemaError):
+            import_database(tmp_path, tables=["nation"])
+
+    def test_unknown_table(self, tmp_path):
+        (tmp_path / "mystery.tbl").write_text("")
+        with pytest.raises(SchemaError):
+            import_database(tmp_path, tables=["mystery"])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.tbl"
+        path.write_text("1|2|\n\n3|4|\n")
+        schema = TableSchema.of(
+            ColumnDef("a", DataType.INT32), ColumnDef("b", DataType.INT32)
+        )
+        table = read_tbl(schema, path)
+        assert table.to_rows() == [(1, 2), (3, 4)]

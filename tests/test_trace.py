@@ -1,0 +1,155 @@
+"""Tests for execution tracing and the Gantt renderer."""
+
+import pytest
+
+from repro.core import GPLEngine
+from repro.gpu import (
+    AMD_A10,
+    ChannelConfig,
+    DataLocation,
+    KernelLaunch,
+    KernelSpec,
+    Simulator,
+    StageSpec,
+    TraceEvent,
+    render_gantt,
+    stage_utilization,
+)
+from repro.tpch import q14
+
+
+def two_stage_pipeline(trace):
+    def spec(name):
+        return KernelSpec(
+            name=name,
+            compute_instr=20,
+            memory_instr=2,
+            pm_per_workitem=32,
+            lm_per_workitem=8,
+        )
+
+    stages = [
+        StageSpec(
+            KernelLaunch(
+                spec=spec("producer"),
+                tuples=50_000,
+                workgroups=8,
+                in_bytes_per_tuple=16,
+                out_bytes_per_tuple=8,
+                selectivity=0.5,
+                output_location=DataLocation.CHANNEL,
+                label="producer",
+            )
+        ),
+        StageSpec(
+            KernelLaunch(
+                spec=spec("consumer"),
+                tuples=25_000,
+                workgroups=8,
+                in_bytes_per_tuple=8,
+                out_bytes_per_tuple=8,
+                selectivity=0.0,
+                input_location=DataLocation.CHANNEL,
+                output_location=DataLocation.NONE,
+                label="consumer",
+            )
+        ),
+    ]
+    return Simulator(AMD_A10).run_pipeline(
+        stages,
+        [ChannelConfig(depth_packets=8192)],
+        num_tiles=2,
+        tile_tuples=25_000,
+        tile_bytes=25_000 * 16,
+        trace=trace,
+    )
+
+
+class TestSimulatorTrace:
+    def test_disabled_by_default(self):
+        assert two_stage_pipeline(trace=False).trace == []
+
+    def test_one_event_per_unit(self):
+        result = two_stage_pipeline(trace=True)
+        # 2 tiles x 8 producer units, each matched by one consumer unit
+        assert len(result.trace) == 2 * 8 * 2
+        for event in result.trace:
+            assert event.end > event.start >= 0
+            assert event.end <= result.elapsed_cycles + 1e-9
+
+    def test_consumer_starts_after_producer(self):
+        result = two_stage_pipeline(trace=True)
+        first_producer = min(
+            e.start for e in result.trace if e.label == "producer"
+        )
+        first_consumer = min(
+            e.start for e in result.trace if e.label == "consumer"
+        )
+        assert first_consumer > first_producer
+
+    def test_tracing_does_not_change_timing(self):
+        assert (
+            two_stage_pipeline(True).elapsed_cycles
+            == two_stage_pipeline(False).elapsed_cycles
+        )
+
+
+class TestRenderers:
+    def events(self):
+        return [
+            TraceEvent(0, "a", 0.0, 10.0),
+            TraceEvent(0, "a", 10.0, 20.0),
+            TraceEvent(1, "bb", 5.0, 15.0),
+        ]
+
+    def test_gantt_has_one_row_per_stage(self):
+        chart = render_gantt(self.events(), elapsed=20.0, width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("bb")
+
+    def test_gantt_empty(self):
+        assert "no trace" in render_gantt([], 0.0)
+
+    def test_gantt_width(self):
+        chart = render_gantt(self.events(), elapsed=20.0, width=30)
+        for line in chart.splitlines():
+            # label + 2 frame glyphs + 30 buckets
+            assert len(line.split("▕")[1]) == 31  # 30 cells + closing frame
+
+    def test_stage_utilization(self):
+        utilization = stage_utilization(self.events(), elapsed=20.0)
+        assert utilization["a"] == pytest.approx(1.0)
+        assert utilization["bb"] == pytest.approx(0.5)
+
+    def test_utilization_merges_overlaps(self):
+        events = [
+            TraceEvent(0, "x", 0.0, 10.0),
+            TraceEvent(0, "x", 5.0, 12.0),  # overlapping unit
+        ]
+        utilization = stage_utilization(events, elapsed=20.0)
+        assert utilization["x"] == pytest.approx(12.0 / 20.0)
+
+    def test_utilization_empty(self):
+        assert stage_utilization([], 0.0) == {}
+
+
+class TestEngineTrace:
+    def test_execute_with_trace(self, small_db, amd):
+        engine = GPLEngine(small_db, amd)
+        result, traces = engine.execute_with_trace(q14())
+        assert result.num_rows == 1
+        assert "main" in traces
+        assert traces["main"], "main segment must record units"
+        # Tracing is off again afterwards.
+        assert not engine._capture_trace
+        plain = engine.execute(q14())
+        assert plain.approx_equals(result)
+
+    def test_trace_labels_match_kernels(self, small_db, amd):
+        engine = GPLEngine(small_db, amd)
+        _, traces = engine.execute_with_trace(q14())
+        labels = {event.label for event in traces["main"]}
+        assert any("k_map" in label for label in labels)
+        assert any("k_probe" in label for label in labels)

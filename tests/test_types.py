@@ -1,0 +1,62 @@
+"""Unit tests for column types and date handling."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.relational.types import DataType, date_to_days, days_to_date
+
+
+class TestDataType:
+    def test_numpy_dtypes(self):
+        assert DataType.INT32.numpy_dtype == np.dtype(np.int32)
+        assert DataType.INT64.numpy_dtype == np.dtype(np.int64)
+        assert DataType.FLOAT32.numpy_dtype == np.dtype(np.float32)
+        assert DataType.FLOAT64.numpy_dtype == np.dtype(np.float64)
+
+    def test_date_is_int32(self):
+        assert DataType.DATE.numpy_dtype == np.dtype(np.int32)
+
+    def test_dict_is_int32(self):
+        assert DataType.DICT.numpy_dtype == np.dtype(np.int32)
+
+    @pytest.mark.parametrize(
+        "dtype,width",
+        [
+            (DataType.INT32, 4),
+            (DataType.INT64, 8),
+            (DataType.FLOAT32, 4),
+            (DataType.FLOAT64, 8),
+            (DataType.DATE, 4),
+            (DataType.DICT, 4),
+        ],
+    )
+    def test_widths(self, dtype, width):
+        assert dtype.width == width
+
+    def test_numeric_flags(self):
+        assert DataType.INT32.is_numeric
+        assert DataType.FLOAT64.is_numeric
+        assert not DataType.DATE.is_numeric
+        assert not DataType.DICT.is_numeric
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days("1970-01-01") == 0
+
+    def test_round_trip(self):
+        for iso in ("1992-01-01", "1995-09-01", "1998-08-02", "2026-07-08"):
+            days = date_to_days(iso)
+            assert days_to_date(days).isoformat() == iso
+
+    def test_accepts_date_objects(self):
+        assert date_to_days(datetime.date(1970, 1, 2)) == 1
+
+    def test_ordering_preserved(self):
+        assert date_to_days("1994-01-01") < date_to_days("1995-01-01")
+
+    def test_known_value(self):
+        # 1995-09-01 is 9374 days after the epoch.
+        assert date_to_days("1995-09-01") == 9374
