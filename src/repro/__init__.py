@@ -19,7 +19,10 @@ from .core import (
     GPLEngine,
     GPLWithoutCEEngine,
     QueryResult,
+    ResilienceReport,
+    ResilientExecutor,
 )
+from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from .gpu import AMD_A10, NVIDIA_K40, ChannelConfig, DeviceSpec, device_by_name
 from .kbe import KBEEngine
 from .model import CostModel, ConfigurationSearch, calibrate_channels
@@ -35,6 +38,12 @@ __all__ = [
     "GPLEngine",
     "GPLWithoutCEEngine",
     "QueryResult",
+    "ResilienceReport",
+    "ResilientExecutor",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "AMD_A10",
     "NVIDIA_K40",
     "ChannelConfig",

@@ -4,6 +4,9 @@ Commands
 --------
 
 ``run``        execute a query on one engine and print decoded results
+               (``--inject-faults`` schedules deterministic faults;
+               ``--resilient`` wraps the run in admission control, bounded
+               retry, and the GPL -> GPL w/o CE -> KBE fallback chain)
 ``compare``    run one query on every engine and print a comparison
 ``calibrate``  print the channel-throughput surface Γ(n, p, d)
 ``tune``       run the analytical model's configuration search
@@ -25,7 +28,9 @@ from typing import List, Optional
 
 from . import __version__
 from .bench.reporting import banner, format_table
-from .core import GPLConfig, GPLEngine, GPLWithoutCEEngine
+from .core import GPLConfig, GPLEngine, GPLWithoutCEEngine, ResilientExecutor
+from .errors import ReproError
+from .faults import FaultInjector, FaultPlan
 from .gpu import device_by_name
 from .kbe import KBEEngine
 from .model import (
@@ -87,6 +92,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--partitioned-joins",
         action="store_true",
         help="use partitioned hash joins for large build sides",
+    )
+    run.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help=(
+            "deterministic fault schedule, e.g. 'oom', "
+            "'stall@pipe0:probe*', 'abort@*:*,times=2', 'random:42:3'"
+        ),
+    )
+    run.add_argument(
+        "--resilient",
+        action="store_true",
+        help=(
+            "execute through the resilience layer: admission control, "
+            "bounded retry-with-reconfiguration, fallback chain "
+            "GPL -> GPL (w/o CE) -> KBE"
+        ),
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry budget per engine in resilient mode (default 2)",
+    )
+    run.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        help=(
+            "device memory budget for admission control in MB "
+            "(default: the device's global memory)"
+        ),
     )
     _add_common(run)
 
@@ -169,15 +205,38 @@ def _database(args):
 def cmd_run(args) -> int:
     database = _database(args)
     device = device_by_name(args.device)
-    engine_cls = ENGINES[args.engine]
-    kwargs = {}
-    if args.engine in ("gpl", "gpl-woce"):
-        kwargs["config"] = GPLConfig(tile_bytes=args.tile_kb * 1024)
-    if args.partitioned_joins:
-        kwargs["partitioned_joins"] = True
-    engine = engine_cls(database, device, **kwargs)
-    result = engine.execute(_query_spec(args.query))
-    print(banner(f"{args.query} on {engine.name} ({device.name})"))
+    fault_plan = (
+        FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    )
+    if args.resilient:
+        executor = ResilientExecutor(
+            database,
+            device,
+            config=GPLConfig(tile_bytes=args.tile_kb * 1024),
+            fault_plan=fault_plan,
+            memory_budget_bytes=(
+                args.memory_budget_mb * 1024 * 1024
+                if args.memory_budget_mb
+                else None
+            ),
+            max_retries=args.max_retries,
+            partitioned_joins=args.partitioned_joins,
+        )
+        result = executor.execute(_query_spec(args.query))
+        engine_name = f"{result.engine} (resilient)"
+    else:
+        engine_cls = ENGINES[args.engine]
+        kwargs = {}
+        if args.engine in ("gpl", "gpl-woce"):
+            kwargs["config"] = GPLConfig(tile_bytes=args.tile_kb * 1024)
+        if args.partitioned_joins:
+            kwargs["partitioned_joins"] = True
+        engine = engine_cls(database, device, **kwargs)
+        if fault_plan is not None:
+            engine.fault_injector = FaultInjector(fault_plan)
+        result = engine.execute(_query_spec(args.query))
+        engine_name = engine.name
+    print(banner(f"{args.query} on {engine_name} ({device.name})"))
     print(format_table(result.columns, result.decoded_rows()[:25]))
     if result.num_rows > 25:
         print(f"... {result.num_rows - 25} more rows")
@@ -189,6 +248,9 @@ def cmd_run(args) -> int:
         f"materialized {counters.bytes_materialized / 1e6:.2f} MB | "
         f"launches {counters.kernel_launches}"
     )
+    if result.resilience is not None:
+        print(banner("resilience report"))
+        print(result.resilience.to_text())
     return 0
 
 
@@ -367,7 +429,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "dbgen": cmd_dbgen,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        # One line, first line only: deadlock snapshots span many lines.
+        message = str(exc).splitlines()[0] if str(exc) else "unknown error"
+        print(f"error: {type(exc).__name__}: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

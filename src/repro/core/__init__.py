@@ -1,8 +1,14 @@
 """GPL core: the pipelined query execution engine and its components."""
 
 from .base import EngineBase, QueryResult, workgroups_for
-from .config import DEFAULT_TILE_BYTES, GPLConfig
+from .config import DEFAULT_TILE_BYTES, MIN_TILE_BYTES, GPLConfig
 from .engine import GPLEngine, GPLWithoutCEEngine
+from .resilience import (
+    ENGINE_CHAIN,
+    AttemptRecord,
+    ResilienceReport,
+    ResilientExecutor,
+)
 from .segments import Segment, pipeline_kernel_specs, split_into_segments
 from .tiling import TilePlan, Tiler
 
@@ -11,9 +17,14 @@ __all__ = [
     "QueryResult",
     "workgroups_for",
     "DEFAULT_TILE_BYTES",
+    "MIN_TILE_BYTES",
     "GPLConfig",
     "GPLEngine",
     "GPLWithoutCEEngine",
+    "ENGINE_CHAIN",
+    "AttemptRecord",
+    "ResilienceReport",
+    "ResilientExecutor",
     "Segment",
     "pipeline_kernel_specs",
     "split_into_segments",

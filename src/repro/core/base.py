@@ -54,6 +54,10 @@ class QueryResult:
     counters: HardwareCounters
     report: ProfilerReport
     dictionaries: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Set by :class:`repro.core.resilience.ResilientExecutor`: the
+    #: retry/fallback/fault accounting of the run that produced this
+    #: result, surfaced next to the hardware counters.
+    resilience: Optional["object"] = None
 
     @property
     def num_rows(self) -> int:
@@ -139,6 +143,10 @@ class EngineBase:
         self.partitioned_joins = partitioned_joins
         self.num_partitions = num_partitions
         self.adaptive_fact = adaptive_fact
+        #: Optional :class:`repro.faults.FaultInjector` threaded into every
+        #: simulator this engine creates (set by the resilience layer or
+        #: the CLI; ``None`` costs nothing).
+        self.fault_injector = None
         self._optimizer = SelingerOptimizer(
             database, choose_fact=adaptive_fact
         )
@@ -193,9 +201,10 @@ class EngineBase:
         return self.execute_plan(spec.name, plan)
 
     def execute_plan(self, query_name: str, plan: PhysicalPlan) -> QueryResult:
-        simulator = Simulator(self.device)
+        simulator = Simulator(self.device, injector=self.fault_injector)
         context = ExecutionContext()
         for pipeline in plan.pipelines:
+            simulator.begin_segment(pipeline.pipeline_id)
             self._run_pipeline(pipeline, simulator, context)
         output = context.intermediate(plan.output_pipeline)
         counters = simulator.counters

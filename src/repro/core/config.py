@@ -23,13 +23,17 @@ from ..gpu import ChannelConfig, DeviceSpec
 from ..gpu.kernel import KernelLaunch
 from ..gpu.occupancy import check_segment_feasible
 
-__all__ = ["GPLConfig", "DEFAULT_TILE_BYTES"]
+__all__ = ["GPLConfig", "DEFAULT_TILE_BYTES", "MIN_TILE_BYTES"]
 
 KIB = 1024
 MIB = 1024 * 1024
 
 #: Paper default tile size.
 DEFAULT_TILE_BYTES = 1 * MIB
+
+#: Smallest meaningful tile (matches the ``__post_init__`` validation);
+#: the floor of retry-with-reconfiguration's halving ladder.
+MIN_TILE_BYTES = 4 * KIB
 
 
 @dataclass(frozen=True)
@@ -67,6 +71,21 @@ class GPLConfig:
 
     def without_concurrency(self) -> "GPLConfig":
         return replace(self, concurrent=False)
+
+    def shrunk(self) -> Optional["GPLConfig"]:
+        """The next rung down the degradation ladder, or ``None`` at floor.
+
+        Halving Δ halves every per-burst footprint at once: the streamed
+        tile, each producer work-group's channel burst (relieving
+        overflow), and the segment's live working set (relieving memory
+        pressure).  The channel binding itself is untouched — its (n, p)
+        optimum barely moves with Δ (Section 4.1).
+        """
+        if self.tile_bytes <= MIN_TILE_BYTES:
+            return None
+        return replace(
+            self, tile_bytes=max(MIN_TILE_BYTES, self.tile_bytes // 2)
+        )
 
     def fit_workgroups(
         self, launches: Sequence[KernelLaunch], device: DeviceSpec

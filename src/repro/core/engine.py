@@ -62,6 +62,31 @@ class GPLEngine(EngineBase):
         """The configuration used for one segment (model overrides win)."""
         return self.segment_configs.get(pipeline_id, self.config)
 
+    def estimated_segment_footprint(
+        self, pipeline: Pipeline, config: Optional[GPLConfig] = None
+    ) -> float:
+        """Pre-launch device-memory estimate for one segment, in bytes.
+
+        Admission control (:mod:`repro.core.resilience`) compares this
+        against the device budget *before* anything is launched.  The
+        estimate covers the three live allocations of pipelined
+        execution: the streamed tile, every interior channel binding at
+        full capacity, and the segment's materialized output (hash table
+        or aggregate) sized from the optimizer's cardinalities.
+        """
+        config = config or self.config_for(pipeline.pipeline_id)
+        templates = self._templates(pipeline)
+        footprint = float(config.tile_bytes)
+        footprint += max(0, len(templates) - 1) * float(
+            config.channel.capacity_bytes
+        )
+        rows = float(max(0.0, pipeline.est_source_rows))
+        for op in pipeline.ops:
+            rows *= max(0.0, op.est_selectivity)
+        if templates:
+            footprint += rows * float(templates[-1].out_width)
+        return footprint
+
     def execute_with_trace(self, spec):
         """Execute a query and capture per-segment execution traces.
 

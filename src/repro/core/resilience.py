@@ -1,0 +1,359 @@
+"""Graceful degradation: admission control, bounded retry, fallback chain.
+
+The paper tunes pipelined execution for the happy path — Section 4's cost
+model picks Δ, n, p so the segment *fits* and *flows*.  This module makes
+the engine survive the unhappy paths deterministically:
+
+* **admission control** — before anything is launched, every segment's
+  live footprint (tile + channel bindings + materialized output) is
+  checked against the device memory budget; over-budget configurations
+  are shrunk down the Δ-halving ladder, or rejected with a typed
+  :class:`~repro.errors.AdmissionError` when even the floor won't fit;
+* **bounded retry with reconfiguration** — simulated device-OOM and
+  channel overflow trigger up to ``max_retries`` re-executions, each one
+  rung down the degradation ladder (:meth:`GPLConfig.shrunk`); an
+  injected *missing calibration entry* aborts reconfiguration, as a real
+  cost-model lookup miss would;
+* **a fallback chain** ``GPL -> GPL (w/o CE) -> KBE`` — pipeline
+  deadlocks and kernel aborts skip the degenerate retry and fall back to
+  the next-simpler engine (w/o CE drops channels, KBE drops tiling too),
+  so every channel-shaped fault is structurally absorbed.  The last
+  engine's failure propagates as the original typed error: the chain
+  never hangs and never masks a non-absorbable fault.
+
+Every run produces a :class:`ResilienceReport` — which engine answered,
+every attempt with its outcome, and retry/fallback/fault counters — and
+because both the simulator and :mod:`repro.faults` are deterministic, the
+same seed reproduces the identical schedule and identical report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import (
+    AdmissionError,
+    CalibrationError,
+    ChannelError,
+    DeviceMemoryError,
+    ExecutionError,
+    KernelFaultError,
+    PipelineDeadlockError,
+)
+from ..faults import FaultInjector, FaultPlan
+from ..gpu import DeviceSpec
+from ..plans import QuerySpec
+from ..relational import Database
+from .base import QueryResult
+from .config import GPLConfig
+from .engine import GPLEngine, GPLWithoutCEEngine
+
+__all__ = [
+    "AttemptRecord",
+    "ResilienceReport",
+    "ResilientExecutor",
+    "ENGINE_CHAIN",
+]
+
+#: The degradation order: full pipelining, then tiling without channels,
+#: then the conventional kernel-based baseline.
+ENGINE_CHAIN: Tuple[str, ...] = ("gpl", "gpl-woce", "kbe")
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One execution attempt and how it ended."""
+
+    engine: str
+    tile_bytes: int
+    outcome: str  # ok | oom | channel-overflow | deadlock | kernel-fault |
+    #               admission-rejected
+    error: str = ""
+
+
+@dataclass
+class ResilienceReport:
+    """Retry/fallback/fault accounting for one resilient execution.
+
+    Surfaced on :attr:`QueryResult.resilience`, next to the hardware
+    counters; :meth:`counters_dict` is the canonical determinism witness
+    (two runs with the same seed must produce equal dicts).
+    """
+
+    engine_used: str = ""
+    retries: int = 0
+    reconfigurations: int = 0
+    fallbacks: int = 0
+    admission_shrinks: int = 0
+    admission_rejections: int = 0
+    calibration_misses: int = 0
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    attempts: List[AttemptRecord] = field(default_factory=list)
+
+    def counters_dict(self) -> Dict[str, object]:
+        return {
+            "engine_used": self.engine_used,
+            "retries": self.retries,
+            "reconfigurations": self.reconfigurations,
+            "fallbacks": self.fallbacks,
+            "admission_shrinks": self.admission_shrinks,
+            "admission_rejections": self.admission_rejections,
+            "calibration_misses": self.calibration_misses,
+            "faults_fired": dict(sorted(self.faults_fired.items())),
+            "attempts": [
+                (a.engine, a.tile_bytes, a.outcome) for a in self.attempts
+            ],
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"answered by {self.engine_used or '(none)'} | "
+            f"retries {self.retries} | fallbacks {self.fallbacks} | "
+            f"reconfigurations {self.reconfigurations}"
+        ]
+        if self.admission_shrinks or self.admission_rejections:
+            lines.append(
+                f"admission: {self.admission_shrinks} shrinks, "
+                f"{self.admission_rejections} rejections"
+            )
+        if self.calibration_misses:
+            lines.append(f"calibration misses: {self.calibration_misses}")
+        if self.faults_fired:
+            fired = ", ".join(
+                f"{kind} x{count}"
+                for kind, count in sorted(self.faults_fired.items())
+            )
+            lines.append(f"faults fired: {fired}")
+        for attempt in self.attempts:
+            detail = f" ({attempt.error})" if attempt.error else ""
+            lines.append(
+                f"  {attempt.engine:14s} tile "
+                f"{attempt.tile_bytes // 1024}KB -> "
+                f"{attempt.outcome}{detail}"
+            )
+        return "\n".join(lines)
+
+
+class ResilientExecutor:
+    """Wraps the engine chain with admission, retry, and fallback.
+
+    The executor owns one :class:`~repro.faults.FaultInjector` across the
+    whole chain, so a fault's ``times`` budget spans retries *and*
+    fallbacks — a fault that fires once is absorbed by the first retry,
+    one that keeps firing eventually exhausts the chain and propagates as
+    its typed error.
+    """
+
+    #: Chain keys to the display names engines report themselves under.
+    _DISPLAY = {"gpl": "GPL", "gpl-woce": "GPL (w/o CE)", "kbe": "KBE"}
+    #: Errors worth retrying on the same engine with a shrunk config.
+    _RETRYABLE = (DeviceMemoryError, ChannelError)
+    #: Errors that skip straight to the next engine in the chain.
+    _FALLBACK = (PipelineDeadlockError, KernelFaultError)
+
+    def __init__(
+        self,
+        database: Database,
+        device: DeviceSpec,
+        config: Optional[GPLConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        memory_budget_bytes: Optional[float] = None,
+        max_retries: int = 2,
+        engines: Sequence[str] = ENGINE_CHAIN,
+        partitioned_joins: bool = False,
+    ):
+        if not engines:
+            raise ExecutionError("the fallback chain needs at least one engine")
+        unknown = set(engines) - set(ENGINE_CHAIN)
+        if unknown:
+            raise ExecutionError(
+                f"unknown engines in fallback chain: {sorted(unknown)}"
+            )
+        self.database = database
+        self.device = device
+        self.config = config or GPLConfig()
+        self.injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self.memory_budget_bytes = memory_budget_bytes
+        self.max_retries = max(0, max_retries)
+        self.engines = tuple(engines)
+        self.partitioned_joins = partitioned_joins
+
+    # -- public API -------------------------------------------------------
+
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """Run ``spec`` through the chain; the answer is always reference-
+        correct because every engine computes real results, whatever path
+        produced them."""
+        report = ResilienceReport()
+        last_error: Optional[Exception] = None
+        for position, name in enumerate(self.engines):
+            if position > 0:
+                report.fallbacks += 1
+            result, last_error = self._attempt_engine(name, spec, report)
+            if result is not None:
+                report.engine_used = result.engine
+                self._harvest_faults(report)
+                result.resilience = report
+                return result
+        self._harvest_faults(report)
+        assert last_error is not None
+        raise last_error
+
+    # -- chain internals --------------------------------------------------
+
+    def _attempt_engine(
+        self, name: str, spec: QuerySpec, report: ResilienceReport
+    ) -> Tuple[Optional[QueryResult], Optional[Exception]]:
+        """Admit + execute one engine, retrying down the Δ ladder."""
+        config = self.config
+        retries = 0
+        while True:
+            try:
+                config = self._admit(name, spec, config, report)
+            except AdmissionError as exc:
+                report.admission_rejections += 1
+                report.attempts.append(
+                    AttemptRecord(
+                        self._DISPLAY[name], config.tile_bytes,
+                        "admission-rejected", str(exc),
+                    )
+                )
+                return None, exc
+            engine = self._build(name, config)
+            engine.fault_injector = self.injector
+            error: Exception
+            outcome: str
+            try:
+                result = engine.execute(spec)
+            except self._FALLBACK as exc:
+                outcome = (
+                    "deadlock"
+                    if isinstance(exc, PipelineDeadlockError)
+                    else "kernel-fault"
+                )
+                report.attempts.append(
+                    AttemptRecord(
+                        engine.name, config.tile_bytes, outcome,
+                        str(exc).splitlines()[0],
+                    )
+                )
+                return None, exc
+            except self._RETRYABLE as exc:
+                error = exc
+                outcome = (
+                    "oom" if isinstance(exc, DeviceMemoryError)
+                    else "channel-overflow"
+                )
+            else:
+                report.attempts.append(
+                    AttemptRecord(engine.name, config.tile_bytes, "ok")
+                )
+                return result, None
+            report.attempts.append(
+                AttemptRecord(
+                    engine.name, config.tile_bytes, outcome,
+                    str(error).splitlines()[0],
+                )
+            )
+            if retries >= self.max_retries:
+                return None, error
+            reconfigured = self._reconfigure(name, config, report)
+            if reconfigured is None:
+                return None, error
+            config = reconfigured
+            retries += 1
+            report.retries += 1
+
+    def _admit(
+        self,
+        name: str,
+        spec: QuerySpec,
+        config: GPLConfig,
+        report: ResilienceReport,
+    ) -> GPLConfig:
+        """Pre-launch footprint check; shrink Δ until the plan fits.
+
+        KBE is exempt: it is the last resort and allocates no tiles or
+        channels of its own.
+        """
+        if name == "kbe":
+            return config
+        budget = self.memory_budget_bytes or float(
+            self.device.global_mem_bytes
+        )
+        probe = self._build(name, config)
+        plan = probe.prepare(spec)
+        while True:
+            footprint = sum(
+                probe.estimated_segment_footprint(pipeline, config)
+                for pipeline in plan.pipelines
+            )
+            if footprint <= budget:
+                return config
+            shrunk = config.shrunk()
+            if shrunk is None:
+                raise AdmissionError(
+                    f"estimated footprint {footprint:,.0f} B exceeds the "
+                    f"device budget {budget:,.0f} B even at the minimum "
+                    f"tile size",
+                    segment=spec.name,
+                    footprint_bytes=footprint,
+                    budget_bytes=budget,
+                )
+            config = shrunk
+            report.admission_shrinks += 1
+
+    def _reconfigure(
+        self, name: str, config: GPLConfig, report: ResilienceReport
+    ) -> Optional[GPLConfig]:
+        """One rung down the degradation ladder for the next retry.
+
+        Re-deriving the configuration consults the calibrated cost model;
+        an injected *missing calibration entry* makes that lookup fail,
+        in which case the retry is abandoned (``None``) and the chain
+        falls back instead.
+        """
+        if self.injector is not None:
+            try:
+                self.injector.on_calibration_lookup("*")
+            except CalibrationError:
+                report.calibration_misses += 1
+                return None
+        if name == "kbe":
+            return config  # nothing to reconfigure; retry as-is
+        shrunk = config.shrunk()
+        if shrunk is not None:
+            report.reconfigurations += 1
+        return shrunk
+
+    def _build(self, name: str, config: GPLConfig):
+        if name == "gpl":
+            return GPLEngine(
+                self.database,
+                self.device,
+                config=config,
+                partitioned_joins=self.partitioned_joins,
+            )
+        if name == "gpl-woce":
+            return GPLWithoutCEEngine(
+                self.database,
+                self.device,
+                config=config,
+                partitioned_joins=self.partitioned_joins,
+            )
+        if name == "kbe":
+            from ..kbe import KBEEngine
+
+            return KBEEngine(
+                self.database,
+                self.device,
+                partitioned_joins=self.partitioned_joins,
+            )
+        raise ExecutionError(f"unknown engine {name!r}")
+
+    def _harvest_faults(self, report: ResilienceReport) -> None:
+        if self.injector is not None:
+            report.faults_fired = self.injector.fired_counts()

@@ -3,9 +3,20 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to discriminate on the specific failure mode.
+
+Runtime faults that the resilience layer (:mod:`repro.core.resilience`)
+can react to carry structured context: :class:`DeviceMemoryError` knows
+the requested and available bytes, :class:`PipelineDeadlockError` carries
+a :class:`DeadlockSnapshot` of the stalled segment, and
+:class:`KernelFaultError` names the kernel and cycle of the abort.  The
+snapshot dataclasses live here (pure data, no imports) so both the
+simulator and callers can share them without cycles.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 
 class ReproError(Exception):
@@ -46,3 +57,156 @@ class ModelError(ReproError):
 
 class ExecutionError(ReproError):
     """A query engine failed while executing a physical plan."""
+
+
+# ---------------------------------------------------------------------------
+# resilience-layer faults (context-carrying)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageSnapshot:
+    """State of one pipeline stage at the moment a watchdog fired."""
+
+    index: int
+    name: str
+    completed: int
+    total: int
+    ready: int
+    active: int
+    max_active: int
+    packets_out: int
+
+    @property
+    def finished(self) -> bool:
+        return self.completed >= self.total
+
+
+@dataclass(frozen=True)
+class ChannelSnapshot:
+    """Occupancy of one channel edge at the moment a watchdog fired."""
+
+    edge: int
+    buffered_packets: int
+    reserved_packets: int
+    capacity_packets: int
+    total_packets: int
+
+    @property
+    def in_flight(self) -> int:
+        return self.buffered_packets + self.reserved_packets
+
+    @property
+    def full(self) -> bool:
+        return self.in_flight >= self.capacity_packets
+
+
+@dataclass(frozen=True)
+class DeadlockSnapshot:
+    """Diagnostic state of a pipelined segment that stopped making progress.
+
+    Captured by the simulator's watchdog when the event loop drains with
+    unfinished stages (classic producer/consumer deadlock) or when the
+    no-progress cycle budget is exhausted.
+    """
+
+    segment: str
+    cycle: float
+    last_progress_cycle: float
+    stages: Tuple[StageSnapshot, ...] = field(default_factory=tuple)
+    channels: Tuple[ChannelSnapshot, ...] = field(default_factory=tuple)
+
+    @property
+    def unfinished_stages(self) -> Tuple[StageSnapshot, ...]:
+        return tuple(s for s in self.stages if not s.finished)
+
+    @property
+    def blocked_workgroups(self) -> int:
+        """Work-group units queued behind stages that can no longer run."""
+        return sum(s.ready for s in self.unfinished_stages)
+
+    def describe(self) -> str:
+        lines = [
+            f"segment {self.segment or '?'} stopped at cycle "
+            f"{self.cycle:.0f} (last progress at "
+            f"{self.last_progress_cycle:.0f})"
+        ]
+        for s in self.stages:
+            lines.append(
+                f"  stage {s.index} {s.name}: {s.completed}/{s.total} done, "
+                f"{s.ready} ready, {s.active}/{s.max_active} active"
+            )
+        for c in self.channels:
+            lines.append(
+                f"  channel {c.edge}: {c.in_flight}/{c.capacity_packets} "
+                f"packets in flight"
+                + (" (FULL)" if c.full else "")
+            )
+        return "\n".join(lines)
+
+
+class DeviceMemoryError(ReproError):
+    """A launch would exceed (or exhausted) the device memory budget."""
+
+    def __init__(
+        self,
+        message: str,
+        segment: str = "",
+        requested_bytes: float = 0.0,
+        budget_bytes: float = 0.0,
+        injected: bool = False,
+    ):
+        super().__init__(message)
+        self.segment = segment
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes
+        self.injected = injected
+
+
+class AdmissionError(ReproError):
+    """Admission control rejected a launch before it reached the device."""
+
+    def __init__(
+        self,
+        message: str,
+        segment: str = "",
+        footprint_bytes: float = 0.0,
+        budget_bytes: float = 0.0,
+    ):
+        super().__init__(message)
+        self.segment = segment
+        self.footprint_bytes = footprint_bytes
+        self.budget_bytes = budget_bytes
+
+
+class KernelFaultError(SimulationError):
+    """A kernel aborted mid-flight (injected or simulated hardware fault)."""
+
+    def __init__(
+        self,
+        message: str,
+        segment: str = "",
+        kernel: str = "",
+        cycle: float = 0.0,
+        injected: bool = False,
+    ):
+        super().__init__(message)
+        self.segment = segment
+        self.kernel = kernel
+        self.cycle = cycle
+        self.injected = injected
+
+
+class PipelineDeadlockError(SimulationError):
+    """A pipelined segment stopped making progress.
+
+    ``snapshot`` carries the per-stage and per-channel diagnostic state so
+    callers (and humans) can see *why*: which stage starved, which channel
+    filled, how many work-groups were blocked.
+    """
+
+    def __init__(self, message: str, snapshot: Optional[DeadlockSnapshot] = None):
+        if snapshot is not None:
+            message = f"{message}\n{snapshot.describe()}"
+        super().__init__(message)
+        self.snapshot = snapshot

@@ -1,0 +1,351 @@
+"""Deterministic fault injection for the simulated GPU engines.
+
+Production-scale GPU query platforms treat out-of-memory, stalled data
+movement, and kernel failures as first-class runtime events with recovery
+paths.  This module lets tests (and the CLI) *schedule* such events at
+named points of a run — a segment id, a kernel name, a cycle window — so
+the resilience layer (:mod:`repro.core.resilience`) can be exercised
+reproducibly:
+
+* a :class:`FaultPlan` is an immutable, fully materialized schedule of
+  :class:`FaultSpec` entries.  Seeded plans (:meth:`FaultPlan.from_seed`)
+  draw their schedule eagerly at construction time, so there is **no RNG
+  in the hot path** and the same seed always produces the same schedule;
+* a :class:`FaultInjector` arms a plan and is consulted by the simulator
+  and the engines at well-defined hook points.  Every firing is recorded
+  as a :class:`FiredFault`, and each spec fires at most ``times`` times —
+  which is what makes a fault *absorbable* by a bounded retry.
+
+Matching is by :func:`fnmatch.fnmatch` patterns on the segment (pipeline)
+id and the kernel display name, plus an optional ``[after, before)``
+cycle window for in-flight faults.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .errors import (
+    CalibrationError,
+    DeviceMemoryError,
+    KernelFaultError,
+    ReproError,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FiredFault",
+    "FaultInjector",
+    "parse_fault_plan",
+]
+
+
+class FaultKind(str, Enum):
+    """The simulated failure modes the engines can be subjected to."""
+
+    KERNEL_ABORT = "abort"
+    CHANNEL_STALL = "stall"
+    CHANNEL_OVERFLOW = "overflow"
+    DEVICE_OOM = "oom"
+    MISSING_CALIBRATION = "calibration"
+
+
+_KINDS = {kind.value: kind for kind in FaultKind}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what, where, when, and how often.
+
+    ``segment`` and ``kernel`` are fnmatch patterns against the pipeline id
+    and the kernel display name; ``after_cycle``/``before_cycle`` bound the
+    virtual-cycle window in which in-flight faults (kernel aborts) may
+    fire; ``times`` bounds total firings, after which the spec is spent.
+    """
+
+    kind: FaultKind
+    segment: str = "*"
+    kernel: str = "*"
+    after_cycle: float = 0.0
+    before_cycle: float = math.inf
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.times < 1:
+            raise ReproError("fault spec must fire at least once")
+        if self.after_cycle < 0 or self.before_cycle <= self.after_cycle:
+            raise ReproError(
+                f"bad fault cycle window [{self.after_cycle}, "
+                f"{self.before_cycle})"
+            )
+
+    def matches(self, segment: str, kernel: str, cycle: float) -> bool:
+        return (
+            fnmatch(segment, self.segment)
+            and fnmatch(kernel, self.kernel)
+            and self.after_cycle <= cycle < self.before_cycle
+        )
+
+    def describe(self) -> str:
+        window = ""
+        if self.after_cycle > 0 or math.isfinite(self.before_cycle):
+            hi = "inf" if math.isinf(self.before_cycle) else f"{self.before_cycle:.0f}"
+            window = f",after={self.after_cycle:.0f},before={hi}"
+        times = f",times={self.times}" if self.times != 1 else ""
+        return f"{self.kind.value}@{self.segment}:{self.kernel}{window}{times}"
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One recorded firing of a scheduled fault."""
+
+    spec_index: int
+    kind: FaultKind
+    segment: str
+    kernel: str
+    cycle: float
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, deterministic schedule of faults.
+
+    The plan is the unit of reproducibility: two injectors armed with
+    equal plans, driven by the (deterministic) simulator, fire the exact
+    same faults at the exact same points.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: Optional[int] = None
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a CLI fault spec (see :func:`parse_fault_plan`)."""
+        return parse_fault_plan(text)
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        count: int = 3,
+        kinds: Optional[Sequence[FaultKind]] = None,
+        segments: Sequence[str] = ("*",),
+        kernels: Sequence[str] = ("*",),
+        max_cycle: float = 1e9,
+    ) -> "FaultPlan":
+        """A seeded random plan, drawn eagerly — same seed, same schedule.
+
+        All randomness happens here, at construction; the resulting plan
+        is a plain tuple of concrete :class:`FaultSpec` entries and the
+        injector never touches an RNG.
+        """
+        rng = random.Random(seed)
+        pool = tuple(kinds) if kinds else tuple(FaultKind)
+        specs: List[FaultSpec] = []
+        for _ in range(max(0, count)):
+            kind = pool[rng.randrange(len(pool))]
+            spec = FaultSpec(
+                kind=kind,
+                segment=segments[rng.randrange(len(segments))],
+                kernel=kernels[rng.randrange(len(kernels))],
+            )
+            if kind is FaultKind.KERNEL_ABORT and rng.random() < 0.5:
+                lo = float(rng.randrange(0, int(max_cycle // 2)))
+                spec = replace(spec, after_cycle=lo)
+            specs.append(spec)
+        return cls(faults=tuple(specs), seed=seed)
+
+    def describe(self) -> str:
+        head = f"fault plan (seed={self.seed})" if self.seed is not None \
+            else "fault plan"
+        if not self.faults:
+            return f"{head}: empty"
+        return f"{head}: " + "; ".join(s.describe() for s in self.faults)
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse ``--inject-faults`` syntax into a :class:`FaultPlan`.
+
+    Grammar (items separated by ``;``)::
+
+        item   := kind ['@' segment [':' kernel]] (',' key '=' value)*
+        kind   := abort | stall | overflow | oom | calibration
+        key    := times | after | before
+        item   := 'random' ':' seed [':' count]     (seeded plan)
+
+    Examples::
+
+        oom                         one OOM on any segment
+        stall@pipe0:probe*          stall the probe kernels of pipe0
+        abort@*:*,times=2,after=1000
+        random:42:3                 three seeded faults
+    """
+    specs: List[FaultSpec] = []
+    seed: Optional[int] = None
+    for raw in text.split(";"):
+        item = raw.strip()
+        if not item:
+            continue
+        if item.startswith("random:"):
+            parts = item.split(":")
+            try:
+                seed = int(parts[1])
+                count = int(parts[2]) if len(parts) > 2 else 3
+            except (IndexError, ValueError):
+                raise ReproError(
+                    f"bad seeded fault item {item!r}; expected "
+                    "random:SEED[:COUNT]"
+                ) from None
+            specs.extend(FaultPlan.from_seed(seed, count=count).faults)
+            continue
+        head, _, options = item.partition(",")
+        kind_text, _, site = head.partition("@")
+        kind = _KINDS.get(kind_text.strip())
+        if kind is None:
+            raise ReproError(
+                f"unknown fault kind {kind_text!r}; choose one of "
+                f"{sorted(_KINDS)}"
+            )
+        segment, _, kernel = site.partition(":")
+        kwargs: Dict[str, float] = {}
+        for option in options.split(","):
+            option = option.strip()
+            if not option:
+                continue
+            key, _, value = option.partition("=")
+            try:
+                if key == "times":
+                    kwargs["times"] = int(value)
+                elif key == "after":
+                    kwargs["after_cycle"] = float(value)
+                elif key == "before":
+                    kwargs["before_cycle"] = float(value)
+                else:
+                    raise ValueError(key)
+            except ValueError:
+                raise ReproError(
+                    f"bad fault option {option!r} in {item!r}"
+                ) from None
+        specs.append(
+            FaultSpec(
+                kind=kind,
+                segment=segment.strip() or "*",
+                kernel=kernel.strip() or "*",
+                **kwargs,
+            )
+        )
+    return FaultPlan(faults=tuple(specs), seed=seed)
+
+
+@dataclass
+class FaultInjector:
+    """Armed fault plan consulted by the simulator and the engines.
+
+    Each hook either *raises* the typed error for the fault (OOM, kernel
+    abort, missing calibration) or *answers* whether a behavioural fault
+    applies (channel stall / overflow), leaving the mechanics to the
+    simulator.  Specs are consumed in plan order; a spent spec never fires
+    again, which is what lets a bounded retry absorb a fault.
+    """
+
+    plan: FaultPlan
+    fired: List[FiredFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._remaining = [spec.times for spec in self.plan.faults]
+
+    # -- core matching --------------------------------------------------
+
+    def _take(
+        self, kind: FaultKind, segment: str, kernel: str, cycle: float
+    ) -> Optional[FaultSpec]:
+        for index, spec in enumerate(self.plan.faults):
+            if spec.kind is not kind or self._remaining[index] <= 0:
+                continue
+            if not spec.matches(segment, kernel, cycle):
+                continue
+            self._remaining[index] -= 1
+            self.fired.append(
+                FiredFault(
+                    spec_index=index,
+                    kind=kind,
+                    segment=segment,
+                    kernel=kernel,
+                    cycle=cycle,
+                )
+            )
+            return spec
+        return None
+
+    # -- raising hooks ---------------------------------------------------
+
+    def on_segment_launch(
+        self, segment: str, budget_bytes: float = 0.0
+    ) -> None:
+        """Entry of a segment: injected device-memory exhaustion."""
+        if self._take(FaultKind.DEVICE_OOM, segment, "*", 0.0) is not None:
+            raise DeviceMemoryError(
+                f"injected device memory exhaustion launching segment "
+                f"{segment!r}",
+                segment=segment,
+                budget_bytes=budget_bytes,
+                injected=True,
+            )
+
+    def on_kernel_complete(
+        self, segment: str, kernel: str, cycle: float
+    ) -> None:
+        """A kernel (work-group unit) retired: injected kernel abort."""
+        if self._take(FaultKind.KERNEL_ABORT, segment, kernel, cycle) is not None:
+            raise KernelFaultError(
+                f"injected abort of kernel {kernel!r} in segment "
+                f"{segment!r} at cycle {cycle:.0f}",
+                segment=segment,
+                kernel=kernel,
+                cycle=cycle,
+                injected=True,
+            )
+
+    def on_calibration_lookup(self, segment: str = "*") -> None:
+        """Config re-derivation consulted Γ: injected missing entry."""
+        if self._take(
+            FaultKind.MISSING_CALIBRATION, segment, "*", 0.0
+        ) is not None:
+            raise CalibrationError(
+                "injected missing calibration entry while re-deriving the "
+                f"configuration for segment {segment!r}"
+            )
+
+    # -- behavioural hooks (simulator applies the mechanics) -------------
+
+    def stalls_stage(self, segment: str, kernel: str) -> bool:
+        """Whether this stage's consumer side should wedge (never start)."""
+        return self._take(
+            FaultKind.CHANNEL_STALL, segment, kernel, 0.0
+        ) is not None
+
+    def overflows_edge(self, segment: str, kernel: str) -> bool:
+        """Whether this producer's channel edge should refuse its burst."""
+        return self._take(
+            FaultKind.CHANNEL_OVERFLOW, segment, kernel, 0.0
+        ) is not None
+
+    # -- reporting -------------------------------------------------------
+
+    def fired_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.fired:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts
+
+    @property
+    def exhausted(self) -> bool:
+        """Every scheduled fault has fired its full ``times`` budget."""
+        return all(remaining == 0 for remaining in self._remaining)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import ChannelError
+from ..errors import ChannelError, ChannelSnapshot
 from .cache import CacheModel
 from .device import DeviceSpec
 
@@ -251,3 +251,18 @@ class ChannelState:
     @property
     def total_bytes(self) -> int:
         return self.total_packets * self.config.packet_bytes
+
+    @property
+    def occupancy(self) -> float:
+        """In-flight fraction of capacity (1.0 = fully backpressured)."""
+        return self.in_flight / self.config.capacity_packets
+
+    def snapshot(self, edge: int) -> ChannelSnapshot:
+        """Freeze the edge's occupancy for a watchdog diagnostic."""
+        return ChannelSnapshot(
+            edge=edge,
+            buffered_packets=self.buffered_packets,
+            reserved_packets=self.reserved_packets,
+            capacity_packets=self.config.capacity_packets,
+            total_packets=self.total_packets,
+        )

@@ -28,7 +28,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import SimulationError
+from ..errors import (
+    ChannelError,
+    DeadlockSnapshot,
+    PipelineDeadlockError,
+    SimulationError,
+    StageSnapshot,
+)
 from .channel import ChannelConfig, ChannelModel, ChannelState
 from .counters import HardwareCounters, KernelRunStats
 from .device import DeviceSpec
@@ -95,13 +101,30 @@ class _StageRuntime:
 
 
 class Simulator:
-    """Drives kernels over a :class:`DeviceSpec`, accumulating counters."""
+    """Drives kernels over a :class:`DeviceSpec`, accumulating counters.
 
-    def __init__(self, device: DeviceSpec):
+    An optional :class:`~repro.faults.FaultInjector` is consulted at the
+    hook points of both execution modes (segment launch, kernel/unit
+    completion, channel edges); without one, the hooks cost nothing.
+    """
+
+    def __init__(self, device: DeviceSpec, injector=None):
         self.device = device
         self.memory = MemoryModel.for_device(device)
         self.channel_model = ChannelModel.for_device(device)
         self.counters = HardwareCounters(num_cus=device.num_cus)
+        self.injector = injector
+        #: The pipeline/segment id currently executing (set by the engines
+        #: via :meth:`begin_segment`); fault sites match against it.
+        self.segment: str = ""
+
+    def begin_segment(self, segment_id: str) -> None:
+        """Mark segment entry: the launch point for segment-scoped faults."""
+        self.segment = segment_id
+        if self.injector is not None:
+            self.injector.on_segment_launch(
+                segment_id, budget_bytes=float(self.device.global_mem_bytes)
+            )
 
     # ------------------------------------------------------------------
     # shared cost pieces
@@ -216,6 +239,12 @@ class Simulator:
             cache_hits=total_hits,
             cache_accesses=total_accesses,
         )
+        if self.injector is not None:
+            self.injector.on_kernel_complete(
+                self.segment,
+                launch.display_name,
+                self.counters.elapsed_cycles + elapsed,
+            )
         self.counters.record(stats)
         self.counters.add_elapsed(elapsed)
         return stats
@@ -294,6 +323,9 @@ class Simulator:
             tile_bytes, total_units, overlap, contention_factor,
         )
         channel_states = [ChannelState(config) for config in channels]
+
+        if self.injector is not None:
+            self._apply_pipeline_faults(runtimes)
 
         elapsed = self._event_loop(
             runtimes, channel_states, total_units, trace_events
@@ -482,6 +514,56 @@ class Simulator:
 
         return runtimes, per_unit_costs
 
+    def _apply_pipeline_faults(self, runtimes: List[_StageRuntime]) -> None:
+        """Arm behavioural faults on this segment's stages.
+
+        A *channel stall* wedges the matched stage — its consumer side
+        never starts, so upstream producers fill the channel and block;
+        the watchdog then reports the deadlock with a full snapshot.  A
+        *channel overflow* rejects the matched producer's burst outright,
+        as a real bounded pipe would when a reservation cannot ever fit.
+        """
+        for runtime in runtimes:
+            if self.injector.stalls_stage(self.segment, runtime.name):
+                runtime.max_active = 0
+        for runtime in runtimes[:-1]:
+            if self.injector.overflows_edge(self.segment, runtime.name):
+                raise ChannelError(
+                    f"injected channel overflow: stage {runtime.name!r} of "
+                    f"segment {self.segment or '?'} cannot reserve "
+                    f"{max(1, runtime.packets_out)} packets"
+                )
+
+    def _snapshot(
+        self,
+        runtimes: List[_StageRuntime],
+        channel_states: List[ChannelState],
+        now: float,
+        last_progress: float,
+    ) -> DeadlockSnapshot:
+        return DeadlockSnapshot(
+            segment=self.segment,
+            cycle=now,
+            last_progress_cycle=last_progress,
+            stages=tuple(
+                StageSnapshot(
+                    index=r.index,
+                    name=r.name,
+                    completed=r.completed,
+                    total=r.total_units,
+                    ready=r.ready,
+                    active=r.active,
+                    max_active=r.max_active,
+                    packets_out=r.packets_out,
+                )
+                for r in runtimes
+            ),
+            channels=tuple(
+                state.snapshot(index)
+                for index, state in enumerate(channel_states)
+            ),
+        )
+
     def _event_loop(
         self,
         runtimes: List[_StageRuntime],
@@ -489,13 +571,21 @@ class Simulator:
         total_units: int,
         trace_events: Optional[List[TraceEvent]] = None,
     ) -> float:
-        """The discrete-event core: start/complete work-group units."""
+        """The discrete-event core: start/complete work-group units.
+
+        Two watchdogs guard the loop: if the event heap drains with
+        unfinished stages (producer/consumer deadlock: a full channel
+        nobody drains, a wedged stage) a :class:`PipelineDeadlockError`
+        with a diagnostic snapshot is raised, and a no-progress event
+        budget bounds the loop so a buggy stage graph can never spin the
+        simulator forever.
+        """
         concurrency = self.device.concurrency
         last = len(runtimes) - 1
         for stage in runtimes[:-1]:
             capacity = channel_states[stage.index].config.capacity_packets
             if stage.packets_out > capacity:
-                raise SimulationError(
+                raise ChannelError(
                     f"stage {stage.name!r} emits {stage.packets_out} packets "
                     f"per work-group but the channel holds only {capacity}; "
                     "increase channel depth or work-group count"
@@ -547,14 +637,36 @@ class Simulator:
 
         start_all()
         if not heap:
-            raise SimulationError("pipeline cannot start: no runnable work")
+            raise PipelineDeadlockError(
+                "pipeline cannot start: no runnable work",
+                self._snapshot(runtimes, channel_states, 0.0, 0.0),
+            )
+
+        # No-progress budget: every event retires exactly one work-group
+        # unit, so a healthy run processes at most stages x units events.
+        # Anything beyond (with slack) means the loop is spinning.
+        events_budget = 3 * total_units * len(runtimes) + 64
+        events = 0
+        last_progress = 0.0
 
         while heap:
             now, _, index = heapq.heappop(heap)
+            events += 1
+            if events > events_budget:
+                raise PipelineDeadlockError(
+                    f"pipeline exceeded its no-progress budget "
+                    f"({events_budget} events) without finishing",
+                    self._snapshot(
+                        runtimes, channel_states, now, last_progress
+                    ),
+                )
+            last_progress = now
             stage = runtimes[index]
             stage.active -= 1
             stage.completed += 1
             stage.busy_cycles += stage.service_cycles
+            if self.injector is not None:
+                self.injector.on_kernel_complete(self.segment, stage.name, now)
             if index > 0 and stage.packets_in > 0:
                 channel_states[index - 1].consume(stage.packets_in)
             if index < last:
@@ -584,8 +696,9 @@ class Simulator:
 
         unfinished = [s.name for s in runtimes if not s.finished]
         if unfinished:
-            raise SimulationError(
-                f"pipeline deadlocked with unfinished stages: {unfinished}"
+            raise PipelineDeadlockError(
+                f"pipeline deadlocked with unfinished stages: {unfinished}",
+                self._snapshot(runtimes, channel_states, now, last_progress),
             )
         return now
 

@@ -1,0 +1,340 @@
+"""Resilient execution: fault injection, degradation chain, determinism.
+
+The acceptance contract: under a seeded fault plan injecting channel
+stalls, kernel aborts, and device-OOM, the :class:`ResilientExecutor`
+returns reference-correct results for every absorbable fault, raises a
+context-carrying typed error (never a hang, never a bare
+``SimulationError``) for non-absorbable ones, and the same seed
+reproduces the identical fault schedule and report counters.
+"""
+
+import pytest
+
+from repro.core import GPLConfig, ResilienceReport, ResilientExecutor
+from repro.core.resilience import ENGINE_CHAIN
+from repro.errors import (
+    AdmissionError,
+    KernelFaultError,
+    PipelineDeadlockError,
+    ReproError,
+    SimulationError,
+)
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.tpch import query_by_name, reference_answer
+
+from .conftest import assert_rows_close
+
+ABSORBABLE_KINDS = (
+    FaultKind.CHANNEL_STALL,
+    FaultKind.KERNEL_ABORT,
+    FaultKind.DEVICE_OOM,
+)
+
+
+def reference_rows(db, name):
+    answer = reference_answer(db, name)
+    return sorted(zip(*[answer[column] for column in answer]))
+
+
+class TestFaultPlan:
+    def test_parse_kinds_and_sites(self):
+        plan = FaultPlan.parse("oom; stall@pipe0:probe*; abort@*:*,times=2")
+        assert [spec.kind for spec in plan.faults] == [
+            FaultKind.DEVICE_OOM,
+            FaultKind.CHANNEL_STALL,
+            FaultKind.KERNEL_ABORT,
+        ]
+        assert plan.faults[1].segment == "pipe0"
+        assert plan.faults[1].kernel == "probe*"
+        assert plan.faults[2].times == 2
+
+    def test_parse_cycle_window(self):
+        plan = FaultPlan.parse("abort@*:*,after=100,before=200")
+        assert plan.faults[0].after_cycle == 100.0
+        assert plan.faults[0].before_cycle == 200.0
+
+    def test_parse_rejects_unknown_kind(self):
+        with pytest.raises(ReproError):
+            FaultPlan.parse("segfault@*")
+
+    def test_parse_rejects_bad_option(self):
+        with pytest.raises(ReproError):
+            FaultPlan.parse("oom,bogus=1")
+
+    def test_spec_validation(self):
+        with pytest.raises(ReproError):
+            FaultSpec(kind=FaultKind.DEVICE_OOM, times=0)
+        with pytest.raises(ReproError):
+            FaultSpec(kind=FaultKind.DEVICE_OOM, after_cycle=5, before_cycle=5)
+
+    def test_seeded_plan_is_reproducible(self):
+        a = FaultPlan.from_seed(20160626, count=5)
+        b = FaultPlan.from_seed(20160626, count=5)
+        assert a == b
+        assert len(a.faults) == 5
+
+    def test_parse_seeded_item(self):
+        plan = FaultPlan.parse("random:42:4")
+        assert plan.seed == 42
+        assert plan.faults == FaultPlan.from_seed(42, count=4).faults
+
+    def test_describe_round_trips_the_schedule(self):
+        plan = FaultPlan.parse("stall@pipe0:probe*;abort@*:*,times=2")
+        text = plan.describe()
+        assert "stall@pipe0:probe*" in text
+        assert "times=2" in text
+
+
+class TestFaultInjector:
+    def test_fires_once_then_exhausts(self):
+        injector = FaultInjector(FaultPlan.parse("stall@seg:*"))
+        assert injector.stalls_stage("seg", "k0")
+        assert not injector.stalls_stage("seg", "k0")
+        assert injector.exhausted
+        assert injector.fired_counts() == {"stall": 1}
+
+    def test_site_mismatch_never_fires(self):
+        injector = FaultInjector(FaultPlan.parse("stall@seg:probe*"))
+        assert not injector.stalls_stage("other", "probe#0")
+        assert not injector.stalls_stage("seg", "build#0")
+        assert injector.fired == []
+
+    def test_oom_hook_raises_typed_error(self):
+        from repro.errors import DeviceMemoryError
+
+        injector = FaultInjector(FaultPlan.parse("oom@seg*"))
+        with pytest.raises(DeviceMemoryError) as excinfo:
+            injector.on_segment_launch("seg0", budget_bytes=123.0)
+        assert excinfo.value.segment == "seg0"
+        assert excinfo.value.injected
+
+    def test_abort_respects_cycle_window(self):
+        injector = FaultInjector(
+            FaultPlan.parse("abort@*:*,after=100,before=200")
+        )
+        injector.on_kernel_complete("seg", "k", 50.0)  # before window
+        with pytest.raises(KernelFaultError) as excinfo:
+            injector.on_kernel_complete("seg", "k", 150.0)
+        assert excinfo.value.cycle == 150.0
+        assert excinfo.value.kernel == "k"
+
+
+class TestAbsorbableFaults:
+    """Every absorbable fault must still yield reference-correct answers."""
+
+    @pytest.mark.parametrize("name", ["Q5", "Q8", "Q14"])
+    @pytest.mark.parametrize(
+        "spec_text", ["oom", "stall", "abort", "overflow", "oom;stall;abort"]
+    )
+    def test_reference_correct_under_fault(
+        self, tiny_db, amd, name, spec_text
+    ):
+        executor = ResilientExecutor(
+            tiny_db, amd, fault_plan=FaultPlan.parse(spec_text)
+        )
+        result = executor.execute(query_by_name(name))
+        assert_rows_close(result.sorted_rows(), reference_rows(tiny_db, name))
+        report = result.resilience
+        assert isinstance(report, ResilienceReport)
+        assert report.engine_used == result.engine
+        assert report.attempts[-1].outcome == "ok"
+
+    def test_oom_absorbed_by_retry_with_shrunk_tile(self, tiny_db, amd):
+        executor = ResilientExecutor(
+            tiny_db, amd, fault_plan=FaultPlan.parse("oom")
+        )
+        result = executor.execute(query_by_name("Q14"))
+        report = result.resilience
+        assert report.engine_used == "GPL"
+        assert report.retries == 1
+        assert report.reconfigurations == 1
+        assert report.fallbacks == 0
+        assert report.faults_fired == {"oom": 1}
+        # The retry really did shrink Δ.
+        assert report.attempts[0].outcome == "oom"
+        assert report.attempts[1].tile_bytes < report.attempts[0].tile_bytes
+
+    def test_stall_degrades_to_engine_without_channels(self, tiny_db, amd):
+        executor = ResilientExecutor(
+            tiny_db, amd, fault_plan=FaultPlan.parse("stall")
+        )
+        result = executor.execute(query_by_name("Q5"))
+        report = result.resilience
+        assert report.engine_used == "GPL (w/o CE)"
+        assert report.fallbacks == 1
+        assert report.attempts[0].outcome == "deadlock"
+
+    def test_calibration_miss_aborts_retry_and_falls_back(self, tiny_db, amd):
+        plan = FaultPlan.parse("oom,times=3;calibration")
+        executor = ResilientExecutor(tiny_db, amd, fault_plan=plan)
+        result = executor.execute(query_by_name("Q14"))
+        report = result.resilience
+        assert report.calibration_misses == 1
+        # Reconfiguration was denied, so the chain fell back instead of
+        # retrying GPL; the OOM fault follows it until spent.
+        assert report.fallbacks >= 1
+        assert_rows_close(
+            result.sorted_rows(), reference_rows(tiny_db, "Q14")
+        )
+
+
+class TestNonAbsorbableFaults:
+    def test_persistent_abort_exhausts_the_chain(self, tiny_db, amd):
+        plan = FaultPlan.parse("abort@*:*,times=99")
+        executor = ResilientExecutor(tiny_db, amd, fault_plan=plan)
+        with pytest.raises(KernelFaultError) as excinfo:
+            executor.execute(query_by_name("Q14"))
+        # Typed and context-carrying — never a bare SimulationError.
+        assert type(excinfo.value) is KernelFaultError
+        assert excinfo.value.kernel
+        assert excinfo.value.segment
+        assert excinfo.value.injected
+
+    def test_deadlock_without_fallback_engines(self, tiny_db, amd):
+        executor = ResilientExecutor(
+            tiny_db,
+            amd,
+            fault_plan=FaultPlan.parse("stall"),
+            engines=("gpl",),
+        )
+        with pytest.raises(PipelineDeadlockError) as excinfo:
+            executor.execute(query_by_name("Q14"))
+        assert excinfo.value.snapshot is not None
+
+    def test_error_is_never_a_bare_simulation_error(self, tiny_db, amd):
+        plan = FaultPlan.parse("stall,times=9;abort@*:*,times=99;oom,times=9")
+        executor = ResilientExecutor(tiny_db, amd, fault_plan=plan)
+        with pytest.raises(ReproError) as excinfo:
+            executor.execute(query_by_name("Q5"))
+        assert type(excinfo.value) is not SimulationError
+        assert type(excinfo.value) is not ReproError
+
+
+class TestAdmissionControl:
+    def test_budget_forces_tile_shrink(self, tiny_db, amd):
+        executor = ResilientExecutor(
+            tiny_db, amd, memory_budget_bytes=2 * 1024 * 1024
+        )
+        result = executor.execute(query_by_name("Q14"))
+        report = result.resilience
+        assert report.admission_shrinks > 0
+        assert report.engine_used == "GPL"
+        assert_rows_close(
+            result.sorted_rows(), reference_rows(tiny_db, "Q14")
+        )
+
+    def test_impossible_budget_rejects_gpl(self, tiny_db, amd):
+        executor = ResilientExecutor(
+            tiny_db, amd, memory_budget_bytes=1024.0, engines=("gpl",)
+        )
+        with pytest.raises(AdmissionError) as excinfo:
+            executor.execute(query_by_name("Q14"))
+        assert excinfo.value.footprint_bytes > excinfo.value.budget_bytes
+
+    def test_impossible_budget_degrades_to_kbe(self, tiny_db, amd):
+        executor = ResilientExecutor(
+            tiny_db, amd, memory_budget_bytes=1024.0
+        )
+        result = executor.execute(query_by_name("Q14"))
+        report = result.resilience
+        assert report.engine_used == "KBE"
+        assert report.admission_rejections == 2  # gpl and gpl-woce
+        assert_rows_close(
+            result.sorted_rows(), reference_rows(tiny_db, "Q14")
+        )
+
+
+class TestDeterminism:
+    """Same seed -> same fault schedule -> same report, twice over."""
+
+    @pytest.mark.parametrize("name", ["Q5", "Q8", "Q14"])
+    def test_seeded_runs_are_identical(self, tiny_db, amd, name):
+        def run():
+            plan = FaultPlan.from_seed(
+                20160626, count=3, kinds=ABSORBABLE_KINDS
+            )
+            executor = ResilientExecutor(tiny_db, amd, fault_plan=plan)
+            result = executor.execute(query_by_name(name))
+            return (
+                result.resilience.counters_dict(),
+                executor.injector.fired,
+                result.sorted_rows(),
+            )
+
+        counters_a, fired_a, rows_a = run()
+        counters_b, fired_b, rows_b = run()
+        assert counters_a == counters_b
+        assert fired_a == fired_b  # identical schedule, point for point
+        assert rows_a == rows_b
+
+    def test_same_seed_same_plan_different_objects(self):
+        plans = [
+            FaultPlan.from_seed(7, count=4, kinds=ABSORBABLE_KINDS)
+            for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+
+
+class TestExecutorConfig:
+    def test_rejects_empty_chain(self, tiny_db, amd):
+        with pytest.raises(ReproError):
+            ResilientExecutor(tiny_db, amd, engines=())
+
+    def test_rejects_unknown_engine(self, tiny_db, amd):
+        with pytest.raises(ReproError):
+            ResilientExecutor(tiny_db, amd, engines=("duckdb",))
+
+    def test_chain_order_is_gpl_first(self):
+        assert ENGINE_CHAIN == ("gpl", "gpl-woce", "kbe")
+
+    def test_clean_run_touches_nothing(self, tiny_db, amd):
+        executor = ResilientExecutor(tiny_db, amd)
+        result = executor.execute(query_by_name("Q14"))
+        report = result.resilience
+        assert report.counters_dict() == {
+            "engine_used": "GPL",
+            "retries": 0,
+            "reconfigurations": 0,
+            "fallbacks": 0,
+            "admission_shrinks": 0,
+            "admission_rejections": 0,
+            "calibration_misses": 0,
+            "faults_fired": {},
+            "attempts": [("GPL", GPLConfig().tile_bytes, "ok")],
+        }
+
+
+class TestCLI:
+    def test_resilient_run_reports(self, capsys):
+        from repro.__main__ import main
+
+        assert main(
+            [
+                "run", "Q14", "--scale", "0.002",
+                "--inject-faults", "oom;stall",
+                "--resilient",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resilience report" in out
+        assert "faults fired" in out
+
+    def test_unhandled_fault_exits_2_with_one_line(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["run", "Q14", "--scale", "0.002", "--inject-faults", "stall"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "PipelineDeadlockError" in err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["run", "Q14", "--scale", "0.002", "--inject-faults", "segfault"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,7 +1,9 @@
 """Stress properties: random pipelines must simulate safely.
 
 The discrete-event simulator must never deadlock, lose work, or produce
-non-physical results, whatever (feasible) pipeline shape it is given.
+non-physical results, whatever (feasible) pipeline shape it is given —
+and when a fault *is* injected, it must fail with a typed, diagnosable
+error instead of hanging or corrupting state.
 """
 
 import numpy as np
@@ -9,6 +11,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import PipelineDeadlockError
+from repro.faults import FaultInjector, FaultPlan
 from repro.gpu import (
     AMD_A10,
     ChannelConfig,
@@ -184,3 +188,109 @@ class TestRandomPipelines:
         low = run(selectivity / 2)
         high = run(selectivity)
         assert high >= low
+
+
+def _two_stage_pipeline(tuples=10_000):
+    """A producer/consumer chain for watchdog tests."""
+    producer = StageSpec(
+        KernelLaunch(
+            spec=KernelSpec(
+                name="prod",
+                compute_instr=10,
+                memory_instr=1,
+                pm_per_workitem=32,
+                lm_per_workitem=8,
+            ),
+            tuples=tuples,
+            workgroups=8,
+            in_bytes_per_tuple=16,
+            out_bytes_per_tuple=8,
+            selectivity=1.0,
+            output_location=DataLocation.CHANNEL,
+            label="prod",
+        )
+    )
+    consumer = StageSpec(
+        KernelLaunch(
+            spec=KernelSpec(
+                name="cons",
+                compute_instr=10,
+                memory_instr=0,
+                pm_per_workitem=32,
+                lm_per_workitem=8,
+            ),
+            tuples=tuples,
+            workgroups=8,
+            in_bytes_per_tuple=8,
+            out_bytes_per_tuple=8,
+            selectivity=1.0,
+            input_location=DataLocation.CHANNEL,
+            output_location=DataLocation.GLOBAL,
+            label="cons",
+        )
+    )
+    return [producer, consumer]
+
+
+class TestWatchdog:
+    """Channel-stall faults must surface as diagnosable deadlocks."""
+
+    def run_with_plan(self, plan):
+        stages = _two_stage_pipeline()
+        channel = ChannelConfig(num_channels=4, depth_packets=2048)
+        simulator = Simulator(AMD_A10, injector=FaultInjector(plan))
+        simulator.begin_segment("seg0")
+        return simulator.run_pipeline(
+            stages,
+            [channel],
+            num_tiles=2,
+            tile_tuples=5_000,
+            tile_bytes=5_000 * 16,
+        )
+
+    def test_stalled_consumer_raises_deadlock_with_snapshot(self):
+        plan = FaultPlan.parse("stall@seg0:cons")
+        with pytest.raises(PipelineDeadlockError) as excinfo:
+            self.run_with_plan(plan)
+        snapshot = excinfo.value.snapshot
+        assert snapshot is not None
+        assert snapshot.segment == "seg0"
+        assert len(snapshot.stages) == 2
+        assert len(snapshot.channels) == 1
+        # The wedged consumer never ran; the producer filled the channel.
+        cons = snapshot.stages[1]
+        assert cons.name == "cons"
+        assert cons.max_active == 0 and cons.completed == 0
+        assert not cons.finished
+        assert snapshot.unfinished_stages
+        assert snapshot.channels[0].in_flight > 0
+        assert snapshot.blocked_workgroups > 0
+        # The error message embeds the human-readable snapshot.
+        assert "cons" in str(excinfo.value)
+
+    def test_stalled_producer_never_starts(self):
+        plan = FaultPlan.parse("stall@seg0:prod")
+        with pytest.raises(PipelineDeadlockError) as excinfo:
+            self.run_with_plan(plan)
+        assert excinfo.value.snapshot is not None
+        assert excinfo.value.snapshot.stages[0].completed == 0
+
+    def test_stall_is_deterministic(self):
+        snapshots = []
+        for _ in range(2):
+            plan = FaultPlan.parse("stall@seg0:cons")
+            with pytest.raises(PipelineDeadlockError) as excinfo:
+                self.run_with_plan(plan)
+            snapshots.append(excinfo.value.snapshot)
+        assert snapshots[0] == snapshots[1]
+
+    def test_unmatched_fault_leaves_run_untouched(self):
+        clean = Simulator(AMD_A10).run_pipeline(
+            _two_stage_pipeline(),
+            [ChannelConfig(num_channels=4, depth_packets=2048)],
+            num_tiles=2,
+            tile_tuples=5_000,
+            tile_bytes=5_000 * 16,
+        )
+        armed = self.run_with_plan(FaultPlan.parse("stall@other-seg:*"))
+        assert armed.elapsed_cycles == clean.elapsed_cycles
