@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Docs lint: catch broken links and stale references.
+
+Three checks over every tracked markdown file:
+
+1. **intra-repo links** — every relative ``[text](target)`` must point
+   at a file or directory that exists (anchors are stripped; external
+   ``http(s):``/``mailto:`` links are ignored);
+2. **module references** — every backticked ``repro.foo.bar`` dotted
+   path must resolve to a real module, package, or attribute, so docs
+   cannot name code that was renamed or removed;
+3. **CLI flags** — every ``--flag`` a doc attributes to a ``python -m
+   repro <command>`` context must be accepted by that command's parser,
+   so flag renames cannot strand the docs.
+
+Exit code 0 when clean, 1 with one line per problem otherwise.  Run
+from the repository root (CI does); no arguments.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+DOC_FILES = sorted(
+    list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md"))
+)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+MODULE_RE = re.compile(r"`(repro(?:\.\w+)+)")
+# A --flag mentioned in prose or code fences.  Only flags that also
+# appear near a recognizable command name are attributed to it.
+FLAG_RE = re.compile(r"(--[a-z][a-z0-9-]+)")
+COMMAND_RE = re.compile(
+    r"\b(run|serve|compare|workload|calibrate|tune|explain|trace|dbgen)\b"
+)
+
+# Flags that belong to the docs' own tooling examples, not the repro CLI.
+FOREIGN_FLAGS = {"--benchmark-only"}
+
+
+def iter_problems():
+    from repro.__main__ import build_parser
+    import argparse
+
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    flags_by_command = {
+        name: {
+            option
+            for action in sub._actions
+            for option in action.option_strings
+        }
+        for name, sub in subparsers.choices.items()
+    }
+
+    for path in DOC_FILES:
+        text = path.read_text()
+        rel = path.relative_to(REPO)
+
+        # 1. intra-repo links
+        for match in LINK_RE.finditer(text):
+            target = match.group(1).split("#", 1)[0]
+            if not target or ":" in target:
+                continue  # pure anchor or external URL
+            if not (path.parent / target).exists():
+                yield f"{rel}: broken link -> {match.group(1)}"
+
+        # 2. module references
+        for match in MODULE_RE.finditer(text):
+            dotted = match.group(1)
+            if _resolves(dotted):
+                continue
+            yield f"{rel}: unresolved module reference `{dotted}`"
+
+        # 3. CLI flags, attributed line-by-line to the nearest command
+        for line in text.splitlines():
+            flags = set(FLAG_RE.findall(line)) - FOREIGN_FLAGS
+            if not flags:
+                continue
+            commands = set(COMMAND_RE.findall(line)) & set(flags_by_command)
+            if not commands:
+                continue  # flag with no command context on the line
+            for flag in flags:
+                if not any(
+                    flag in flags_by_command[cmd] for cmd in commands
+                ):
+                    yield (
+                        f"{rel}: flag {flag} not accepted by "
+                        f"{'/'.join(sorted(commands))}"
+                    )
+
+
+def _resolves(dotted: str) -> bool:
+    """True if ``dotted`` is an importable module or module attribute."""
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        for attr in parts[split:]:
+            obj = getattr(obj, attr, None)
+            if obj is None:
+                return False
+        return True
+    return False
+
+
+def main() -> int:
+    problems = list(iter_problems())
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        return 1
+    print(f"check_docs: {len(DOC_FILES)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from .kbe import KBEEngine
 from .model import CostModel, ConfigurationSearch, calibrate_channels
 from .ocelot import OcelotEngine
 from .plans import QuerySpec
+from .serve import PlanCache, QueryService, ServiceReport
 from .ssb import generate_ssb, ssb_query
 from .tpch import generate_database, q5, q7, q8, q9, q14, query_by_name
 
@@ -55,6 +56,9 @@ __all__ = [
     "ConfigurationSearch",
     "calibrate_channels",
     "QuerySpec",
+    "PlanCache",
+    "QueryService",
+    "ServiceReport",
     "generate_ssb",
     "ssb_query",
     "generate_database",

@@ -7,6 +7,10 @@ Commands
                (``--inject-faults`` schedules deterministic faults;
                ``--resilient`` wraps the run in admission control, bounded
                retry, and the GPL -> GPL w/o CE -> KBE fallback chain)
+``serve``      replay a multi-query trace through the concurrent
+               :class:`~repro.serve.QueryService` and print throughput,
+               p50/p95 latency, and cache hit/miss counters
+               (``--inject-faults`` and ``--resilient`` compose with it)
 ``compare``    run one query on every engine and print a comparison
 ``calibrate``  print the channel-throughput surface Γ(n, p, d)
 ``tune``       run the analytical model's configuration search
@@ -29,7 +33,7 @@ from typing import List, Optional
 from . import __version__
 from .bench.reporting import banner, format_table
 from .core import GPLConfig, GPLEngine, GPLWithoutCEEngine, ResilientExecutor
-from .errors import ReproError
+from .errors import ExecutionError, ReproError
 from .faults import FaultInjector, FaultPlan
 from .gpu import device_by_name
 from .kbe import KBEEngine
@@ -126,6 +130,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(run)
 
+    serve = commands.add_parser(
+        "serve",
+        help="replay a multi-query trace through the concurrent service",
+    )
+    serve.add_argument(
+        "--queries",
+        default="Q5,Q7,Q8,Q9,Q14",
+        help=(
+            "comma-separated trace of query names (repeats allowed); "
+            "all TPC-H or all SSB, not mixed (default: the paper's five)"
+        ),
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="replay the trace this many times (default 2: the second "
+        "pass exercises the warm caches)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("fifo", "sjf"),
+        default="fifo",
+        help="scheduling policy: submission order or shortest-cost-first",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="queries admitted per concurrent round (default 8)",
+    )
+    serve.add_argument(
+        "--tile-kb", type=int, default=1024, help="GPL tile size in KiB"
+    )
+    serve.add_argument(
+        "--partitioned-joins",
+        action="store_true",
+        help="use partitioned hash joins for large build sides",
+    )
+    serve.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="deterministic fault schedule applied to every served query",
+    )
+    serve.add_argument(
+        "--resilient",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "serve through the resilience layer (default on; "
+            "--no-resilient serves on bare GPL engines, so faults fail "
+            "queries instead of degrading them)"
+        ),
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry budget per engine in resilient mode (default 2)",
+    )
+    serve.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        help=(
+            "shared device-memory budget partitioned across each round "
+            "in MB (default: the device's global memory)"
+        ),
+    )
+    _add_common(serve)
+
     compare = commands.add_parser(
         "compare", help="run one query on every engine"
     )
@@ -186,11 +260,17 @@ def _is_ssb(query_name: str) -> bool:
 
 
 def _query_spec(query_name: str):
-    if _is_ssb(query_name):
-        from .ssb import ssb_query
+    # Translate lookup failures into the typed error hierarchy so every
+    # command exits 2 through the top-level handler instead of dumping a
+    # traceback on a typo'd query name.
+    try:
+        if _is_ssb(query_name):
+            from .ssb import ssb_query
 
-        return ssb_query(query_name.upper().lstrip("SSB-"))
-    return query_by_name(query_name)
+            return ssb_query(query_name.upper().lstrip("SSB-"))
+        return query_by_name(query_name)
+    except (KeyError, ValueError) as exc:
+        raise ExecutionError(str(exc)) from exc
 
 
 def _database(args):
@@ -252,6 +332,56 @@ def cmd_run(args) -> int:
         print(banner("resilience report"))
         print(result.resilience.to_text())
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import QueryService
+
+    names = [name.strip() for name in args.queries.split(",") if name.strip()]
+    if not names:
+        raise ExecutionError("serve needs at least one query name")
+    names = names * max(1, args.repeat)
+    ssb_flags = {_is_ssb(name) for name in names}
+    if len(ssb_flags) > 1:
+        raise ExecutionError(
+            "cannot mix TPC-H and SSB queries in one served trace: they "
+            "run against different databases"
+        )
+    if ssb_flags.pop():
+        from .ssb import generate_ssb
+
+        database = generate_ssb(scale=args.scale, seed=args.seed)
+    else:
+        database = generate_database(scale=args.scale, seed=args.seed)
+    device = device_by_name(args.device)
+    fault_plan = (
+        FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    )
+    service = QueryService(
+        database,
+        device,
+        config=GPLConfig(tile_bytes=args.tile_kb * 1024),
+        policy=args.policy,
+        max_concurrent=args.max_concurrent,
+        memory_budget_bytes=(
+            args.memory_budget_mb * 1024 * 1024
+            if args.memory_budget_mb
+            else None
+        ),
+        resilient=args.resilient,
+        fault_plan=fault_plan,
+        max_retries=args.max_retries,
+        partitioned_joins=args.partitioned_joins,
+    )
+    report = service.run([_query_spec(name) for name in names])
+    print(
+        banner(
+            f"serving {report.num_queries} queries on {device.name} "
+            f"({args.policy}, {args.max_concurrent} concurrent)"
+        )
+    )
+    print(report.to_text())
+    return 0 if report.failed == 0 else 1
 
 
 def cmd_compare(args) -> int:
@@ -421,6 +551,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": cmd_run,
+        "serve": cmd_serve,
         "compare": cmd_compare,
         "calibrate": cmd_calibrate,
         "tune": cmd_tune,

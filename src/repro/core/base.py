@@ -147,6 +147,11 @@ class EngineBase:
         #: simulator this engine creates (set by the resilience layer or
         #: the CLI; ``None`` costs nothing).
         self.fault_injector = None
+        #: Optional :class:`repro.serve.PlanCache`.  When set (by the
+        #: serving layer or the resilience executor), :meth:`prepare`
+        #: consults it and repeat queries skip optimization + lowering
+        #: entirely; ``None`` costs nothing.
+        self.plan_cache = None
         self._optimizer = SelingerOptimizer(
             database, choose_fact=adaptive_fact
         )
@@ -154,7 +159,19 @@ class EngineBase:
     # -- public API -------------------------------------------------------
 
     def prepare(self, spec: QuerySpec) -> PhysicalPlan:
-        """Optimize and lower ``spec`` (exposed for inspection/tests)."""
+        """Optimize and lower ``spec`` (exposed for inspection/tests).
+
+        Routed through :attr:`plan_cache` when one is attached; cached
+        plans are safe to re-execute because every stateful sink resets
+        itself in ``start()`` and all run state lives in the per-execution
+        :class:`~repro.plans.ExecutionContext`.
+        """
+        if self.plan_cache is not None:
+            return self.plan_cache.get_or_prepare(self, spec)
+        return self.prepare_uncached(spec)
+
+    def prepare_uncached(self, spec: QuerySpec) -> PhysicalPlan:
+        """Optimize and lower ``spec``, bypassing any attached plan cache."""
         optimized = self._optimizer.optimize(spec)
         return lower(
             optimized,

@@ -87,6 +87,20 @@ class GPLEngine(EngineBase):
             footprint += rows * float(templates[-1].out_width)
         return footprint
 
+    def estimated_plan_footprint(
+        self, plan, config: Optional[GPLConfig] = None
+    ) -> float:
+        """Pre-launch device-memory estimate for a whole plan, in bytes.
+
+        The sum of every segment's live footprint — what admission
+        control (both the resilience layer's and the serving layer's
+        shared-budget partitioning) compares against the device budget.
+        """
+        return sum(
+            self.estimated_segment_footprint(pipeline, config)
+            for pipeline in plan.pipelines
+        )
+
     def execute_with_trace(self, spec):
         """Execute a query and capture per-segment execution traces.
 

@@ -162,6 +162,7 @@ class ResilientExecutor:
         max_retries: int = 2,
         engines: Sequence[str] = ENGINE_CHAIN,
         partitioned_joins: bool = False,
+        plan_cache=None,
     ):
         if not engines:
             raise ExecutionError("the fallback chain needs at least one engine")
@@ -180,6 +181,11 @@ class ResilientExecutor:
         self.max_retries = max(0, max_retries)
         self.engines = tuple(engines)
         self.partitioned_joins = partitioned_joins
+        #: Optional :class:`repro.serve.PlanCache` shared across every
+        #: engine this executor builds — the admission probe, each retry,
+        #: and each fallback then all reuse one lowered plan instead of
+        #: re-optimizing per attempt.
+        self.plan_cache = plan_cache
 
     # -- public API -------------------------------------------------------
 
@@ -287,10 +293,7 @@ class ResilientExecutor:
         probe = self._build(name, config)
         plan = probe.prepare(spec)
         while True:
-            footprint = sum(
-                probe.estimated_segment_footprint(pipeline, config)
-                for pipeline in plan.pipelines
-            )
+            footprint = probe.estimated_plan_footprint(plan, config)
             if footprint <= budget:
                 return config
             shrunk = config.shrunk()
@@ -331,28 +334,31 @@ class ResilientExecutor:
 
     def _build(self, name: str, config: GPLConfig):
         if name == "gpl":
-            return GPLEngine(
+            engine = GPLEngine(
                 self.database,
                 self.device,
                 config=config,
                 partitioned_joins=self.partitioned_joins,
             )
-        if name == "gpl-woce":
-            return GPLWithoutCEEngine(
+        elif name == "gpl-woce":
+            engine = GPLWithoutCEEngine(
                 self.database,
                 self.device,
                 config=config,
                 partitioned_joins=self.partitioned_joins,
             )
-        if name == "kbe":
+        elif name == "kbe":
             from ..kbe import KBEEngine
 
-            return KBEEngine(
+            engine = KBEEngine(
                 self.database,
                 self.device,
                 partitioned_joins=self.partitioned_joins,
             )
-        raise ExecutionError(f"unknown engine {name!r}")
+        else:
+            raise ExecutionError(f"unknown engine {name!r}")
+        engine.plan_cache = self.plan_cache
+        return engine
 
     def _harvest_faults(self, report: ResilienceReport) -> None:
         if self.injector is not None:

@@ -8,6 +8,8 @@ from .calibration import (
     CalibrationPoint,
     CalibrationTable,
     calibrate_channels,
+    calibration_cache_stats,
+    clear_calibration_cache,
 )
 from .costmodel import CostModel, KernelEstimate, SegmentEstimate
 from .notation import KernelCostInput, SegmentCostInput, plan_cost_inputs
@@ -15,6 +17,8 @@ from .search import (
     TILE_SIZE_CANDIDATES,
     ConfigurationSearch,
     SegmentChoice,
+    clear_search_cache,
+    search_cache_stats,
     workgroup_ladder,
 )
 
@@ -25,6 +29,8 @@ __all__ = [
     "CalibrationPoint",
     "CalibrationTable",
     "calibrate_channels",
+    "calibration_cache_stats",
+    "clear_calibration_cache",
     "CostModel",
     "KernelEstimate",
     "SegmentEstimate",
@@ -34,5 +40,7 @@ __all__ = [
     "TILE_SIZE_CANDIDATES",
     "ConfigurationSearch",
     "SegmentChoice",
+    "clear_search_cache",
+    "search_cache_stats",
     "workgroup_ladder",
 ]

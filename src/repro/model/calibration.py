@@ -39,6 +39,8 @@ __all__ = [
     "CalibrationPoint",
     "CalibrationTable",
     "calibrate_channels",
+    "calibration_cache_stats",
+    "clear_calibration_cache",
 ]
 
 KIB = 1024
@@ -225,6 +227,25 @@ class CalibrationTable:
 
 
 _CACHE: Dict[str, CalibrationTable] = {}
+_CACHE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def calibration_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the per-device Γ-table cache.
+
+    A *hit* means a :func:`calibrate_channels` call was answered without
+    re-running the producer/consumer sweep; a *miss* means the full grid
+    was measured.  Surfaced by :class:`repro.serve.ServiceReport` so
+    serving runs can show the calibration cost being paid once.
+    """
+    return dict(_CACHE_STATS)
+
+
+def clear_calibration_cache() -> None:
+    """Drop every memoized Γ table and reset the hit/miss counters."""
+    _CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
 
 
 def calibrate_channels(
@@ -240,7 +261,9 @@ def calibrate_channels(
     collapses to the default packet size.
     """
     if use_cache and device.name in _CACHE:
+        _CACHE_STATS["hits"] += 1
         return _CACHE[device.name]
+    _CACHE_STATS["misses"] += 1
     if packets is None:
         packets = CALIBRATION_PACKETS if device.tunable_packet_size else (16,)
     table = CalibrationTable(device=device)

@@ -16,6 +16,7 @@ milliseconds, "ignorable compared with the query processing time").
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -31,6 +32,8 @@ __all__ = [
     "workgroup_ladder",
     "SegmentChoice",
     "ConfigurationSearch",
+    "search_cache_stats",
+    "clear_search_cache",
 ]
 
 KIB = 1024
@@ -71,8 +74,35 @@ class SegmentChoice:
         return self.estimate.total_cycles
 
 
+#: Memoized search outcomes, keyed by (device name, segment/search
+#: fingerprint).  The paper argues the search is "ignorable compared with
+#: the query processing time" *per query*; a serving workload pays it per
+#: *query shape* instead (same idea as the Γ cache one level down).
+_SEARCH_CACHE: Dict[Tuple[str, str], SegmentChoice] = {}
+_SEARCH_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def search_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the memoized configuration search."""
+    return dict(_SEARCH_STATS)
+
+
+def clear_search_cache() -> None:
+    """Drop every memoized search outcome and reset the counters."""
+    _SEARCH_CACHE.clear()
+    _SEARCH_STATS["hits"] = 0
+    _SEARCH_STATS["misses"] = 0
+
+
 class ConfigurationSearch:
-    """Exhaustive search over the reduced parameter space."""
+    """Exhaustive search over the reduced parameter space.
+
+    ``use_cache`` (default on) memoizes :meth:`best_for_segment` per
+    (device, segment shape, candidate grid): every field of
+    :class:`~repro.model.notation.SegmentCostInput` is a frozen dataclass,
+    so its ``repr`` fingerprints the search input exactly, and the search
+    is deterministic, so replaying it could only waste time.
+    """
 
     def __init__(
         self,
@@ -80,6 +110,7 @@ class ConfigurationSearch:
         calibration: CalibrationTable,
         tile_candidates: Sequence[int] = TILE_SIZE_CANDIDATES,
         workgroup_candidates: Optional[Sequence[int]] = None,
+        use_cache: bool = True,
     ):
         self.device = device
         self.calibration = calibration
@@ -90,9 +121,36 @@ class ConfigurationSearch:
             if workgroup_candidates is not None
             else workgroup_ladder(device)
         )
+        self.use_cache = use_cache
+        # The Γ surface is an input to the search; fingerprint it once so
+        # a custom (non-default) calibration cannot alias a cached entry.
+        self._calibration_digest = hashlib.sha1(
+            repr(calibration.points).encode()
+        ).hexdigest()
+
+    def _cache_key(self, segment: SegmentCostInput) -> Tuple[str, str]:
+        payload = repr(
+            (
+                segment,
+                self.tile_candidates,
+                self.workgroup_candidates,
+                self._calibration_digest,
+            )
+        )
+        return (
+            self.device.name,
+            hashlib.sha1(payload.encode()).hexdigest(),
+        )
 
     def best_for_segment(self, segment: SegmentCostInput) -> SegmentChoice:
         """Minimize T_Sk over (Δ, wg ladder), with (n, p) from Γ."""
+        if self.use_cache:
+            key = self._cache_key(segment)
+            cached = _SEARCH_CACHE.get(key)
+            if cached is not None:
+                _SEARCH_STATS["hits"] += 1
+                return cached
+            _SEARCH_STATS["misses"] += 1
         best: Optional[SegmentChoice] = None
         for tile_bytes in self.tile_candidates:
             channel = self._channel_for(segment, tile_bytes)
@@ -112,6 +170,8 @@ class ConfigurationSearch:
                         estimate=estimate,
                     )
         assert best is not None  # tile_candidates is never empty
+        if self.use_cache:
+            _SEARCH_CACHE[self._cache_key(segment)] = best
         return best
 
     def optimize_plan(

@@ -17,6 +17,7 @@ selectivity estimates from the statistics module.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import PlanError
@@ -27,10 +28,11 @@ from .logical import (
     LogicalPlan,
     OrderBy,
     Project,
+    QuerySpec,
     Scan,
     Select,
 )
-from .optimizer import OptimizedQuery
+from .optimizer import OptimizedQuery, spec_fingerprint
 from .physical import (
     AggSink,
     BuildSink,
@@ -46,10 +48,45 @@ from .physical import (
     StreamOp,
 )
 
-__all__ = ["lower", "PARTITION_THRESHOLD_ROWS"]
+__all__ = ["lower", "plan_cache_key", "PARTITION_THRESHOLD_ROWS"]
 
 #: Hash tables expected to stay this small probe fine unpartitioned.
 PARTITION_THRESHOLD_ROWS = 50_000
+
+
+def plan_cache_key(
+    spec: QuerySpec,
+    database: Database,
+    device_name: str,
+    partitioned_joins: bool = False,
+    num_partitions: int = 16,
+    adaptive_fact: bool = False,
+) -> str:
+    """Cache key for a lowered physical plan.
+
+    A plan is reusable exactly when every input to optimization and
+    lowering is unchanged: the query's declarative shape
+    (:func:`~repro.plans.optimizer.spec_fingerprint`), the database's
+    contents (table names, row counts, and byte sizes stand in for the
+    statistics the optimizer reads), the target device, and the
+    engine-level plan knobs.  Changing any component — a different scale
+    factor, a different device, toggling partitioned joins — produces a
+    different key, which is how the plan cache invalidates.
+    """
+    tables = tuple(
+        (name, database.num_rows(name), database.table(name).nbytes)
+        for name in database.names
+    )
+    return "/".join(
+        (
+            spec_fingerprint(spec),
+            hashlib.sha1(repr(tables).encode()).hexdigest(),
+            device_name,
+            f"pj={int(partitioned_joins)}",
+            f"np={num_partitions}",
+            f"af={int(adaptive_fact)}",
+        )
+    )
 
 
 def _column_widths(optimized: OptimizedQuery, database: Database) -> Dict[str, int]:

@@ -1,0 +1,29 @@
+"""Query serving: concurrent scheduling + plan/calibration caching.
+
+The layer that turns the single-query reproduction into a system that
+answers "queries per second": a :class:`QueryService` accepts many
+queries (sync submit or async queue), schedules them FIFO or
+shortest-cost-first, partitions the simulated device's concurrent-kernel
+slots and memory budget across each admission round, and makes repeat
+traffic fast through a :class:`PlanCache` plus the memoized calibration
+and configuration-search caches in :mod:`repro.model`.  Every drain
+produces a deterministic :class:`ServiceReport` with throughput, p50/p95
+latency, and cache hit/miss counters.
+"""
+
+from .caches import CacheStats, PlanCache
+from .report import QueryRecord, ServiceReport, percentile
+from .scheduler import POLICIES, ScheduledQuery, Scheduler
+from .service import QueryService
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "QueryRecord",
+    "ServiceReport",
+    "percentile",
+    "POLICIES",
+    "ScheduledQuery",
+    "Scheduler",
+    "QueryService",
+]

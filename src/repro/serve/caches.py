@@ -1,0 +1,115 @@
+"""Plan cache: lowered physical plans, keyed by everything they depend on.
+
+Optimization + lowering is pure — the same :class:`~repro.plans.QuerySpec`
+against the same database with the same plan knobs always produces the
+same :class:`~repro.plans.PhysicalPlan` — and a lowered plan is
+re-executable: every stateful sink resets itself in ``start()`` and all
+run state lives in the per-execution
+:class:`~repro.plans.ExecutionContext`.  That makes the plan a perfect
+cache value, and :func:`~repro.plans.lowering.plan_cache_key` the key:
+query shape, database contents, device, and plan knobs.  Change any of
+them and the key changes — that is the entire invalidation story.
+
+Engines consult an attached cache through
+:meth:`repro.core.EngineBase.prepare`; the serving layer attaches one
+cache across every engine it builds so repeat traffic skips the
+optimizer entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..plans import PhysicalPlan, QuerySpec
+from ..plans.lowering import plan_cache_key
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.lookups <= 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class PlanCache:
+    """LRU cache of lowered physical plans.
+
+    ``max_entries`` bounds memory: a serving deployment sees a finite set
+    of query shapes, but nothing enforces that, so the least recently
+    used plan is evicted once the bound is hit.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("plan cache needs at least one entry")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, PhysicalPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, engine, spec: QuerySpec) -> str:
+        """The cache key ``engine`` would use for ``spec``."""
+        return plan_cache_key(
+            spec,
+            engine.database,
+            engine.device.name,
+            partitioned_joins=engine.partitioned_joins,
+            num_partitions=engine.num_partitions,
+            adaptive_fact=engine.adaptive_fact,
+        )
+
+    def lookup(self, key: str) -> Optional[PhysicalPlan]:
+        """The cached plan for ``key``, counting the hit or miss."""
+        plan = self._entries.get(key)
+        if plan is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return plan
+
+    def store(self, key: str, plan: PhysicalPlan) -> None:
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_prepare(self, engine, spec: QuerySpec) -> PhysicalPlan:
+        """The engine-facing entry point (see :meth:`EngineBase.prepare`)."""
+        key = self.key_for(engine, spec)
+        plan = self.lookup(key)
+        if plan is None:
+            plan = engine.prepare_uncached(spec)
+            self.store(key, plan)
+        return plan
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.stats = CacheStats()

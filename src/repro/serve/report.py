@@ -1,0 +1,169 @@
+"""Serving reports: per-query records and workload-level aggregates.
+
+This is the serving twin of :class:`~repro.core.ResilienceReport`: the
+numbers a query *service* is judged by — throughput and tail latency —
+plus the cache counters that explain why repeat traffic is fast.  Like
+the resilience report, :meth:`ServiceReport.counters_dict` is the
+canonical determinism witness: two drains of the same trace with the
+same seed must produce equal dicts.
+
+Latency here is *simulated service latency*: the virtual milliseconds a
+query spent waiting for an admission round plus its own simulated
+execution time.  Wall-clock planning costs (optimization, calibration,
+the configuration search) are what the caches remove; they are reported
+separately as cache counters rather than folded into the simulated
+timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["QueryRecord", "ServiceReport", "percentile"]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``percentile(xs, 0.5)`` is the median element actually observed —
+    appropriate for small serving traces where interpolated quantiles
+    would invent latencies no query experienced.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * len(ordered))) - 1))
+    if fraction <= 0:
+        rank = 0
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One query's trip through the service."""
+
+    index: int  # submission order (the async queue ticket)
+    query: str
+    engine: str  # engine that answered ("" if the query failed)
+    round: int  # admission round the query ran in
+    slots: int  # concurrent-kernel slots its round partition granted
+    est_cost_cycles: float  # cost model's estimate (drives SJF ordering)
+    footprint_bytes: float  # admission footprint estimate
+    wait_ms: float  # simulated queue wait before its round started
+    exec_ms: float  # simulated execution time
+    plan_cache_hit: bool
+    num_rows: int = 0
+    ok: bool = True
+    error: str = ""
+
+    @property
+    def latency_ms(self) -> float:
+        return self.wait_ms + self.exec_ms
+
+
+@dataclass
+class ServiceReport:
+    """Aggregates for one drained batch of queries."""
+
+    device: str = ""
+    policy: str = ""
+    max_concurrent: int = 1
+    memory_budget_bytes: float = 0.0
+    makespan_ms: float = 0.0
+    records: List[QueryRecord] = field(default_factory=list)
+    plan_cache: Dict[str, int] = field(default_factory=dict)
+    calibration_cache: Dict[str, int] = field(default_factory=dict)
+    search_cache: Dict[str, int] = field(default_factory=dict)
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def failed(self) -> int:
+        return self.num_queries - self.completed
+
+    @property
+    def num_rounds(self) -> int:
+        return max((r.round for r in self.records), default=-1) + 1
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per simulated second of service time."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.completed / (self.makespan_ms / 1e3)
+
+    def latencies_ms(self) -> List[float]:
+        return [r.latency_ms for r in self.records if r.ok]
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return percentile(self.latencies_ms(), 0.50)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return percentile(self.latencies_ms(), 0.95)
+
+    @property
+    def sequential_ms(self) -> float:
+        """What the same trace would cost with no overlap at all."""
+        return sum(r.exec_ms for r in self.records if r.ok)
+
+    # -- witnesses --------------------------------------------------------
+
+    def counters_dict(self) -> Dict[str, object]:
+        """Canonical determinism witness (same seed => equal dicts)."""
+        return {
+            "device": self.device,
+            "policy": self.policy,
+            "max_concurrent": self.max_concurrent,
+            "num_queries": self.num_queries,
+            "completed": self.completed,
+            "failed": self.failed,
+            "num_rounds": self.num_rounds,
+            "plan_cache": dict(sorted(self.plan_cache.items())),
+            "calibration_cache": dict(sorted(self.calibration_cache.items())),
+            "search_cache": dict(sorted(self.search_cache.items())),
+            "schedule": [
+                (r.index, r.query, r.round, r.slots, r.engine, r.ok)
+                for r in self.records
+            ],
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"{self.policy} on {self.device or '?'} | "
+            f"{self.completed}/{self.num_queries} ok in "
+            f"{self.num_rounds} rounds | makespan {self.makespan_ms:.3f} ms "
+            f"(sequential {self.sequential_ms:.3f} ms)",
+            f"throughput {self.throughput_qps:.1f} q/s | "
+            f"latency p50 {self.p50_latency_ms:.3f} ms, "
+            f"p95 {self.p95_latency_ms:.3f} ms",
+        ]
+        for label, stats in (
+            ("plan cache", self.plan_cache),
+            ("calibration cache", self.calibration_cache),
+            ("search cache", self.search_cache),
+        ):
+            if stats:
+                lines.append(
+                    f"{label}: {stats.get('hits', 0)} hits, "
+                    f"{stats.get('misses', 0)} misses"
+                )
+        for r in sorted(self.records, key=lambda r: (r.round, r.index)):
+            status = r.engine if r.ok else f"FAILED ({r.error})"
+            lines.append(
+                f"  #{r.index:<3} {r.query:<6} round {r.round} "
+                f"x{r.slots} slots | wait {r.wait_ms:8.3f} ms + "
+                f"exec {r.exec_ms:8.3f} ms = {r.latency_ms:8.3f} ms | "
+                f"{status}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Scheduling policies and admission for the query service.
+
+The paper's device shares its concurrent-kernel slots between the
+kernels of *one* query's segment; the serving layer extends the same
+resource model one level up — concurrent *queries* share the slots and
+the device memory budget.  The scheduler decides two things:
+
+* **order** — FIFO preserves submission order; shortest-cost-first
+  (``sjf``) runs the queries the cost model predicts to be cheapest
+  first, the classic mean-latency optimization for mixed workloads;
+* **admission rounds** — a greedy packing of the ordered queue: a round
+  takes queries while concurrent slots remain and the *sum* of their
+  estimated footprints fits the shared memory budget.  Queries in one
+  round execute concurrently (each gets an equal partition of the
+  device's kernel slots and of the budget); rounds execute in sequence.
+
+A query whose lone footprint exceeds the whole budget is still admitted
+alone: the per-query admission control of
+:class:`~repro.core.ResilientExecutor` then shrinks it down the
+Δ-halving ladder or rejects it with a typed error — the scheduler never
+silently drops work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..plans import PhysicalPlan, QuerySpec
+
+__all__ = ["POLICIES", "ScheduledQuery", "Scheduler"]
+
+#: Supported scheduling policies.
+POLICIES: Tuple[str, ...] = ("fifo", "sjf")
+
+
+@dataclass(frozen=True)
+class ScheduledQuery:
+    """One admitted-for-scheduling query with its planning artifacts."""
+
+    index: int  # submission order (the queue ticket)
+    spec: QuerySpec
+    plan: PhysicalPlan
+    est_cost_cycles: float
+    footprint_bytes: float
+    plan_cache_hit: bool
+
+
+class Scheduler:
+    """Deterministic ordering + greedy round packing."""
+
+    def __init__(self, policy: str = "fifo"):
+        if policy not in POLICIES:
+            raise ExecutionError(
+                f"unknown scheduling policy {policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        self.policy = policy
+
+    def order(
+        self, queue: Sequence[ScheduledQuery]
+    ) -> List[ScheduledQuery]:
+        """The execution order for one drain of the queue.
+
+        Ties (and FIFO generally) break on the submission index, so the
+        schedule is a pure function of the queue contents.
+        """
+        if self.policy == "fifo":
+            return sorted(queue, key=lambda q: q.index)
+        return sorted(queue, key=lambda q: (q.est_cost_cycles, q.index))
+
+    def admission_rounds(
+        self,
+        ordered: Sequence[ScheduledQuery],
+        max_concurrent: int,
+        budget_bytes: float,
+    ) -> List[List[ScheduledQuery]]:
+        """Greedy packing of the ordered queue into concurrent rounds."""
+        if max_concurrent < 1:
+            raise ExecutionError("max_concurrent must be at least 1")
+        rounds: List[List[ScheduledQuery]] = []
+        current: List[ScheduledQuery] = []
+        used = 0.0
+        for query in ordered:
+            fits_slots = len(current) < max_concurrent
+            fits_budget = used + query.footprint_bytes <= budget_bytes
+            if current and not (fits_slots and fits_budget):
+                rounds.append(current)
+                current, used = [], 0.0
+            current.append(query)
+            used += query.footprint_bytes
+        if current:
+            rounds.append(current)
+        return rounds

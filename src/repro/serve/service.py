@@ -1,0 +1,315 @@
+"""QueryService: many queries, one simulated device.
+
+The serving model extends the paper's resource-sharing story one level
+up.  Within a query, GPL's kernels share the device's concurrent-kernel
+slots (Section 5's C) and its memory; across queries, the service
+partitions exactly those two resources between the members of each
+admission round:
+
+* every query in a round of ``k`` gets ``max(1, C // k)`` kernel slots —
+  its segments pipeline within the partition, and the per-query slowdown
+  from losing slots is the simulated cost of co-residency;
+* the shared memory budget is split evenly, and each partition is
+  enforced by the *per-query* admission control of
+  :class:`~repro.core.ResilientExecutor` (shrink down the Δ ladder,
+  typed rejection at the floor).
+
+A round's simulated makespan is the maximum of its members' execution
+times — members run concurrently — and rounds execute in sequence, so a
+query's service latency is the virtual time spent waiting for its round
+plus its own execution time.
+
+Repeat traffic is fast because planning is cached at three levels: the
+plan cache (optimization + lowering, keyed by query/database/device/
+config), the memoized configuration search, and the per-device Γ table
+(:mod:`repro.model`).  All three expose hit/miss counters, reported
+per drain on the :class:`~repro.serve.report.ServiceReport`.
+
+Everything is deterministic: same database seed, same trace, same fault
+plan => identical schedule, identical results, identical report
+counters (given the same starting cache state; see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import GPLConfig, GPLEngine, QueryResult, ResilientExecutor
+from ..errors import ReproError
+from ..faults import FaultInjector, FaultPlan
+from ..gpu import DeviceSpec
+from ..model import (
+    ConfigurationSearch,
+    calibrate_channels,
+    calibration_cache_stats,
+    plan_cost_inputs,
+    search_cache_stats,
+)
+from ..plans import QuerySpec
+from ..relational import Database
+from .caches import PlanCache
+from .report import QueryRecord, ServiceReport
+from .scheduler import ScheduledQuery, Scheduler
+
+__all__ = ["QueryService"]
+
+
+def _stats_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    return {key: after.get(key, 0) - before.get(key, 0) for key in after}
+
+
+class QueryService:
+    """Accepts many queries and serves them from one simulated device.
+
+    Two submission paths share the same machinery:
+
+    * :meth:`submit` — synchronous: execute now (a round of one, full
+      slots and budget) and return the :class:`QueryResult`;
+    * :meth:`enqueue` + :meth:`drain` — asynchronous: queue tickets, then
+      schedule and execute the whole backlog concurrently and return a
+      :class:`ServiceReport`.  Results stay retrievable by ticket via
+      :meth:`result_for`.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        device: DeviceSpec,
+        config: Optional[GPLConfig] = None,
+        policy: str = "fifo",
+        max_concurrent: int = 4,
+        memory_budget_bytes: Optional[float] = None,
+        resilient: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        max_retries: int = 2,
+        partitioned_joins: bool = False,
+        plan_cache: Optional[PlanCache] = None,
+    ):
+        self.database = database
+        self.device = device
+        self.config = config or GPLConfig()
+        self.scheduler = Scheduler(policy)
+        self.max_concurrent = max(1, max_concurrent)
+        self.memory_budget_bytes = float(
+            memory_budget_bytes
+            if memory_budget_bytes is not None
+            else device.global_mem_bytes
+        )
+        self.resilient = resilient
+        self.fault_plan = fault_plan
+        self.max_retries = max_retries
+        self.partitioned_joins = partitioned_joins
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        #: Ticket -> result for every completed query this service ran.
+        self.results: Dict[int, QueryResult] = {}
+        self._queue: List[Tuple[int, QuerySpec]] = []
+        self._next_ticket = 0
+        self._search: Optional[ConfigurationSearch] = None
+
+    # -- submission -------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Queued-but-not-yet-drained query count."""
+        return len(self._queue)
+
+    def enqueue(self, spec: QuerySpec) -> int:
+        """Queue a query; returns its ticket (the submission index)."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._queue.append((ticket, spec))
+        return ticket
+
+    def submit(self, spec: QuerySpec) -> QueryResult:
+        """Execute one query now, bypassing the queue (sync path).
+
+        The query still flows through every cache, so a warmed service
+        answers synchronous traffic without re-planning; it runs alone,
+        so it gets the full device.
+        """
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._drain_batch([(ticket, spec)])
+        result = self.results.get(ticket)
+        if result is None:
+            raise self._last_error  # failure of a sync submit propagates
+        return result
+
+    def drain(self) -> ServiceReport:
+        """Schedule and execute the whole backlog; empty the queue."""
+        batch, self._queue = self._queue, []
+        return self._drain_batch(batch)
+
+    def run(self, specs: Sequence[QuerySpec]) -> ServiceReport:
+        """Convenience: enqueue a trace, then drain it."""
+        for spec in specs:
+            self.enqueue(spec)
+        return self.drain()
+
+    def result_for(self, ticket: int) -> QueryResult:
+        """The result a drained ticket produced (KeyError if it failed)."""
+        return self.results[ticket]
+
+    # -- internals --------------------------------------------------------
+
+    def _probe_engine(self) -> GPLEngine:
+        """A throwaway engine used for planning and footprint estimates."""
+        engine = GPLEngine(
+            self.database,
+            self.device,
+            config=self.config,
+            partitioned_joins=self.partitioned_joins,
+        )
+        engine.plan_cache = self.plan_cache
+        return engine
+
+    def _ensure_search(self) -> ConfigurationSearch:
+        if self._search is None:
+            self._search = ConfigurationSearch(
+                self.device, calibrate_channels(self.device)
+            )
+        return self._search
+
+    def _estimate_cost(self, plan) -> float:
+        """Predicted execution cycles for a plan (drives SJF ordering).
+
+        Sums the memoized configuration search's best predicted T_Sk per
+        segment — the first query of a shape pays the search, repeats hit
+        the cache in :mod:`repro.model.search`.
+        """
+        search = self._ensure_search()
+        segments = plan_cost_inputs(plan, self.database)
+        return sum(
+            search.best_for_segment(segment).predicted_cycles
+            for segment in segments
+        )
+
+    def _plan_queries(
+        self, batch: Sequence[Tuple[int, QuerySpec]]
+    ) -> List[ScheduledQuery]:
+        probe = self._probe_engine()
+        planned: List[ScheduledQuery] = []
+        for ticket, spec in batch:
+            hits_before = self.plan_cache.stats.hits
+            plan = probe.prepare(spec)
+            planned.append(
+                ScheduledQuery(
+                    index=ticket,
+                    spec=spec,
+                    plan=plan,
+                    est_cost_cycles=self._estimate_cost(plan),
+                    footprint_bytes=probe.estimated_plan_footprint(
+                        plan, self.config
+                    ),
+                    plan_cache_hit=self.plan_cache.stats.hits > hits_before,
+                )
+            )
+        return planned
+
+    def _execute_one(
+        self, query: ScheduledQuery, slots: int, budget_share: float
+    ) -> QueryResult:
+        device = (
+            self.device
+            if slots == self.device.concurrency
+            else self.device.with_overrides(concurrency=slots)
+        )
+        if self.resilient:
+            executor = ResilientExecutor(
+                self.database,
+                device,
+                config=self.config,
+                fault_plan=self.fault_plan,
+                memory_budget_bytes=budget_share,
+                max_retries=self.max_retries,
+                partitioned_joins=self.partitioned_joins,
+                plan_cache=self.plan_cache,
+            )
+            return executor.execute(query.spec)
+        engine = GPLEngine(
+            self.database,
+            device,
+            config=self.config,
+            partitioned_joins=self.partitioned_joins,
+        )
+        engine.plan_cache = self.plan_cache
+        if self.fault_plan is not None:
+            engine.fault_injector = FaultInjector(self.fault_plan)
+        return engine.execute(query.spec)
+
+    def _drain_batch(
+        self, batch: Sequence[Tuple[int, QuerySpec]]
+    ) -> ServiceReport:
+        plan_before = self.plan_cache.stats.as_dict()
+        calibration_before = calibration_cache_stats()
+        search_before = search_cache_stats()
+
+        planned = self._plan_queries(batch)
+        ordered = self.scheduler.order(planned)
+        rounds = self.scheduler.admission_rounds(
+            ordered, self.max_concurrent, self.memory_budget_bytes
+        )
+
+        records: List[QueryRecord] = []
+        clock_ms = 0.0
+        self._last_error: Optional[ReproError] = None
+        for round_index, members in enumerate(rounds):
+            slots = max(1, self.device.concurrency // len(members))
+            budget_share = self.memory_budget_bytes / len(members)
+            round_makespan = 0.0
+            for query in members:
+                try:
+                    result = self._execute_one(query, slots, budget_share)
+                except ReproError as exc:
+                    self._last_error = exc
+                    records.append(
+                        QueryRecord(
+                            index=query.index,
+                            query=query.spec.name,
+                            engine="",
+                            round=round_index,
+                            slots=slots,
+                            est_cost_cycles=query.est_cost_cycles,
+                            footprint_bytes=query.footprint_bytes,
+                            wait_ms=clock_ms,
+                            exec_ms=0.0,
+                            plan_cache_hit=query.plan_cache_hit,
+                            ok=False,
+                            error=str(exc).splitlines()[0],
+                        )
+                    )
+                    continue
+                self.results[query.index] = result
+                round_makespan = max(round_makespan, result.elapsed_ms)
+                records.append(
+                    QueryRecord(
+                        index=query.index,
+                        query=query.spec.name,
+                        engine=result.engine,
+                        round=round_index,
+                        slots=slots,
+                        est_cost_cycles=query.est_cost_cycles,
+                        footprint_bytes=query.footprint_bytes,
+                        wait_ms=clock_ms,
+                        exec_ms=result.elapsed_ms,
+                        plan_cache_hit=query.plan_cache_hit,
+                        num_rows=result.num_rows,
+                    )
+                )
+            clock_ms += round_makespan
+
+        return ServiceReport(
+            device=self.device.name,
+            policy=self.scheduler.policy,
+            max_concurrent=self.max_concurrent,
+            memory_budget_bytes=self.memory_budget_bytes,
+            makespan_ms=clock_ms,
+            records=records,
+            plan_cache=_stats_delta(
+                self.plan_cache.stats.as_dict(), plan_before
+            ),
+            calibration_cache=_stats_delta(
+                calibration_cache_stats(), calibration_before
+            ),
+            search_cache=_stats_delta(search_cache_stats(), search_before),
+        )

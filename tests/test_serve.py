@@ -1,0 +1,344 @@
+"""Query serving: scheduling, admission, caches, determinism.
+
+The serving contract: a :class:`~repro.serve.QueryService` answers every
+query with exactly the rows the engines produce standalone, schedules
+deterministically (same seed and trace => identical
+:meth:`ServiceReport.counters_dict`), partitions the shared memory
+budget via admission rounds, and caches make repeat shapes cheap without
+ever changing an answer.
+"""
+
+import pytest
+
+from repro.core import GPLConfig, GPLEngine
+from repro.errors import ExecutionError, ReproError
+from repro.faults import FaultPlan
+from repro.gpu import AMD_A10, NVIDIA_K40
+from repro.model import (
+    calibration_cache_stats,
+    clear_calibration_cache,
+    clear_search_cache,
+    search_cache_stats,
+)
+from repro.serve import (
+    PlanCache,
+    QueryService,
+    Scheduler,
+    ScheduledQuery,
+    percentile,
+)
+from repro.tpch import generate_database, q5, q7, q9, q14
+
+MIB = 1024 * 1024
+
+
+def service_for(db, **kwargs):
+    kwargs.setdefault("max_concurrent", 4)
+    return QueryService(db, AMD_A10, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# scheduler unit behavior
+# ---------------------------------------------------------------------------
+
+
+def _sq(index, cost, footprint):
+    return ScheduledQuery(
+        index=index,
+        spec=None,
+        plan=None,
+        est_cost_cycles=cost,
+        footprint_bytes=footprint,
+        plan_cache_hit=False,
+    )
+
+
+class TestScheduler:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ExecutionError):
+            Scheduler("priority")
+
+    def test_fifo_preserves_submission_order(self):
+        queue = [_sq(2, 1.0, 0.0), _sq(0, 9.0, 0.0), _sq(1, 5.0, 0.0)]
+        assert [q.index for q in Scheduler("fifo").order(queue)] == [0, 1, 2]
+
+    def test_sjf_orders_by_cost_with_index_ties(self):
+        queue = [_sq(0, 9.0, 0.0), _sq(1, 1.0, 0.0), _sq(2, 1.0, 0.0)]
+        assert [q.index for q in Scheduler("sjf").order(queue)] == [1, 2, 0]
+
+    def test_rounds_respect_slot_cap(self):
+        queue = [_sq(i, 1.0, 1.0) for i in range(5)]
+        rounds = Scheduler("fifo").admission_rounds(queue, 2, 100.0)
+        assert [len(r) for r in rounds] == [2, 2, 1]
+
+    def test_rounds_respect_budget(self):
+        queue = [_sq(i, 1.0, 10.0) for i in range(4)]
+        rounds = Scheduler("fifo").admission_rounds(queue, 4, 25.0)
+        assert [len(r) for r in rounds] == [2, 2]
+
+    def test_oversized_query_admitted_alone(self):
+        # Never silently dropped: per-query admission control downstream
+        # decides between the Delta ladder and a typed rejection.
+        queue = [_sq(0, 1.0, 500.0), _sq(1, 1.0, 1.0)]
+        rounds = Scheduler("fifo").admission_rounds(queue, 4, 100.0)
+        assert [len(r) for r in rounds] == [1, 1]
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.95) == 3.0
+        values = [float(v) for v in range(1, 11)]
+        assert percentile(values, 0.50) == 5.0
+        assert percentile(values, 0.95) == 10.0
+
+
+# ---------------------------------------------------------------------------
+# end-to-end serving
+# ---------------------------------------------------------------------------
+
+
+class TestQueryService:
+    def test_answers_match_standalone_engine(self, tiny_db):
+        service = service_for(tiny_db)
+        report = service.run([q5(), q14()])
+        assert report.completed == 2
+        for ticket, spec in ((0, q5()), (1, q14())):
+            standalone = GPLEngine(tiny_db, AMD_A10).execute(spec)
+            assert service.result_for(ticket).approx_equals(standalone)
+
+    def test_sync_submit_returns_result(self, tiny_db):
+        service = service_for(tiny_db)
+        result = service.submit(q14())
+        assert result.num_rows == 1
+        assert service.pending == 0
+        # The sync path warms the same caches the async path uses.
+        assert service.plan_cache.stats.misses >= 1
+
+    def test_enqueue_tickets_and_drain(self, tiny_db):
+        service = service_for(tiny_db)
+        tickets = [service.enqueue(q) for q in (q5(), q9(), q14())]
+        assert tickets == [0, 1, 2]
+        assert service.pending == 3
+        report = service.drain()
+        assert service.pending == 0
+        assert report.num_queries == 3
+        assert {r.index for r in report.records} == {0, 1, 2}
+
+    def test_fifo_vs_sjf_ordering(self, tiny_db):
+        # Q9 is the most expensive of the paper's queries, Q14 the
+        # cheapest; with one slot per round the policies must disagree.
+        trace = [q9(), q14()]
+        fifo = service_for(tiny_db, policy="fifo", max_concurrent=1)
+        sjf = service_for(tiny_db, policy="sjf", max_concurrent=1)
+        fifo_schedule = [
+            r[1] for r in fifo.run(trace).counters_dict()["schedule"]
+        ]
+        sjf_schedule = [
+            r[1] for r in sjf.run(trace).counters_dict()["schedule"]
+        ]
+        assert fifo_schedule == ["Q9", "Q14"]
+        assert sjf_schedule == ["Q14", "Q9"]
+
+    def test_sjf_improves_mean_latency(self, tiny_db):
+        trace = [q9(), q14(), q14(), q14()]
+        fifo = service_for(tiny_db, policy="fifo", max_concurrent=1)
+        sjf = service_for(tiny_db, policy="sjf", max_concurrent=1)
+        fifo_lat = fifo.run(trace).latencies_ms()
+        sjf_lat = sjf.run(trace).latencies_ms()
+        assert sum(sjf_lat) < sum(fifo_lat)
+
+    def test_concurrent_rounds_beat_sequential_makespan(self, tiny_db):
+        report = service_for(tiny_db, max_concurrent=4).run(
+            [q5(), q9(), q14(), q7()]
+        )
+        assert report.num_rounds == 1
+        assert report.makespan_ms < report.sequential_ms
+        assert report.throughput_qps > 0
+
+    def test_slot_partitioning_across_round_members(self, tiny_db):
+        # Alone, a query gets the device's full concurrency; in a round
+        # of >= C members everyone drops to one slot.
+        alone = service_for(tiny_db, max_concurrent=1).run([q5()])
+        shared = service_for(tiny_db, max_concurrent=4).run(
+            [q5(), q9(), q14(), q7()]
+        )
+        assert alone.records[0].slots == AMD_A10.concurrency
+        assert all(r.slots == 1 for r in shared.records)
+        # Losing slots is the simulated cost of co-residency.
+        q5_shared = next(r for r in shared.records if r.query == "Q5")
+        assert q5_shared.exec_ms >= alone.records[0].exec_ms
+
+
+class TestAdmission:
+    def test_budget_splits_trace_into_rounds(self, tiny_db):
+        # Footprints at the default tile: Q5 ~8.1 MiB, Q14 ~3.4 MiB,
+        # Q7 ~8.0 MiB.  No pair fits a 10 MiB budget, so every query
+        # gets its own round even with free slots.
+        service = service_for(
+            tiny_db, max_concurrent=4, memory_budget_bytes=10 * MIB
+        )
+        report = service.run([q5(), q14(), q7()])
+        assert report.num_rounds == 3
+        assert report.completed == 3
+
+    def test_large_budget_single_round(self, tiny_db):
+        service = service_for(
+            tiny_db, max_concurrent=4, memory_budget_bytes=512 * MIB
+        )
+        report = service.run([q5(), q14(), q7()])
+        assert report.num_rounds == 1
+
+    def test_over_budget_query_shrinks_not_fails(self, tiny_db):
+        # A budget below Q14's ~3.4 MiB default-config footprint but
+        # above the Delta-ladder floor: admission control shrinks the
+        # tile and the query still answers on GPL, correctly.
+        service = service_for(tiny_db, memory_budget_bytes=2 * MIB)
+        report = service.run([q14()])
+        assert report.completed == 1
+        assert report.records[0].engine == "GPL"
+        standalone = GPLEngine(tiny_db, AMD_A10).execute(q14())
+        assert service.result_for(0).approx_equals(standalone)
+
+    def test_hopeless_budget_degrades_to_kbe(self, tiny_db):
+        # Below even the Delta-ladder floor, the resilient fallback
+        # chain answers via KBE (admission-exempt) instead of failing.
+        service = service_for(tiny_db, memory_budget_bytes=64 * 1024)
+        report = service.run([q5(), q14()])
+        assert report.completed == 2
+        assert all(r.engine == "KBE" for r in report.records)
+        standalone = GPLEngine(tiny_db, AMD_A10).execute(q5())
+        assert service.result_for(0).approx_equals(standalone)
+
+    def test_sync_submit_propagates_typed_error(self, tiny_db):
+        plan = FaultPlan.parse("abort@*:*,times=99")
+        service = service_for(tiny_db, fault_plan=plan, resilient=False)
+        with pytest.raises(ReproError):
+            service.submit(q5())
+
+
+class TestFaultComposition:
+    def test_resilient_service_absorbs_faults(self, tiny_db):
+        plan = FaultPlan.parse("oom")
+        service = service_for(tiny_db, fault_plan=plan, resilient=True)
+        report = service.run([q5(), q14()])
+        assert report.completed == 2
+        standalone = GPLEngine(tiny_db, AMD_A10).execute(q5())
+        assert service.result_for(0).approx_equals(standalone)
+
+    def test_bare_service_records_failures(self, tiny_db):
+        plan = FaultPlan.parse("abort@*:*,times=99")
+        service = service_for(tiny_db, fault_plan=plan, resilient=False)
+        report = service.run([q5(), q14()])
+        assert report.failed == 2
+        assert all(not r.ok and r.error for r in report.records)
+
+
+# ---------------------------------------------------------------------------
+# caches
+# ---------------------------------------------------------------------------
+
+
+class TestCaches:
+    def test_repeat_shapes_hit_plan_cache(self, tiny_db):
+        service = service_for(tiny_db)
+        first = service.run([q5(), q14()])
+        second = service.run([q5(), q14()])
+        assert first.plan_cache["misses"] == 2
+        assert second.plan_cache["misses"] == 0
+        assert second.plan_cache["hits"] >= 2
+
+    def test_warm_results_identical_to_cold(self, tiny_db):
+        service = service_for(tiny_db)
+        service.run([q5(), q9(), q14()])
+        service.run([q5(), q9(), q14()])
+        for cold, warm in ((0, 3), (1, 4), (2, 5)):
+            assert service.result_for(cold).approx_equals(
+                service.result_for(warm)
+            )
+
+    def test_device_change_invalidates_plan_cache(self, tiny_db):
+        shared = PlanCache()
+        QueryService(
+            tiny_db, AMD_A10, plan_cache=shared, max_concurrent=2
+        ).run([q14()])
+        misses_after_amd = shared.stats.misses
+        QueryService(
+            tiny_db, NVIDIA_K40, plan_cache=shared, max_concurrent=2
+        ).run([q14()])
+        # The NVIDIA run may not reuse any AMD entry: at least one fresh
+        # miss despite the identical query shape.
+        assert shared.stats.misses > misses_after_amd
+
+    def test_config_change_invalidates_plan_cache(self, tiny_db):
+        shared = PlanCache()
+        service_for(tiny_db, plan_cache=shared).run([q14()])
+        misses_plain = shared.stats.misses
+        service_for(
+            tiny_db, plan_cache=shared, partitioned_joins=True
+        ).run([q14()])
+        assert shared.stats.misses > misses_plain
+
+    def test_database_change_invalidates_plan_cache(self, tiny_db):
+        other_db = generate_database(scale=0.004)
+        shared = PlanCache()
+        service_for(tiny_db, plan_cache=shared).run([q14()])
+        misses_first = shared.stats.misses
+        QueryService(
+            other_db, AMD_A10, plan_cache=shared, max_concurrent=2
+        ).run([q14()])
+        assert shared.stats.misses > misses_first
+
+    def test_plan_cache_lru_eviction(self, tiny_db):
+        cache = PlanCache(max_entries=1)
+        service = service_for(tiny_db, plan_cache=cache)
+        service.run([q5(), q14()])
+        assert len(cache) == 1
+        assert cache.stats.evictions >= 1
+
+    def test_calibration_and_search_caches_warm_up(self, tiny_db):
+        clear_calibration_cache()
+        clear_search_cache()
+        service = service_for(tiny_db, policy="sjf")
+        cold = service.run([q5(), q14()])
+        warm = service.run([q5(), q14()])
+        hot = service.run([q5(), q14()])
+        assert cold.calibration_cache["misses"] == 1
+        assert warm.calibration_cache["misses"] == 0
+        assert cold.search_cache["misses"] > 0
+        # The warm run may refine one segment whose cost input depends
+        # on the cardinality observed during the first execution (the
+        # epilogue sort); by the third run every key is stable.
+        assert warm.search_cache["misses"] <= 1
+        assert warm.search_cache["hits"] > 0
+        assert hot.search_cache["misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_same_seed_same_report_counters(self):
+        def one_run():
+            clear_calibration_cache()
+            clear_search_cache()
+            db = generate_database(scale=0.002, seed=7)
+            service = QueryService(
+                db,
+                AMD_A10,
+                policy="sjf",
+                max_concurrent=4,
+                fault_plan=FaultPlan.parse("oom"),
+            )
+            report = service.run([q5(), q9(), q14(), q5(), q14()])
+            rows = {
+                ticket: service.result_for(ticket).sorted_rows()
+                for ticket in range(5)
+                if ticket in service.results
+            }
+            return report.counters_dict(), report.makespan_ms, rows
+
+        first, second = one_run(), one_run()
+        assert first[0] == second[0]
+        assert first[1] == pytest.approx(second[1])
+        assert first[2] == second[2]
