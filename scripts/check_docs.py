@@ -11,7 +11,12 @@ Three checks over every tracked markdown file:
    cannot name code that was renamed or removed;
 3. **CLI flags** — every ``--flag`` a doc attributes to a ``python -m
    repro <command>`` context must be accepted by that command's parser,
-   so flag renames cannot strand the docs.
+   so flag renames cannot strand the docs;
+4. **metric catalogue** — the table under ``## Metrics catalogue`` in
+   ``docs/observability.md`` must list exactly the metric names in
+   ``repro.obs.metric_catalogue()``: a documented metric missing from
+   the catalogue is stale, a catalogue metric missing from the docs is
+   undocumented, and both fail.
 
 Exit code 0 when clean, 1 with one line per problem otherwise.  Run
 from the repository root (CI does); no arguments.
@@ -27,8 +32,14 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+# Work-tracking files may reference planned-but-unbuilt code and flags;
+# the lint covers documentation of what exists.
+SKIP_FILES = {"ISSUE.md", "CHANGES.md"}
+
 DOC_FILES = sorted(
-    list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md"))
+    path
+    for path in list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md"))
+    if path.name not in SKIP_FILES
 )
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -37,8 +48,12 @@ MODULE_RE = re.compile(r"`(repro(?:\.\w+)+)")
 # appear near a recognizable command name are attributed to it.
 FLAG_RE = re.compile(r"(--[a-z][a-z0-9-]+)")
 COMMAND_RE = re.compile(
-    r"\b(run|serve|compare|workload|calibrate|tune|explain|trace|dbgen)\b"
+    r"\b(run|serve|compare|workload|calibrate|tune|explain|trace|obs|dbgen)\b"
 )
+
+OBSERVABILITY_DOC = REPO / "docs" / "observability.md"
+CATALOGUE_HEADING = "## Metrics catalogue"
+METRIC_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`")
 
 # Flags that belong to the docs' own tooling examples, not the repro CLI.
 FOREIGN_FLAGS = {"--benchmark-only"}
@@ -98,6 +113,36 @@ def iter_problems():
                         f"{rel}: flag {flag} not accepted by "
                         f"{'/'.join(sorted(commands))}"
                     )
+
+    # 4. metric catalogue <-> docs/observability.md, both directions
+    yield from _catalogue_problems()
+
+
+def _catalogue_problems():
+    from repro.obs import metric_catalogue
+
+    rel = OBSERVABILITY_DOC.relative_to(REPO)
+    if not OBSERVABILITY_DOC.exists():
+        yield f"{rel}: missing (metric catalogue documentation)"
+        return
+    documented = set()
+    in_section = False
+    for line in OBSERVABILITY_DOC.read_text().splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == CATALOGUE_HEADING
+            continue
+        if in_section:
+            match = METRIC_ROW_RE.match(line)
+            if match:
+                documented.add(match.group(1))
+    if not documented:
+        yield f"{rel}: no metric table under {CATALOGUE_HEADING!r}"
+        return
+    catalogued = {spec.name for spec in metric_catalogue()}
+    for name in sorted(documented - catalogued):
+        yield f"{rel}: documented metric `{name}` is not in the catalogue"
+    for name in sorted(catalogued - documented):
+        yield f"{rel}: catalogue metric `{name}` is undocumented"
 
 
 def _resolves(dotted: str) -> bool:

@@ -16,7 +16,13 @@ Commands
 ``tune``       run the analytical model's configuration search
 ``explain``    show the optimized plan with the optimizer's estimates
 ``trace``      render a text Gantt chart of the pipelined execution
+``obs``        summarize a Perfetto trace saved with ``--trace-out``
 ``dbgen``      report generated table sizes; optionally export .tbl files
+
+``run`` and ``serve`` accept ``--trace-out FILE`` to record a
+cross-layer span trace (plan/search/resilience/simulator/serve) in the
+Chrome/Perfetto ``trace.json`` format; open it at ``ui.perfetto.dev``
+or summarize it with the ``obs`` command.
 
 Query names select the workload: ``Q5``/``Q7``/``Q8``/``Q9``/``Q14`` run
 TPC-H, flight-numbered names (``Q1.1`` … ``Q4.3``) run the Star Schema
@@ -28,7 +34,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from . import __version__
 from .bench.reporting import banner, format_table
@@ -128,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the device's global memory)"
         ),
     )
+    run.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Perfetto trace.json of the run to FILE",
+    )
     _add_common(run)
 
     serve = commands.add_parser(
@@ -198,6 +210,20 @@ def build_parser() -> argparse.ArgumentParser:
             "in MB (default: the device's global memory)"
         ),
     )
+    serve.add_argument(
+        "--tuned",
+        action="store_true",
+        help=(
+            "run every query with the cost model's per-segment optimal "
+            "configs (Section 4.1's search) instead of one baseline "
+            "config; the drift report then mirrors Figs 11/24"
+        ),
+    )
+    serve.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Perfetto trace.json of the whole drain to FILE",
+    )
     _add_common(serve)
 
     compare = commands.add_parser(
@@ -245,6 +271,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(trace)
 
+    obs = commands.add_parser(
+        "obs", help="summarize a saved Perfetto trace (--trace-out output)"
+    )
+    obs.add_argument("trace_file", help="path to a trace.json file")
+    obs.add_argument(
+        "--category",
+        help="only summarize one span category "
+        "(serve, plan, search, resilience, simulator)",
+    )
+    obs.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many longest spans to list (default 10)",
+    )
+
     dbgen = commands.add_parser("dbgen", help="report generated table sizes")
     dbgen.add_argument(
         "--output",
@@ -282,6 +324,28 @@ def _database(args):
     return generate_database(scale=args.scale, seed=args.seed)
 
 
+@contextmanager
+def _traced(trace_out: Optional[str]) -> Iterator[None]:
+    """Record the block into a Perfetto trace file when requested.
+
+    The file is written only when the block succeeds, so a failed
+    command never leaves a half-trace behind.
+    """
+    if not trace_out:
+        yield
+        return
+    from .obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        yield
+    tracer.write_json(trace_out)
+    print(
+        f"wrote {tracer.num_spans()} spans "
+        f"({', '.join(tracer.categories())}) to {trace_out}"
+    )
+
+
 def cmd_run(args) -> int:
     database = _database(args)
     device = device_by_name(args.device)
@@ -302,7 +366,8 @@ def cmd_run(args) -> int:
             max_retries=args.max_retries,
             partitioned_joins=args.partitioned_joins,
         )
-        result = executor.execute(_query_spec(args.query))
+        with _traced(args.trace_out):
+            result = executor.execute(_query_spec(args.query))
         engine_name = f"{result.engine} (resilient)"
     else:
         engine_cls = ENGINES[args.engine]
@@ -314,7 +379,8 @@ def cmd_run(args) -> int:
         engine = engine_cls(database, device, **kwargs)
         if fault_plan is not None:
             engine.fault_injector = FaultInjector(fault_plan)
-        result = engine.execute(_query_spec(args.query))
+        with _traced(args.trace_out):
+            result = engine.execute(_query_spec(args.query))
         engine_name = engine.name
     print(banner(f"{args.query} on {engine_name} ({device.name})"))
     print(format_table(result.columns, result.decoded_rows()[:25]))
@@ -372,8 +438,10 @@ def cmd_serve(args) -> int:
         fault_plan=fault_plan,
         max_retries=args.max_retries,
         partitioned_joins=args.partitioned_joins,
+        tuned=args.tuned,
     )
-    report = service.run([_query_spec(name) for name in names])
+    with _traced(args.trace_out):
+        report = service.run([_query_spec(name) for name in names])
     print(
         banner(
             f"serving {report.num_queries} queries on {device.name} "
@@ -526,6 +594,18 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from .obs import load_trace, summarize_trace
+
+    try:
+        payload = load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        raise ExecutionError(str(exc)) from exc
+    print(banner(f"trace summary: {args.trace_file}"))
+    print(summarize_trace(payload, top=args.top, category=args.category))
+    return 0
+
+
 def cmd_dbgen(args) -> int:
     database = _database(args)
     rows = [
@@ -558,6 +638,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": cmd_explain,
         "workload": cmd_workload,
         "trace": cmd_trace,
+        "obs": cmd_obs,
         "dbgen": cmd_dbgen,
     }
     try:

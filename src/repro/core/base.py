@@ -16,6 +16,7 @@ import numpy as np
 
 from ..errors import ExecutionError
 from ..gpu import DeviceSpec, HardwareCounters, Profiler, ProfilerReport, Simulator
+from ..obs.tracing import maybe_span
 from ..plans import (
     ExecutionContext,
     PhysicalPlan,
@@ -166,9 +167,20 @@ class EngineBase:
         itself in ``start()`` and all run state lives in the per-execution
         :class:`~repro.plans.ExecutionContext`.
         """
-        if self.plan_cache is not None:
-            return self.plan_cache.get_or_prepare(self, spec)
-        return self.prepare_uncached(spec)
+        with maybe_span(
+            "plan.prepare", category="plan", query=spec.name, engine=self.name
+        ) as span:
+            if self.plan_cache is not None:
+                hits_before = self.plan_cache.stats.hits
+                plan = self.plan_cache.get_or_prepare(self, spec)
+                if span is not None:
+                    span.attrs["cache_hit"] = (
+                        self.plan_cache.stats.hits > hits_before
+                    )
+                return plan
+            if span is not None:
+                span.attrs["cache_hit"] = False
+            return self.prepare_uncached(spec)
 
     def prepare_uncached(self, spec: QuerySpec) -> PhysicalPlan:
         """Optimize and lower ``spec``, bypassing any attached plan cache."""

@@ -43,6 +43,7 @@ from ..errors import (
 )
 from ..faults import FaultInjector, FaultPlan
 from ..gpu import DeviceSpec
+from ..obs.tracing import add_event, maybe_span
 from ..plans import QuerySpec
 from ..relational import Database
 from .base import QueryResult
@@ -163,6 +164,7 @@ class ResilientExecutor:
         engines: Sequence[str] = ENGINE_CHAIN,
         partitioned_joins: bool = False,
         plan_cache=None,
+        segment_configs=None,
     ):
         if not engines:
             raise ExecutionError("the fallback chain needs at least one engine")
@@ -186,6 +188,9 @@ class ResilientExecutor:
         #: and each fallback then all reuse one lowered plan instead of
         #: re-optimizing per attempt.
         self.plan_cache = plan_cache
+        #: Optional per-segment model-chosen configs (the serving layer's
+        #: tuned mode) handed to the GPL engines; KBE ignores them.
+        self.segment_configs = dict(segment_configs or {})
 
     # -- public API -------------------------------------------------------
 
@@ -195,18 +200,35 @@ class ResilientExecutor:
         produced them."""
         report = ResilienceReport()
         last_error: Optional[Exception] = None
-        for position, name in enumerate(self.engines):
-            if position > 0:
-                report.fallbacks += 1
-            result, last_error = self._attempt_engine(name, spec, report)
-            if result is not None:
-                report.engine_used = result.engine
-                self._harvest_faults(report)
-                result.resilience = report
-                return result
-        self._harvest_faults(report)
-        assert last_error is not None
-        raise last_error
+        with maybe_span(
+            "resilience.execute",
+            category="resilience",
+            query=spec.name,
+            chain=",".join(self.engines),
+        ) as span:
+            for position, name in enumerate(self.engines):
+                if position > 0:
+                    report.fallbacks += 1
+                    add_event(
+                        "resilience.fallback",
+                        to_engine=self._DISPLAY[name],
+                        reason=type(last_error).__name__
+                        if last_error is not None
+                        else "?",
+                    )
+                result, last_error = self._attempt_engine(name, spec, report)
+                if result is not None:
+                    report.engine_used = result.engine
+                    self._harvest_faults(report)
+                    result.resilience = report
+                    if span is not None:
+                        span.attrs["engine_used"] = report.engine_used
+                        span.attrs["retries"] = report.retries
+                        span.attrs["fallbacks"] = report.fallbacks
+                    return result
+            self._harvest_faults(report)
+            assert last_error is not None
+            raise last_error
 
     # -- chain internals --------------------------------------------------
 
@@ -227,6 +249,12 @@ class ResilientExecutor:
                         "admission-rejected", str(exc),
                     )
                 )
+                add_event(
+                    "resilience.attempt",
+                    engine=self._DISPLAY[name],
+                    outcome="admission-rejected",
+                    tile_bytes=config.tile_bytes,
+                )
                 return None, exc
             engine = self._build(name, config)
             engine.fault_injector = self.injector
@@ -246,6 +274,12 @@ class ResilientExecutor:
                         str(exc).splitlines()[0],
                     )
                 )
+                add_event(
+                    "resilience.attempt",
+                    engine=engine.name,
+                    outcome=outcome,
+                    tile_bytes=config.tile_bytes,
+                )
                 return None, exc
             except self._RETRYABLE as exc:
                 error = exc
@@ -257,12 +291,24 @@ class ResilientExecutor:
                 report.attempts.append(
                     AttemptRecord(engine.name, config.tile_bytes, "ok")
                 )
+                add_event(
+                    "resilience.attempt",
+                    engine=engine.name,
+                    outcome="ok",
+                    tile_bytes=config.tile_bytes,
+                )
                 return result, None
             report.attempts.append(
                 AttemptRecord(
                     engine.name, config.tile_bytes, outcome,
                     str(error).splitlines()[0],
                 )
+            )
+            add_event(
+                "resilience.attempt",
+                engine=engine.name,
+                outcome=outcome,
+                tile_bytes=config.tile_bytes,
             )
             if retries >= self.max_retries:
                 return None, error
@@ -272,6 +318,11 @@ class ResilientExecutor:
             config = reconfigured
             retries += 1
             report.retries += 1
+            add_event(
+                "resilience.retry",
+                engine=engine.name,
+                tile_bytes=config.tile_bytes,
+            )
 
     def _admit(
         self,
@@ -338,6 +389,7 @@ class ResilientExecutor:
                 self.database,
                 self.device,
                 config=config,
+                segment_configs=self.segment_configs,
                 partitioned_joins=self.partitioned_joins,
             )
         elif name == "gpl-woce":
@@ -345,6 +397,7 @@ class ResilientExecutor:
                 self.database,
                 self.device,
                 config=config,
+                segment_configs=self.segment_configs,
                 partitioned_joins=self.partitioned_joins,
             )
         elif name == "kbe":

@@ -53,8 +53,20 @@ class Profiler:
         self._device = device
 
     def kernel_profile(self, stats: KernelRunStats) -> KernelProfile:
-        elapsed = max(stats.elapsed_cycles, 1e-9)
-        busy_denominator = self._device.num_cus * elapsed
+        if stats.elapsed_cycles <= 0:
+            # Empty-result segments retire no cycles; the epsilon trick
+            # used to report valu_busy = 1.0 for them (compute / ~0).
+            # A kernel that never ran kept no unit busy.
+            return KernelProfile(
+                name=stats.name,
+                elapsed_ms=0.0,
+                valu_busy=0.0,
+                mem_unit_busy=0.0,
+                occupancy=stats.occupancy,
+                cache_hit_ratio=stats.cache_hit_ratio,
+                tuples=stats.tuples,
+            )
+        busy_denominator = self._device.num_cus * stats.elapsed_cycles
         return KernelProfile(
             name=stats.name,
             elapsed_ms=self._device.cycles_to_ms(stats.elapsed_cycles),

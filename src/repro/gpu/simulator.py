@@ -47,6 +47,7 @@ from .occupancy import (
     max_active_wg_per_cu,
 )
 from .trace import TraceEvent
+from ..obs.tracing import current_tracer
 
 __all__ = ["StageSpec", "PipelineRunResult", "Simulator"]
 
@@ -247,6 +248,16 @@ class Simulator:
             )
         self.counters.record(stats)
         self.counters.add_elapsed(elapsed)
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.span(
+                "sim.kernel",
+                category="simulator",
+                kernel=launch.display_name,
+                segment=self.segment or "?",
+                tuples=launch.tuples,
+            ):
+                tracer.advance(elapsed)
         return stats
 
     # ------------------------------------------------------------------
@@ -286,7 +297,9 @@ class Simulator:
             )
         if num_tiles <= 0 or tile_tuples <= 0:
             return PipelineRunResult(0.0, [], 0.0, 0.0)
-        trace_events: Optional[List[TraceEvent]] = [] if trace else None
+        tracer = current_tracer()
+        want_trace = trace or tracer is not None
+        trace_events: Optional[List[TraceEvent]] = [] if want_trace else None
 
         shares = dict(allocate_segment_occupancy(launches, self.device))
         # Only C kernels are resident at a time; a kernel's share of the
@@ -362,6 +375,10 @@ class Simulator:
         for stats in stage_stats:
             self.counters.record(stats)
         self.counters.add_elapsed(elapsed)
+        if tracer is not None:
+            self._trace_segment(
+                tracer, runtimes, trace_events or [], elapsed, num_tiles
+            )
         return PipelineRunResult(
             elapsed_cycles=elapsed,
             stage_stats=stage_stats,
@@ -372,6 +389,60 @@ class Simulator:
             },
             trace=trace_events or [],
         )
+
+    def _trace_segment(
+        self,
+        tracer,
+        runtimes: List[_StageRuntime],
+        trace_events: List[TraceEvent],
+        elapsed: float,
+        num_tiles: int,
+    ) -> None:
+        """Mirror one pipelined segment into the ambient span tracer.
+
+        By default each kernel stage becomes a single child span covering
+        its first unit start to its last unit end (a serve drain's trace
+        stays small); ``Tracer(capture_kernels=True)`` emits every
+        work-group unit instead, matching :func:`render_gantt` detail.
+        """
+        with tracer.span(
+            "sim.segment",
+            category="simulator",
+            segment=self.segment or "?",
+            stages=len(runtimes),
+            tiles=num_tiles,
+        ) as segment_span:
+            base = segment_span.start
+            if tracer.capture_kernels:
+                for event in trace_events:
+                    tracer.add_span(
+                        "sim.wg",
+                        "simulator",
+                        base + event.start,
+                        base + event.end,
+                        stage=event.label,
+                    )
+            else:
+                windows: Dict[int, List[float]] = {}
+                for event in trace_events:
+                    window = windows.setdefault(
+                        event.stage, [event.start, event.end]
+                    )
+                    window[0] = min(window[0], event.start)
+                    window[1] = max(window[1], event.end)
+                for runtime in runtimes:
+                    window = windows.get(runtime.index)
+                    if window is None:
+                        continue
+                    tracer.add_span(
+                        "sim.stage",
+                        "simulator",
+                        base + window[0],
+                        base + window[1],
+                        stage=runtime.name,
+                        units=runtime.completed,
+                    )
+            tracer.advance(elapsed)
 
     def _build_stage_runtimes(
         self,

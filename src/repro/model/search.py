@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import GPLConfig
 from ..gpu import ChannelConfig, DeviceSpec
+from ..obs.tracing import maybe_span
 from .calibration import CalibrationTable
 from .costmodel import CostModel, SegmentEstimate
 from .notation import SegmentCostInput
@@ -144,35 +145,42 @@ class ConfigurationSearch:
 
     def best_for_segment(self, segment: SegmentCostInput) -> SegmentChoice:
         """Minimize T_Sk over (Δ, wg ladder), with (n, p) from Γ."""
-        if self.use_cache:
-            key = self._cache_key(segment)
-            cached = _SEARCH_CACHE.get(key)
-            if cached is not None:
-                _SEARCH_STATS["hits"] += 1
-                return cached
-            _SEARCH_STATS["misses"] += 1
-        best: Optional[SegmentChoice] = None
-        for tile_bytes in self.tile_candidates:
-            channel = self._channel_for(segment, tile_bytes)
-            for workgroups in self.workgroup_candidates:
-                config = GPLConfig(
-                    tile_bytes=tile_bytes,
-                    channel=channel,
-                    default_workgroups=workgroups,
-                )
-                estimate = self.model.estimate_segment(segment, config)
-                if best is None or (
-                    estimate.total_cycles < best.predicted_cycles
-                ):
-                    best = SegmentChoice(
-                        segment=segment.name,
-                        config=config,
-                        estimate=estimate,
+        with maybe_span(
+            "search.segment", category="search", segment=segment.name
+        ) as span:
+            if self.use_cache:
+                key = self._cache_key(segment)
+                cached = _SEARCH_CACHE.get(key)
+                if cached is not None:
+                    _SEARCH_STATS["hits"] += 1
+                    if span is not None:
+                        span.attrs["cached"] = True
+                    return cached
+                _SEARCH_STATS["misses"] += 1
+            if span is not None:
+                span.attrs["cached"] = False
+            best: Optional[SegmentChoice] = None
+            for tile_bytes in self.tile_candidates:
+                channel = self._channel_for(segment, tile_bytes)
+                for workgroups in self.workgroup_candidates:
+                    config = GPLConfig(
+                        tile_bytes=tile_bytes,
+                        channel=channel,
+                        default_workgroups=workgroups,
                     )
-        assert best is not None  # tile_candidates is never empty
-        if self.use_cache:
-            _SEARCH_CACHE[self._cache_key(segment)] = best
-        return best
+                    estimate = self.model.estimate_segment(segment, config)
+                    if best is None or (
+                        estimate.total_cycles < best.predicted_cycles
+                    ):
+                        best = SegmentChoice(
+                            segment=segment.name,
+                            config=config,
+                            estimate=estimate,
+                        )
+            assert best is not None  # tile_candidates is never empty
+            if self.use_cache:
+                _SEARCH_CACHE[self._cache_key(segment)] = best
+            return best
 
     def optimize_plan(
         self, segments: Sequence[SegmentCostInput]

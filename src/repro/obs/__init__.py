@@ -1,0 +1,63 @@
+"""repro.obs — end-to-end observability for the GPL reproduction.
+
+Three pieces, designed to compose:
+
+- :mod:`repro.obs.tracing` — a deterministic span tracer threading one
+  trace through planning, configuration search, resilience, the
+  simulated device, and the serving loop; exports Chrome/Perfetto
+  ``trace.json``.
+- :mod:`repro.obs.metrics` — a typed metrics registry (counters,
+  gauges, histograms with label sets) built from a single-source-of-
+  truth catalogue; exports JSON and Prometheus text.
+- :mod:`repro.obs.drift` — a cost-model drift recorder pairing the
+  model's predicted cycles with the device's measured cycles, rolled up
+  the way Figs 11/24 report error.
+
+See ``docs/observability.md`` for the span model, the full metrics
+catalogue, and a worked ``serve --trace-out`` walkthrough.
+"""
+
+from repro.obs.drift import DriftRecord, DriftRecorder
+from repro.obs.metrics import (
+    METRIC_CATALOGUE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSpec,
+    MetricsRegistry,
+    metric_catalogue,
+)
+from repro.obs.tracing import (
+    CATEGORY_TRACKS,
+    Span,
+    SpanEvent,
+    Tracer,
+    add_event,
+    current_tracer,
+    load_trace,
+    maybe_span,
+    summarize_trace,
+    use_tracer,
+)
+
+__all__ = [
+    "CATEGORY_TRACKS",
+    "Counter",
+    "DriftRecord",
+    "DriftRecorder",
+    "Gauge",
+    "Histogram",
+    "METRIC_CATALOGUE",
+    "MetricSpec",
+    "MetricsRegistry",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "add_event",
+    "current_tracer",
+    "load_trace",
+    "maybe_span",
+    "metric_catalogue",
+    "summarize_trace",
+    "use_tracer",
+]

@@ -1,0 +1,185 @@
+"""Cost-model drift: predicted-vs-actual cycles from live telemetry.
+
+Figures 11 and 24 of the paper characterize the cost model by running
+every query twice — once through the model, once on the device — and
+plotting the relative error.  In a serving deployment that second pass
+is free: the model already predicted each admitted query's cycles
+(`ScheduledQuery.est_cost_cycles`), and the device then measured them
+(`result.counters.elapsed_cycles`).  :class:`DriftRecorder` pairs the
+two per (query, device, Δ) and summarizes the error exactly the way the
+figures do:
+
+``relative_error = |measured - predicted| / measured``
+
+with ``underestimated`` meaning the model predicted fewer cycles than
+the device spent — the direction the paper says its model errs, because
+it ignores some overlap-breaking stalls.
+
+A recorder can feed a :class:`~repro.obs.metrics.MetricsRegistry`
+(``model_drift_relative_error`` histogram and
+``model_drift_observations_total`` counter) so drift shows up alongside
+the serving metrics without a separate export path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["DriftRecord", "DriftRecorder"]
+
+
+@dataclass(frozen=True)
+class DriftRecord:
+    """One predicted-vs-measured observation for a query execution."""
+
+    query: str
+    device: str
+    tile_bytes: int
+    predicted_cycles: float
+    measured_cycles: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|measured - predicted| / measured`` (0.0 when measured is 0)."""
+        if self.measured_cycles <= 0:
+            return 0.0
+        return (
+            abs(self.measured_cycles - self.predicted_cycles)
+            / self.measured_cycles
+        )
+
+    @property
+    def underestimated(self) -> bool:
+        """True when the model predicted fewer cycles than were spent."""
+        return self.predicted_cycles < self.measured_cycles
+
+    @property
+    def direction(self) -> str:
+        if self.predicted_cycles == self.measured_cycles:
+            return "exact"
+        return "under" if self.underestimated else "over"
+
+
+class DriftRecorder:
+    """Accumulates :class:`DriftRecord` observations and summarizes them.
+
+    ``registry`` is optional; when given, every :meth:`record` also
+    observes ``model_drift_relative_error`` and increments
+    ``model_drift_observations_total{direction=...}``.
+    """
+
+    def __init__(self, registry=None):
+        self.records: List[DriftRecord] = []
+        self._registry = registry
+
+    def record(
+        self,
+        query: str,
+        device: str,
+        tile_bytes: int,
+        predicted_cycles: float,
+        measured_cycles: float,
+    ) -> DriftRecord:
+        observation = DriftRecord(
+            query=query,
+            device=device,
+            tile_bytes=int(tile_bytes),
+            predicted_cycles=float(predicted_cycles),
+            measured_cycles=float(measured_cycles),
+        )
+        self.records.append(observation)
+        if self._registry is not None:
+            self._registry.histogram("model_drift_relative_error").observe(
+                observation.relative_error
+            )
+            self._registry.counter("model_drift_observations_total").inc(
+                direction=observation.direction
+            )
+        return observation
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- summaries -------------------------------------------------------
+
+    def per_query(self) -> Dict[str, Dict[str, float]]:
+        """Mean error and underestimate share per query name, sorted."""
+        grouped: Dict[str, List[DriftRecord]] = {}
+        for observation in self.records:
+            grouped.setdefault(observation.query, []).append(observation)
+        out: Dict[str, Dict[str, float]] = {}
+        for query in sorted(grouped):
+            members = grouped[query]
+            out[query] = {
+                "observations": len(members),
+                "mean_relative_error": sum(
+                    m.relative_error for m in members
+                ) / len(members),
+                "max_relative_error": max(
+                    m.relative_error for m in members
+                ),
+                "underestimated_share": sum(
+                    1 for m in members if m.underestimated
+                ) / len(members),
+            }
+        return out
+
+    def overall(self) -> Dict[str, float]:
+        """The Fig 11/24 headline numbers across all observations."""
+        if not self.records:
+            return {
+                "observations": 0,
+                "mean_relative_error": 0.0,
+                "max_relative_error": 0.0,
+                "underestimated_share": 0.0,
+            }
+        errors = [observation.relative_error for observation in self.records]
+        return {
+            "observations": len(self.records),
+            "mean_relative_error": sum(errors) / len(errors),
+            "max_relative_error": max(errors),
+            "underestimated_share": sum(
+                1 for observation in self.records if observation.underestimated
+            ) / len(self.records),
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """Full dump: every observation plus the roll-ups."""
+        return {
+            "records": [
+                {
+                    "query": observation.query,
+                    "device": observation.device,
+                    "tile_bytes": observation.tile_bytes,
+                    "predicted_cycles": observation.predicted_cycles,
+                    "measured_cycles": observation.measured_cycles,
+                    "relative_error": observation.relative_error,
+                    "underestimated": observation.underestimated,
+                }
+                for observation in self.records
+            ],
+            "per_query": self.per_query(),
+            "overall": self.overall(),
+        }
+
+    def to_text(self) -> str:
+        """Terminal-friendly drift table (the serve report appends it)."""
+        if not self.records:
+            return "cost-model drift: no observations"
+        lines = ["cost-model drift (predicted vs measured cycles):"]
+        for query, stats in self.per_query().items():
+            lines.append(
+                f"  {query:12s} n={int(stats['observations']):3d}  "
+                f"mean err {stats['mean_relative_error']:6.1%}  "
+                f"max err {stats['max_relative_error']:6.1%}  "
+                f"under {stats['underestimated_share']:5.0%}"
+            )
+        overall = self.overall()
+        lines.append(
+            f"  {'overall':12s} n={int(overall['observations']):3d}  "
+            f"mean err {overall['mean_relative_error']:6.1%}  "
+            f"max err {overall['max_relative_error']:6.1%}  "
+            f"under {overall['underestimated_share']:5.0%}"
+        )
+        return "\n".join(lines)

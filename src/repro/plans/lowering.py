@@ -21,6 +21,7 @@ import hashlib
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import PlanError
+from ..obs.tracing import maybe_span
 from ..relational import Database, Expression
 from .logical import (
     GroupAggregate,
@@ -183,6 +184,28 @@ def lower(
     Section 3.2: a non-blocking partition kernel on both sides, a
     partitioned table, and partition-local (cache-resident) probes.
     """
+    with maybe_span(
+        "plan.lower",
+        category="plan",
+        query=optimized.spec.name,
+        partitioned_joins=partitioned_joins,
+    ):
+        return _lower(
+            optimized,
+            database,
+            partitioned_joins,
+            num_partitions,
+            partition_threshold_rows,
+        )
+
+
+def _lower(
+    optimized: OptimizedQuery,
+    database: Database,
+    partitioned_joins: bool,
+    num_partitions: int,
+    partition_threshold_rows: int,
+) -> PhysicalPlan:
     spec = optimized.spec
     widths = _column_widths(optimized, database)
     estimator = optimized.estimator

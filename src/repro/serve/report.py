@@ -75,6 +75,12 @@ class ServiceReport:
     plan_cache: Dict[str, int] = field(default_factory=dict)
     calibration_cache: Dict[str, int] = field(default_factory=dict)
     search_cache: Dict[str, int] = field(default_factory=dict)
+    #: Snapshot of the service's metrics registry at drain end
+    #: (``MetricsRegistry.to_json()``); empty when metrics are off.
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Cost-model drift roll-up (``{"per_query": ..., "overall": ...}``)
+    #: accumulated by the service's :class:`~repro.obs.DriftRecorder`.
+    drift: Dict[str, object] = field(default_factory=dict)
 
     # -- derived ----------------------------------------------------------
 
@@ -158,6 +164,14 @@ class ServiceReport:
                     f"{label}: {stats.get('hits', 0)} hits, "
                     f"{stats.get('misses', 0)} misses"
                 )
+        overall = self.drift.get("overall") if self.drift else None
+        if overall and overall.get("observations"):
+            lines.append(
+                f"cost-model drift: {int(overall['observations'])} obs | "
+                f"mean err {overall['mean_relative_error']:.1%} | "
+                f"max err {overall['max_relative_error']:.1%} | "
+                f"under {overall['underestimated_share']:.0%}"
+            )
         for r in sorted(self.records, key=lambda r: (r.round, r.index)):
             status = r.engine if r.ok else f"FAILED ({r.error})"
             lines.append(

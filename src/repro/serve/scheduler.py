@@ -24,8 +24,9 @@ silently drops work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.config import GPLConfig
 from ..errors import ExecutionError
 from ..plans import PhysicalPlan, QuerySpec
 
@@ -45,6 +46,9 @@ class ScheduledQuery:
     est_cost_cycles: float
     footprint_bytes: float
     plan_cache_hit: bool
+    #: Model-chosen per-segment configs (the service's ``tuned`` mode);
+    #: ``None`` means the service's baseline config applies throughout.
+    segment_configs: Optional[Dict[str, GPLConfig]] = None
 
 
 class Scheduler:

@@ -45,6 +45,8 @@ from ..model import (
     plan_cost_inputs,
     search_cache_stats,
 )
+from ..obs import DriftRecorder, MetricsRegistry
+from ..obs.tracing import maybe_span
 from ..plans import QuerySpec
 from ..relational import Database
 from .caches import PlanCache
@@ -84,6 +86,8 @@ class QueryService:
         max_retries: int = 2,
         partitioned_joins: bool = False,
         plan_cache: Optional[PlanCache] = None,
+        tuned: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.database = database
         self.device = device
@@ -100,6 +104,17 @@ class QueryService:
         self.max_retries = max_retries
         self.partitioned_joins = partitioned_joins
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        #: ``tuned`` runs every query with the cost model's per-segment
+        #: optimal configs (Section 4.1's search) instead of the service's
+        #: single baseline config — the serving twin of
+        #: :meth:`repro.bench.runner.ExperimentContext.optimized_gpl`.
+        self.tuned = tuned
+        #: Metrics registry every drain reports into; share one across
+        #: services to aggregate, or read ``service.registry`` after.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Predicted-vs-measured cycles per completed query (Figs 11/24
+        #: from live telemetry); feeds ``model_drift_*`` metrics.
+        self.drift = DriftRecorder(registry=self.registry)
         #: Ticket -> result for every completed query this service ran.
         self.results: Dict[int, QueryResult] = {}
         self._queue: List[Tuple[int, QuerySpec]] = []
@@ -190,20 +205,32 @@ class QueryService:
         probe = self._probe_engine()
         planned: List[ScheduledQuery] = []
         for ticket, spec in batch:
-            hits_before = self.plan_cache.stats.hits
-            plan = probe.prepare(spec)
-            planned.append(
-                ScheduledQuery(
-                    index=ticket,
-                    spec=spec,
-                    plan=plan,
-                    est_cost_cycles=self._estimate_cost(plan),
-                    footprint_bytes=probe.estimated_plan_footprint(
-                        plan, self.config
-                    ),
-                    plan_cache_hit=self.plan_cache.stats.hits > hits_before,
+            with maybe_span(
+                "serve.plan", category="serve", query=spec.name, ticket=ticket
+            ):
+                hits_before = self.plan_cache.stats.hits
+                plan = probe.prepare(spec)
+                segment_configs = None
+                if self.tuned:
+                    search = self._ensure_search()
+                    segments = plan_cost_inputs(plan, self.database)
+                    segment_configs, est_cost = search.optimize_plan(segments)
+                else:
+                    est_cost = self._estimate_cost(plan)
+                planned.append(
+                    ScheduledQuery(
+                        index=ticket,
+                        spec=spec,
+                        plan=plan,
+                        est_cost_cycles=est_cost,
+                        footprint_bytes=probe.estimated_plan_footprint(
+                            plan, self.config
+                        ),
+                        plan_cache_hit=self.plan_cache.stats.hits
+                        > hits_before,
+                        segment_configs=segment_configs,
+                    )
                 )
-            )
         return planned
 
     def _execute_one(
@@ -224,12 +251,14 @@ class QueryService:
                 max_retries=self.max_retries,
                 partitioned_joins=self.partitioned_joins,
                 plan_cache=self.plan_cache,
+                segment_configs=query.segment_configs,
             )
             return executor.execute(query.spec)
         engine = GPLEngine(
             self.database,
             device,
             config=self.config,
+            segment_configs=query.segment_configs,
             partitioned_joins=self.partitioned_joins,
         )
         engine.plan_cache = self.plan_cache
@@ -238,6 +267,17 @@ class QueryService:
         return engine.execute(query.spec)
 
     def _drain_batch(
+        self, batch: Sequence[Tuple[int, QuerySpec]]
+    ) -> ServiceReport:
+        with maybe_span(
+            "serve.drain",
+            category="serve",
+            policy=self.scheduler.policy,
+            queries=len(batch),
+        ):
+            return self._drain_batch_inner(batch)
+
+    def _drain_batch_inner(
         self, batch: Sequence[Tuple[int, QuerySpec]]
     ) -> ServiceReport:
         plan_before = self.plan_cache.stats.as_dict()
@@ -257,48 +297,75 @@ class QueryService:
             slots = max(1, self.device.concurrency // len(members))
             budget_share = self.memory_budget_bytes / len(members)
             round_makespan = 0.0
-            for query in members:
-                try:
-                    result = self._execute_one(query, slots, budget_share)
-                except ReproError as exc:
-                    self._last_error = exc
+            with maybe_span(
+                "serve.round",
+                category="serve",
+                round=round_index,
+                members=len(members),
+                slots=slots,
+            ):
+                for query in members:
+                    with maybe_span(
+                        "serve.query",
+                        category="serve",
+                        query=query.spec.name,
+                        ticket=query.index,
+                    ) as span:
+                        try:
+                            result = self._execute_one(
+                                query, slots, budget_share
+                            )
+                        except ReproError as exc:
+                            self._last_error = exc
+                            if span is not None:
+                                span.attrs["ok"] = False
+                            records.append(
+                                QueryRecord(
+                                    index=query.index,
+                                    query=query.spec.name,
+                                    engine="",
+                                    round=round_index,
+                                    slots=slots,
+                                    est_cost_cycles=query.est_cost_cycles,
+                                    footprint_bytes=query.footprint_bytes,
+                                    wait_ms=clock_ms,
+                                    exec_ms=0.0,
+                                    plan_cache_hit=query.plan_cache_hit,
+                                    ok=False,
+                                    error=str(exc).splitlines()[0],
+                                )
+                            )
+                            continue
+                        if span is not None:
+                            span.attrs["ok"] = True
+                            span.attrs["engine"] = result.engine
+                    self.results[query.index] = result
+                    round_makespan = max(round_makespan, result.elapsed_ms)
+                    self.drift.record(
+                        query=query.spec.name,
+                        device=self.device.name,
+                        tile_bytes=self.config.tile_bytes,
+                        predicted_cycles=query.est_cost_cycles,
+                        measured_cycles=result.counters.elapsed_cycles,
+                    )
                     records.append(
                         QueryRecord(
                             index=query.index,
                             query=query.spec.name,
-                            engine="",
+                            engine=result.engine,
                             round=round_index,
                             slots=slots,
                             est_cost_cycles=query.est_cost_cycles,
                             footprint_bytes=query.footprint_bytes,
                             wait_ms=clock_ms,
-                            exec_ms=0.0,
+                            exec_ms=result.elapsed_ms,
                             plan_cache_hit=query.plan_cache_hit,
-                            ok=False,
-                            error=str(exc).splitlines()[0],
+                            num_rows=result.num_rows,
                         )
                     )
-                    continue
-                self.results[query.index] = result
-                round_makespan = max(round_makespan, result.elapsed_ms)
-                records.append(
-                    QueryRecord(
-                        index=query.index,
-                        query=query.spec.name,
-                        engine=result.engine,
-                        round=round_index,
-                        slots=slots,
-                        est_cost_cycles=query.est_cost_cycles,
-                        footprint_bytes=query.footprint_bytes,
-                        wait_ms=clock_ms,
-                        exec_ms=result.elapsed_ms,
-                        plan_cache_hit=query.plan_cache_hit,
-                        num_rows=result.num_rows,
-                    )
-                )
             clock_ms += round_makespan
 
-        return ServiceReport(
+        report = ServiceReport(
             device=self.device.name,
             policy=self.scheduler.policy,
             max_concurrent=self.max_concurrent,
@@ -313,3 +380,75 @@ class QueryService:
             ),
             search_cache=_stats_delta(search_cache_stats(), search_before),
         )
+        self._record_metrics(report, len(rounds))
+        report.metrics = self.registry.to_json()
+        report.drift = {
+            "per_query": self.drift.per_query(),
+            "overall": self.drift.overall(),
+        }
+        return report
+
+    def _record_metrics(self, report: ServiceReport, num_rounds: int) -> None:
+        """Fold one drain's outcome into the service's metrics registry."""
+        registry = self.registry
+        registry.counter("serve_drains_total").inc()
+        registry.counter("serve_rounds_total").inc(num_rounds)
+        registry.gauge("serve_makespan_ms").set(report.makespan_ms)
+        for record in report.records:
+            registry.counter("serve_queries_total").inc(
+                status="ok" if record.ok else "failed"
+            )
+            if record.ok:
+                registry.histogram("serve_wait_ms").observe(record.wait_ms)
+                registry.histogram("serve_exec_ms").observe(record.exec_ms)
+                registry.histogram("serve_latency_ms").observe(
+                    record.latency_ms
+                )
+        for cache, stats in (
+            ("plan", report.plan_cache),
+            ("calibration", report.calibration_cache),
+            ("search", report.search_cache),
+        ):
+            for key, outcome in (("hits", "hit"), ("misses", "miss")):
+                count = stats.get(key, 0)
+                if count > 0:
+                    registry.counter("cache_lookups_total").inc(
+                        count, cache=cache, outcome=outcome
+                    )
+            evictions = stats.get("evictions", 0)
+            if evictions > 0:
+                registry.counter("cache_evictions_total").inc(
+                    evictions, cache=cache
+                )
+        for result in (
+            self.results[record.index]
+            for record in report.records
+            if record.ok and record.index in self.results
+        ):
+            resilience = result.resilience
+            if resilience is None:
+                continue
+            if resilience.retries:
+                registry.counter("resilience_retries_total").inc(
+                    resilience.retries
+                )
+            if resilience.fallbacks:
+                registry.counter("resilience_fallbacks_total").inc(
+                    resilience.fallbacks
+                )
+            if resilience.reconfigurations:
+                registry.counter("resilience_reconfigurations_total").inc(
+                    resilience.reconfigurations
+                )
+            if resilience.admission_shrinks:
+                registry.counter("resilience_admission_shrinks_total").inc(
+                    resilience.admission_shrinks
+                )
+            if resilience.admission_rejections:
+                registry.counter(
+                    "resilience_admission_rejections_total"
+                ).inc(resilience.admission_rejections)
+            for kind, count in sorted(resilience.faults_fired.items()):
+                registry.counter("resilience_faults_total").inc(
+                    count, kind=kind
+                )

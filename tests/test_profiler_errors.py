@@ -104,6 +104,29 @@ class TestHardwareCounters:
 
 
 class TestProfiler:
+    def test_zero_elapsed_kernel_reports_idle_units(self):
+        # Regression: the old epsilon denominator made a kernel that
+        # never retired a cycle report valu_busy == 1.0 (compute / ~0).
+        stats = KernelRunStats(
+            name="k_empty",
+            elapsed_cycles=0.0,
+            compute_cycles=4000.0,
+            memory_cycles=2000.0,
+            tuples=0,
+            workgroups=10,
+            active_workgroups=5,
+            cache_hits=3.0,
+            cache_accesses=4.0,
+        )
+        profile = Profiler(AMD_A10).kernel_profile(stats)
+        assert profile.elapsed_ms == 0.0
+        assert profile.valu_busy == 0.0
+        assert profile.mem_unit_busy == 0.0
+        # Fields unrelated to elapsed time are still carried through.
+        assert profile.name == "k_empty"
+        assert profile.occupancy == pytest.approx(0.5)
+        assert profile.cache_hit_ratio == pytest.approx(0.75)
+
     def test_report_fields(self):
         simulator = Simulator(AMD_A10)
         spec = KernelSpec(
