@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Perf-trajectory benchmark harness.
+
+Runs a fixed suite — Q5/Q9 x {GPL, KBE} x SF {0.1, 0.5} plus a serve
+drain — and writes ``BENCH_<label>.json`` next to the repository root so
+every performance PR carries machine-readable before/after evidence from
+the same machine:
+
+    python scripts/bench.py --label baseline      # full suite
+    python scripts/bench.py --scale 0.1 --label ci  # CI smoke subset
+
+Each engine measurement runs against a *fresh* :class:`~repro.relational
+.database.Database` wrapper (shared column arrays, cold statistics
+cache), so the recorded wall-clock covers the full cold path the first
+query of a session pays: optimize + configuration search + execution.
+The serve drain reuses one service so plan/search cache behaviour is
+visible in the recorded cache counters.
+
+The JSON layout is stable: ``meta`` (label, git revision, python/numpy
+versions), ``entries`` (one per query x engine x scale with wall-clock
+milliseconds, result rows, a result checksum, and simulator cycles) and
+``serve`` (drain wall-clock, throughput, and cache/search stats).
+Compare two files with::
+
+    python scripts/bench.py --diff BENCH_baseline.json BENCH_after.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+DEFAULT_SCALES = (0.1, 0.5)
+QUERIES = ("Q5", "Q9")
+ENGINES = ("GPL", "KBE")
+SERVE_QUERIES = ("Q5", "Q9", "Q14")
+SERVE_REPEAT = 3
+SERVE_SCALE = 0.1
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _fresh_database(tables):
+    """A new Database (cold stats cache) over already-generated tables."""
+    from repro.relational import Database
+
+    database = Database()
+    for name, table in tables.items():
+        database.add(name, table)
+    return database
+
+
+def _result_checksum(result) -> str:
+    """Order-independent digest of the result rows (repr-rounded)."""
+    import hashlib
+
+    rows = sorted(
+        tuple(round(float(value), 6) for value in row)
+        for row in result.rows()
+    )
+    return hashlib.sha1(repr(rows).encode()).hexdigest()[:16]
+
+
+def _make_engine(kind: str, database, device):
+    from repro.core import GPLEngine
+    from repro.kbe import KBEEngine
+
+    if kind == "GPL":
+        return GPLEngine(database, device)
+    return KBEEngine(database, device)
+
+
+def run_suite(scales, repeats: int) -> dict:
+    from repro.gpu import AMD_A10
+    from repro.model.search import clear_search_cache, search_cache_stats
+    from repro.tpch import generate_database, query_by_name
+
+    device = AMD_A10
+    entries = []
+    for scale in scales:
+        generated = generate_database(scale=scale)
+        tables = {name: generated.table(name) for name in generated.names}
+        for query in QUERIES:
+            for engine_kind in ENGINES:
+                best_ms = None
+                rows = checksum = cycles = None
+                for _ in range(max(1, repeats)):
+                    database = _fresh_database(tables)
+                    engine = _make_engine(engine_kind, database, device)
+                    spec = query_by_name(query)
+                    start = time.perf_counter()
+                    result = engine.execute(spec)
+                    elapsed_ms = (time.perf_counter() - start) * 1000.0
+                    if best_ms is None or elapsed_ms < best_ms:
+                        best_ms = elapsed_ms
+                    rows = result.num_rows
+                    checksum = _result_checksum(result)
+                    cycles = result.counters.elapsed_cycles
+                entries.append(
+                    {
+                        "query": query,
+                        "engine": engine_kind,
+                        "scale": scale,
+                        "wall_ms": round(best_ms, 3),
+                        "rows": rows,
+                        "checksum": checksum,
+                        "sim_cycles": round(cycles, 1),
+                    }
+                )
+                print(
+                    f"  {query:>4} {engine_kind:>4} sf={scale:<4} "
+                    f"{best_ms:9.1f} ms  {rows} rows"
+                )
+
+    # Serve drain: one service, repeated queries, warm caches visible.
+    from repro.serve import QueryService
+
+    clear_search_cache()
+    serve_scale = min(scales) if SERVE_SCALE not in scales else SERVE_SCALE
+    database = generate_database(scale=serve_scale)
+    service = QueryService(database, device)
+    specs = [
+        query_by_name(name)
+        for name in SERVE_QUERIES
+        for _ in range(SERVE_REPEAT)
+    ]
+    start = time.perf_counter()
+    report = service.run(specs)
+    serve_ms = (time.perf_counter() - start) * 1000.0
+    serve = {
+        "scale": serve_scale,
+        "queries": len(specs),
+        "wall_ms": round(serve_ms, 3),
+        "completed": report.completed,
+        "failed": report.failed,
+        "throughput_qps": round(report.throughput_qps, 3),
+        "p50_ms": round(report.p50_latency_ms, 3),
+        "p95_ms": round(report.p95_latency_ms, 3),
+        "plan_cache": dict(report.plan_cache),
+        "search_cache": dict(search_cache_stats()),
+    }
+    print(
+        f" serve sf={serve_scale}: {serve_ms:.1f} ms, "
+        f"{report.throughput_qps:.2f} q/s"
+    )
+    return {"entries": entries, "serve": serve}
+
+
+def diff(before_path: str, after_path: str) -> int:
+    before = json.loads(pathlib.Path(before_path).read_text())
+    after = json.loads(pathlib.Path(after_path).read_text())
+    by_key = {
+        (e["query"], e["engine"], e["scale"]): e
+        for e in before.get("entries", [])
+    }
+    print(f"{'entry':<24}{'before ms':>12}{'after ms':>12}{'speedup':>9}")
+    mismatched = 0
+    for entry in after.get("entries", []):
+        key = (entry["query"], entry["engine"], entry["scale"])
+        base = by_key.get(key)
+        if base is None:
+            continue
+        label = f"{key[0]} {key[1]} sf={key[2]}"
+        speed = base["wall_ms"] / entry["wall_ms"] if entry["wall_ms"] else 0
+        marker = ""
+        if base.get("checksum") != entry.get("checksum"):
+            marker = "  ! result checksum changed"
+            mismatched += 1
+        print(
+            f"{label:<24}{base['wall_ms']:>12.1f}{entry['wall_ms']:>12.1f}"
+            f"{speed:>8.2f}x{marker}"
+        )
+    if before.get("serve") and after.get("serve"):
+        b, a = before["serve"], after["serve"]
+        speed = b["wall_ms"] / a["wall_ms"] if a["wall_ms"] else 0
+        print(
+            f"{'serve drain':<24}{b['wall_ms']:>12.1f}{a['wall_ms']:>12.1f}"
+            f"{speed:>8.2f}x"
+        )
+    return 1 if mismatched else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI parser (importable so the docs lint can verify flags)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label",
+        default="local",
+        help="suffix of the BENCH_<label>.json output file",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        action="append",
+        help="restrict the scale-factor sweep (repeatable; default 0.1 0.5)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="measurements per entry; the best wall-clock is recorded",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=str(REPO),
+        help="directory for the BENCH_<label>.json file",
+    )
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("BEFORE", "AFTER"),
+        help="compare two BENCH files instead of running the suite",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.diff:
+        return diff(*args.diff)
+
+    import numpy
+
+    scales = tuple(args.scale) if args.scale else DEFAULT_SCALES
+    print(f"bench suite: scales {scales}, label {args.label!r}")
+    started = time.perf_counter()
+    payload = run_suite(scales, args.repeats)
+    payload["meta"] = {
+        "label": args.label,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "total_seconds": round(time.perf_counter() - started, 2),
+    }
+    out = pathlib.Path(args.out_dir) / f"BENCH_{args.label}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

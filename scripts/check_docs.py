@@ -11,7 +11,9 @@ Three checks over every tracked markdown file:
    cannot name code that was renamed or removed;
 3. **CLI flags** — every ``--flag`` a doc attributes to a ``python -m
    repro <command>`` context must be accepted by that command's parser,
-   so flag renames cannot strand the docs;
+   and every ``--flag`` on a line mentioning ``bench.py`` must be
+   accepted by ``scripts/bench.py``'s parser, so flag renames cannot
+   strand the docs;
 4. **metric catalogue** — the table under ``## Metrics catalogue`` in
    ``docs/observability.md`` must list exactly the metric names in
    ``repro.obs.metric_catalogue()``: a documented metric missing from
@@ -25,6 +27,7 @@ from the repository root (CI does); no arguments.
 from __future__ import annotations
 
 import importlib
+import importlib.util
 import pathlib
 import re
 import sys
@@ -58,6 +61,20 @@ METRIC_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`")
 # Flags that belong to the docs' own tooling examples, not the repro CLI.
 FOREIGN_FLAGS = {"--benchmark-only"}
 
+BENCH_SCRIPT = REPO / "scripts" / "bench.py"
+
+
+def _bench_flags():
+    """Option strings accepted by ``scripts/bench.py``."""
+    spec = importlib.util.spec_from_file_location("_bench", BENCH_SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return {
+        option
+        for action in module.build_parser()._actions
+        for option in action.option_strings
+    }
+
 
 def iter_problems():
     from repro.__main__ import build_parser
@@ -77,6 +94,7 @@ def iter_problems():
         }
         for name, sub in subparsers.choices.items()
     }
+    bench_flags = _bench_flags()
 
     for path in DOC_FILES:
         text = path.read_text()
@@ -101,6 +119,15 @@ def iter_problems():
         for line in text.splitlines():
             flags = set(FLAG_RE.findall(line)) - FOREIGN_FLAGS
             if not flags:
+                continue
+            if "bench.py" in line:
+                # Lines about the benchmark harness are checked against
+                # its own parser, not the repro CLI subcommands.
+                for flag in sorted(flags - bench_flags):
+                    yield (
+                        f"{rel}: flag {flag} not accepted by "
+                        f"scripts/bench.py"
+                    )
                 continue
             commands = set(COMMAND_RE.findall(line)) & set(flags_by_command)
             if not commands:

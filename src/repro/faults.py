@@ -16,18 +16,21 @@ reproducibly:
   as a :class:`FiredFault`, and each spec fires at most ``times`` times —
   which is what makes a fault *absorbable* by a bounded retry.
 
-Matching is by :func:`fnmatch.fnmatch` patterns on the segment (pipeline)
-id and the kernel display name, plus an optional ``[after, before)``
-cycle window for in-flight faults.
+Matching is by fnmatch-style patterns (precompiled to regexes, since the
+match runs on the simulator's per-event hook path) on the segment
+(pipeline) id and the kernel display name, plus an optional
+``[after, before)`` cycle window for in-flight faults.
 """
 
 from __future__ import annotations
 
 import math
 import random
+import re
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from fnmatch import fnmatch
+from fnmatch import translate as _fnmatch_translate
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .errors import (
@@ -60,6 +63,18 @@ class FaultKind(str, Enum):
 _KINDS = {kind.value: kind for kind in FaultKind}
 
 
+@lru_cache(maxsize=512)
+def _site_matcher(pattern: str):
+    """Compiled matcher for one fnmatch site pattern.
+
+    ``FaultSpec.matches`` sits on the simulator's per-event hook path, so
+    the fnmatch pattern is translated and compiled once per distinct
+    pattern (warmed at spec construction) instead of on every call.
+    Matching is case-sensitive, as segment ids and kernel names are.
+    """
+    return re.compile(_fnmatch_translate(pattern)).match
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One scheduled fault: what, where, when, and how often.
@@ -85,12 +100,15 @@ class FaultSpec:
                 f"bad fault cycle window [{self.after_cycle}, "
                 f"{self.before_cycle})"
             )
+        # Pay the regex compilation here, not on the injector hot path.
+        _site_matcher(self.segment)
+        _site_matcher(self.kernel)
 
     def matches(self, segment: str, kernel: str, cycle: float) -> bool:
         return (
-            fnmatch(segment, self.segment)
-            and fnmatch(kernel, self.kernel)
-            and self.after_cycle <= cycle < self.before_cycle
+            self.after_cycle <= cycle < self.before_cycle
+            and _site_matcher(self.segment)(segment) is not None
+            and _site_matcher(self.kernel)(kernel) is not None
         )
 
     def describe(self) -> str:

@@ -20,7 +20,7 @@ This module provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ChannelError, ChannelSnapshot
 from .cache import CacheModel
@@ -203,7 +203,6 @@ class ChannelModel:
         return nbytes / 1e9 / seconds
 
 
-@dataclass
 class ChannelState:
     """Runtime occupancy of one channel binding during pipeline simulation.
 
@@ -211,14 +210,44 @@ class ChannelState:
     work-group (OpenCL ``reserve_write_pipe`` semantics); the consumer
     frees space when a work-group finishes reading.  ``peak_packets`` is
     recorded for diagnostics and model validation.
+
+    A ``__slots__`` class rather than a dataclass: the simulator touches
+    these fields on every event, and slot access keeps that hot path off
+    the instance ``__dict__``.
     """
 
-    config: ChannelConfig
-    buffered_packets: int = 0
-    reserved_packets: int = 0
-    total_packets: int = 0
-    peak_packets: int = 0
-    _closed: bool = field(default=False, repr=False)
+    __slots__ = (
+        "config",
+        "buffered_packets",
+        "reserved_packets",
+        "total_packets",
+        "peak_packets",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        config: ChannelConfig,
+        buffered_packets: int = 0,
+        reserved_packets: int = 0,
+        total_packets: int = 0,
+        peak_packets: int = 0,
+    ) -> None:
+        self.config = config
+        self.buffered_packets = buffered_packets
+        self.reserved_packets = reserved_packets
+        self.total_packets = total_packets
+        self.peak_packets = peak_packets
+        self._closed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ChannelState(config={self.config!r}, "
+            f"buffered_packets={self.buffered_packets}, "
+            f"reserved_packets={self.reserved_packets}, "
+            f"total_packets={self.total_packets}, "
+            f"peak_packets={self.peak_packets})"
+        )
 
     @property
     def in_flight(self) -> int:

@@ -78,23 +78,53 @@ class PipelineRunResult:
     trace: List[TraceEvent] = field(default_factory=list)
 
 
-@dataclass
 class _StageRuntime:
-    """Mutable per-stage state of the event simulation."""
+    """Mutable per-stage state of the event simulation.
 
-    index: int
-    name: str
-    service_cycles: float
-    max_active: int
-    total_units: int
-    packets_in: int
-    packets_out: int
-    ready: int = 0
-    active: int = 0
-    completed: int = 0
-    busy_cycles: float = 0.0
-    delay_cycles: float = 0.0
-    idle_since: Optional[float] = 0.0  # stages start idle at t=0
+    A plain ``__slots__`` class (not a dataclass): one instance is
+    touched on every event of the hot loop, and slot access skips the
+    per-instance ``__dict__``.
+    """
+
+    __slots__ = (
+        "index",
+        "name",
+        "service_cycles",
+        "max_active",
+        "total_units",
+        "packets_in",
+        "packets_out",
+        "ready",
+        "active",
+        "completed",
+        "busy_cycles",
+        "delay_cycles",
+        "idle_since",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        service_cycles: float,
+        max_active: int,
+        total_units: int,
+        packets_in: int,
+        packets_out: int,
+    ):
+        self.index = index
+        self.name = name
+        self.service_cycles = service_cycles
+        self.max_active = max_active
+        self.total_units = total_units
+        self.packets_in = packets_in
+        self.packets_out = packets_out
+        self.ready = 0
+        self.active = 0
+        self.completed = 0
+        self.busy_cycles = 0.0
+        self.delay_cycles = 0.0
+        self.idle_since: Optional[float] = 0.0  # stages start idle at t=0
 
     @property
     def finished(self) -> bool:
@@ -650,6 +680,23 @@ class Simulator:
         with a diagnostic snapshot is raised, and a no-progress event
         budget bounds the loop so a buggy stage graph can never spin the
         simulator forever.
+
+        **Fast path.**  Starting a work-group only *consumes* resources
+        (a ready unit, an active slot, channel space, a residency slot),
+        so one index-ordered greedy pass reaches the same fixpoint the
+        historical repeat-until-no-progress loop did, and after a
+        completion event at stage ``i`` the only stages whose blocking
+        condition can have lifted are ``i - 1`` (channel space freed by
+        the consume), ``i`` (active slot freed) and ``i + 1`` (new ready
+        unit) — unless a residency slot was released, which can unblock
+        any stage.  The loop therefore retries just that ready-set per
+        event instead of re-scanning every stage, which also makes a
+        burst of identical same-cycle completions cost O(1) scheduling
+        work each.  True merging of same-cycle events would change which
+        stage wins a contended residency slot (the greedy order is part
+        of the model), so events stay individually ordered and the
+        result — counters and trace alike — is bit-identical to the
+        historical loop.
         """
         concurrency = self.device.concurrency
         last = len(runtimes) - 1
@@ -667,46 +714,49 @@ class Simulator:
         heap: List = []
         sequence = itertools.count()
         now = 0.0
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         def try_start(stage: _StageRuntime) -> bool:
             if stage.ready <= 0 or stage.active >= stage.max_active:
                 return False
-            if stage.index not in resident and len(resident) >= concurrency:
+            index = stage.index
+            if index not in resident and len(resident) >= concurrency:
                 return False
-            if stage.index < last and stage.packets_out > 0:
-                channel = channel_states[stage.index]
-                if not channel.can_reserve(stage.packets_out):
+            packets_out = stage.packets_out
+            if index < last and packets_out > 0:
+                channel = channel_states[index]
+                if not channel.can_reserve(packets_out):
                     return False
-                channel.reserve(stage.packets_out)
+                channel.reserve(packets_out)
             if stage.idle_since is not None:
                 stage.delay_cycles += now - stage.idle_since
                 stage.idle_since = None
             stage.ready -= 1
             stage.active += 1
-            resident.add(stage.index)
+            resident.add(index)
+            end = now + stage.service_cycles
             if trace_events is not None:
                 trace_events.append(
                     TraceEvent(
-                        stage=stage.index,
+                        stage=index,
                         label=stage.name,
                         start=now,
-                        end=now + stage.service_cycles,
+                        end=end,
                     )
                 )
-            heapq.heappush(
-                heap, (now + stage.service_cycles, next(sequence), stage.index)
-            )
+            heappush(heap, (end, next(sequence), index))
             return True
 
-        def start_all() -> None:
-            progress = True
-            while progress:
-                progress = False
-                for stage in runtimes:
-                    while try_start(stage):
-                        progress = True
+        def start_some(stages) -> None:
+            # One ascending-index greedy pass; see the fast-path note.
+            for stage in stages:
+                if stage.ready <= 0 or stage.active >= stage.max_active:
+                    continue
+                while try_start(stage):
+                    pass
 
-        start_all()
+        start_some(runtimes)
         if not heap:
             raise PipelineDeadlockError(
                 "pipeline cannot start: no runnable work",
@@ -719,9 +769,10 @@ class Simulator:
         events_budget = 3 * total_units * len(runtimes) + 64
         events = 0
         last_progress = 0.0
+        injector = self.injector
 
         while heap:
-            now, _, index = heapq.heappop(heap)
+            now, _, index = heappop(heap)
             events += 1
             if events > events_budget:
                 raise PipelineDeadlockError(
@@ -736,34 +787,37 @@ class Simulator:
             stage.active -= 1
             stage.completed += 1
             stage.busy_cycles += stage.service_cycles
-            if self.injector is not None:
-                self.injector.on_kernel_complete(self.segment, stage.name, now)
+            if injector is not None:
+                injector.on_kernel_complete(self.segment, stage.name, now)
             if index > 0 and stage.packets_in > 0:
                 channel_states[index - 1].consume(stage.packets_in)
             if index < last:
                 if stage.packets_out > 0:
                     channel_states[index].commit(stage.packets_out)
                 runtimes[index + 1].ready += 1
+            released_residency = False
             if stage.active == 0:
-                if stage.finished:
+                if stage.completed >= stage.total_units:
                     resident.discard(index)
+                    released_residency = True
                 else:
                     stage.idle_since = now
-            start_all()
+            if released_residency:
+                start_some(runtimes)
+            else:
+                start_some(runtimes[max(0, index - 1) : index + 2])
             # Any stage that still has no active unit after the greedy pass
             # is either out of work or blocked on a full channel; either way
             # it frees its residency slot so the ACE can swap in another
             # kernel (interleaved execution) — e.g. the consumer that must
             # drain the very channel blocking it.
-            stalled = [
-                other.index
-                for other in runtimes
-                if other.active == 0 and other.index in resident
-            ]
+            stalled = False
+            for other in runtimes:
+                if other.active == 0 and other.index in resident:
+                    resident.discard(other.index)
+                    stalled = True
             if stalled:
-                for index_ in stalled:
-                    resident.discard(index_)
-                start_all()
+                start_some(runtimes)
 
         unfinished = [s.name for s in runtimes if not s.finished]
         if unfinished:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,8 @@ __all__ = [
     "ConfigurationSearch",
     "search_cache_stats",
     "clear_search_cache",
+    "set_search_cache_limit",
+    "DEFAULT_SEARCH_CACHE_LIMIT",
 ]
 
 KIB = 1024
@@ -75,17 +78,30 @@ class SegmentChoice:
         return self.estimate.total_cycles
 
 
+#: Default bound on memoized search outcomes.  A long-lived serving
+#: process sees an unbounded stream of distinct query shapes (every new
+#: scale factor changes the segment fingerprints), so the memo must not
+#: grow without limit; 1024 entries comfortably covers the catalogue at
+#: several scale factors while capping memory at a few MiB.
+DEFAULT_SEARCH_CACHE_LIMIT = 1024
+
 #: Memoized search outcomes, keyed by (device name, segment/search
 #: fingerprint).  The paper argues the search is "ignorable compared with
 #: the query processing time" *per query*; a serving workload pays it per
 #: *query shape* instead (same idea as the Γ cache one level down).
-_SEARCH_CACHE: Dict[Tuple[str, str], SegmentChoice] = {}
-_SEARCH_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+#: Kept in LRU order: hits refresh an entry, inserts beyond the limit
+#: evict the least recently used one.
+_SEARCH_CACHE: "OrderedDict[Tuple[str, str], SegmentChoice]" = OrderedDict()
+_SEARCH_CACHE_LIMIT = DEFAULT_SEARCH_CACHE_LIMIT
+_SEARCH_STATS: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def search_cache_stats() -> Dict[str, int]:
-    """Hit/miss counters of the memoized configuration search."""
-    return dict(_SEARCH_STATS)
+    """Hit/miss/eviction counters and current size of the search memo."""
+    stats = dict(_SEARCH_STATS)
+    stats["size"] = len(_SEARCH_CACHE)
+    stats["limit"] = _SEARCH_CACHE_LIMIT
+    return stats
 
 
 def clear_search_cache() -> None:
@@ -93,6 +109,18 @@ def clear_search_cache() -> None:
     _SEARCH_CACHE.clear()
     _SEARCH_STATS["hits"] = 0
     _SEARCH_STATS["misses"] = 0
+    _SEARCH_STATS["evictions"] = 0
+
+
+def set_search_cache_limit(limit: int) -> None:
+    """Change the LRU bound; shrinking evicts oldest entries immediately."""
+    global _SEARCH_CACHE_LIMIT
+    if limit < 1:
+        raise ValueError("search cache limit must be at least 1")
+    _SEARCH_CACHE_LIMIT = int(limit)
+    while len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
+        _SEARCH_CACHE.popitem(last=False)
+        _SEARCH_STATS["evictions"] += 1
 
 
 class ConfigurationSearch:
@@ -152,6 +180,7 @@ class ConfigurationSearch:
                 key = self._cache_key(segment)
                 cached = _SEARCH_CACHE.get(key)
                 if cached is not None:
+                    _SEARCH_CACHE.move_to_end(key)
                     _SEARCH_STATS["hits"] += 1
                     if span is not None:
                         span.attrs["cached"] = True
@@ -180,6 +209,9 @@ class ConfigurationSearch:
             assert best is not None  # tile_candidates is never empty
             if self.use_cache:
                 _SEARCH_CACHE[self._cache_key(segment)] = best
+                while len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
+                    _SEARCH_CACHE.popitem(last=False)
+                    _SEARCH_STATS["evictions"] += 1
             return best
 
     def optimize_plan(

@@ -68,6 +68,7 @@ class HashTable:
         self._keys: Optional[np.ndarray] = None
         self._payload: Optional[Batch] = None
         self._order: Optional[np.ndarray] = None
+        self._unique_keys = False
 
     @property
     def finalized(self) -> bool:
@@ -96,6 +97,11 @@ class HashTable:
         self._payload = {
             name: merged[name][order] for name in self.payload_columns
         }
+        # Unique-key tables (the dimension-table common case) probe with
+        # a single binary search instead of the left/right pair.
+        self._unique_keys = bool(
+            self._keys.size <= 1 or np.all(self._keys[1:] != self._keys[:-1])
+        )
 
     @property
     def num_rows(self) -> int:
@@ -122,6 +128,19 @@ class HashTable:
         """
         if self._keys is None:
             raise ExecutionError("probe before hash-table finalize")
+        if self._unique_keys:
+            # 0/1 matches per probe key: one searchsorted + equality
+            # check replaces the left/right pair (same pairs, same order).
+            left = np.searchsorted(self._keys, probe_keys, side="left")
+            if self._keys.size == 0:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty
+            clipped = np.minimum(left, self._keys.size - 1)
+            matched = (left < self._keys.size) & (
+                self._keys[clipped] == probe_keys
+            )
+            probe_idx = np.flatnonzero(matched)
+            return probe_idx, left[matched]
         left = np.searchsorted(self._keys, probe_keys, side="left")
         right = np.searchsorted(self._keys, probe_keys, side="right")
         counts = right - left
@@ -282,17 +301,46 @@ class PartitionedHashTable:
 
 
 class GroupAggState:
-    """Streaming grouped aggregation (handles the global case too)."""
+    """Streaming grouped aggregation (handles the global case too).
+
+    The per-tile fold is fully vectorized.  Group keys are *radix-packed*
+    into a single int64 code when every key column is integral and the
+    combined value ranges fit 63 bits (true for all SSB/TPC-H catalogue
+    queries: dictionary codes, years, region keys); one 1-D
+    ``np.unique`` over the packed codes factorizes the tile — no
+    ``np.unique(..., axis=0)`` row sort, no per-group Python loop.  Wide
+    or non-integral keys fall back to a lexsort-based factorization.
+
+    Accumulators live in flat numpy arrays (one slot per group) merged
+    by packed code; each tile contributes exactly one addition per group
+    in tile order, the same float operation sequence as the historical
+    per-group Python fold, so results are bitwise identical.
+    """
 
     def __init__(self, group_keys: Sequence[str], aggregates: Sequence[AggSpec]):
         self.group_keys = tuple(group_keys)
         self.aggregates = tuple(aggregates)
-        # group tuple -> list of per-aggregate accumulators
-        self._groups: Dict[tuple, List] = {}
-        self._counts: Dict[tuple, int] = {}
+        self._num_groups = 0
+        # Flat per-slot state: one array per key column plus one
+        # accumulator row per aggregate and the per-group row counts.
+        self._key_arrays: List[np.ndarray] = []
+        self._acc = np.empty((len(self.aggregates), 0), dtype=np.float64)
+        self._count = np.empty(0, dtype=np.int64)
+        # Packed-key bookkeeping: per-column bases/bit-widths, and the
+        # known codes kept sorted for vectorized code -> slot resolution.
+        self._base: Optional[List[int]] = None
+        self._bits: Optional[List[int]] = None
+        self._codes = np.empty(0, dtype=np.int64)
+        self._codes_sorted = np.empty(0, dtype=np.int64)
+        self._slots_sorted = np.empty(0, dtype=np.int64)
+        # Fallback: key tuple -> slot, used when packing is infeasible.
+        self._tuple_slots: Optional[Dict[tuple, int]] = None
+        # Global (key-less) aggregation keeps the historical scalar path.
+        self._global_acc: Optional[List[float]] = None
+        self._global_count = 0
 
-    def _initial(self) -> List:
-        accumulators: List = []
+    def _initial_scalar(self) -> List[float]:
+        accumulators: List[float] = []
         for agg in self.aggregates:
             if agg.func in ("sum", "avg", "count"):
                 accumulators.append(0.0)
@@ -301,6 +349,8 @@ class GroupAggState:
             else:  # max
                 accumulators.append(-np.inf)
         return accumulators
+
+    # -- per-tile fold ---------------------------------------------------
 
     def update(self, batch: Batch) -> None:
         """Fold one batch into the per-group accumulators."""
@@ -316,82 +366,322 @@ class GroupAggState:
                 values.append(np.broadcast_to(evaluated, (rows,)))
 
         if not self.group_keys:
-            group = ()
-            accumulators = self._groups.setdefault(group, self._initial())
-            self._counts[group] = self._counts.get(group, 0) + rows
-            self._fold_vector(accumulators, values, slice(None))
+            if self._global_acc is None:
+                self._global_acc = self._initial_scalar()
+            self._global_count += rows
+            for index, agg in enumerate(self.aggregates):
+                column = values[index]
+                if agg.func in ("sum", "avg", "count"):
+                    self._global_acc[index] += float(column.sum())
+                elif agg.func == "min":
+                    self._global_acc[index] = min(
+                        self._global_acc[index], float(column.min())
+                    )
+                else:
+                    self._global_acc[index] = max(
+                        self._global_acc[index], float(column.max())
+                    )
             return
 
-        key_matrix = np.column_stack(
-            [np.asarray(batch[key]) for key in self.group_keys]
-        )
-        unique, inverse = np.unique(key_matrix, axis=0, return_inverse=True)
-        counts = np.bincount(inverse, minlength=unique.shape[0])
+        columns = [np.asarray(batch[key]) for key in self.group_keys]
+        first_row, inverse, counts = self._factorize(columns)
+        num_unique = first_row.size
+
         folded = []
         for agg, value in zip(self.aggregates, values):
             if agg.func in ("sum", "avg", "count"):
                 folded.append(
-                    np.bincount(inverse, weights=value, minlength=unique.shape[0])
+                    np.bincount(inverse, weights=value, minlength=num_unique)
                 )
             elif agg.func == "min":
-                out = np.full(unique.shape[0], np.inf)
+                out = np.full(num_unique, np.inf)
                 np.minimum.at(out, inverse, value)
                 folded.append(out)
             else:
-                out = np.full(unique.shape[0], -np.inf)
+                out = np.full(num_unique, -np.inf)
                 np.maximum.at(out, inverse, value)
                 folded.append(out)
-        for position, row in enumerate(map(tuple, unique)):
-            accumulators = self._groups.setdefault(row, self._initial())
-            self._counts[row] = self._counts.get(row, 0) + int(counts[position])
-            for index, agg in enumerate(self.aggregates):
-                if agg.func in ("sum", "avg", "count"):
-                    accumulators[index] += folded[index][position]
-                elif agg.func == "min":
-                    accumulators[index] = min(
-                        accumulators[index], folded[index][position]
-                    )
-                else:
-                    accumulators[index] = max(
-                        accumulators[index], folded[index][position]
-                    )
 
-    def _fold_vector(self, accumulators: List, values: List, rows) -> None:
+        slots = self._resolve_slots(columns, first_row)
+        self._count[slots] += counts
         for index, agg in enumerate(self.aggregates):
-            column = values[index][rows]
             if agg.func in ("sum", "avg", "count"):
-                accumulators[index] += float(column.sum())
+                self._acc[index, slots] += folded[index]
             elif agg.func == "min":
-                accumulators[index] = min(accumulators[index], float(column.min()))
+                self._acc[index, slots] = np.minimum(
+                    self._acc[index, slots], folded[index]
+                )
             else:
-                accumulators[index] = max(accumulators[index], float(column.max()))
+                self._acc[index, slots] = np.maximum(
+                    self._acc[index, slots], folded[index]
+                )
+
+    # -- factorization ---------------------------------------------------
+
+    def _factorize(
+        self, columns: List[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Distinct key rows of one tile, without ``np.unique(axis=0)``.
+
+        Returns ``(first_row, inverse, counts)``: the row index of each
+        distinct group's first occurrence (groups ordered ascending by
+        key tuple), the per-row group index, and per-group row counts.
+        """
+        packed = self._pack_codes(columns)
+        if packed is not None:
+            _, first_row, inverse, counts = np.unique(
+                packed,
+                return_index=True,
+                return_inverse=True,
+                return_counts=True,
+            )
+            return first_row, inverse, counts
+        # Lexsort fallback: order rows by key tuple, then cut group runs
+        # at boundaries.  np.lexsort keys run last-to-first.
+        order = np.lexsort(tuple(reversed(columns)))
+        boundary = np.zeros(order.size, dtype=bool)
+        boundary[0] = True
+        for column in columns:
+            sorted_column = column[order]
+            boundary[1:] |= sorted_column[1:] != sorted_column[:-1]
+        group_of_sorted = np.cumsum(boundary) - 1
+        inverse = np.empty(order.size, dtype=np.int64)
+        inverse[order] = group_of_sorted
+        starts = np.flatnonzero(boundary)
+        first_row = order[starts]
+        counts = np.diff(np.append(starts, order.size))
+        return first_row, inverse, counts
+
+    def _pack_codes(self, columns: List[np.ndarray]) -> Optional[np.ndarray]:
+        """Radix-pack integral key columns into one int64 code per row.
+
+        Bases/widths are established from the first tile and widened
+        (with existing groups re-coded) when later tiles step outside
+        them; packing keeps the most significant bits on the first key,
+        so packed-code order equals key-tuple order.
+        """
+        if self._tuple_slots is not None:
+            return None
+        for column in columns:
+            if not np.issubdtype(column.dtype, np.integer):
+                self._demote_to_tuples()
+                return None
+        lows = [int(column.min()) for column in columns]
+        highs = [int(column.max()) for column in columns]
+        if self._base is None:
+            base = lows
+            spans = [high - low for high, low in zip(highs, lows)]
+        else:
+            base = [min(b, low) for b, low in zip(self._base, lows)]
+            tops = [
+                max(b + (1 << bits) - 1, high)
+                for b, bits, high in zip(self._base, self._bits, highs)
+            ]
+            spans = [top - b for top, b in zip(tops, base)]
+        bits = [max(1, span.bit_length()) for span in spans]
+        if sum(bits) > 63:
+            self._demote_to_tuples()
+            return None
+        if self._base is None or base != self._base or bits != self._bits:
+            self._rebase(base, bits)
+        return self._encode(columns, slice(None))
+
+    def _encode(self, columns: List[np.ndarray], rows) -> np.ndarray:
+        """Packed int64 code of ``columns[rows]`` under current params."""
+        codes: Optional[np.ndarray] = None
+        shift = 0
+        for column, low, field_bits in zip(
+            reversed(columns), reversed(self._base), reversed(self._bits)
+        ):
+            field = (column[rows].astype(np.int64) - low) << shift
+            codes = field if codes is None else codes + field
+            shift += field_bits
+        return codes
+
+    def _rebase(self, base: List[int], bits: List[int]) -> None:
+        """Adopt new packing parameters; re-code every known group."""
+        self._base, self._bits = base, bits
+        n = self._num_groups
+        codes = (
+            self._encode([keys[:n] for keys in self._key_arrays], slice(None))
+            if n
+            else np.empty(0, dtype=np.int64)
+        )
+        self._codes = codes
+        order = np.argsort(codes, kind="stable")
+        self._codes_sorted = codes[order]
+        self._slots_sorted = order.astype(np.int64)
+
+    def _demote_to_tuples(self) -> None:
+        """Switch (permanently) to the tuple-keyed slot map."""
+        if self._tuple_slots is not None:
+            return
+        n = self._num_groups
+        rows = zip(*(keys[:n].tolist() for keys in self._key_arrays)) if n else ()
+        self._tuple_slots = {tuple(row): slot for slot, row in enumerate(rows)}
+        self._base = self._bits = None
+
+    # -- slot resolution -------------------------------------------------
+
+    def _grow(self, extra: int, columns: List[np.ndarray]) -> None:
+        needed = self._num_groups + extra
+        capacity = self._count.size
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, max(16, capacity * 2))
+        grown_count = np.zeros(new_capacity, dtype=np.int64)
+        grown_count[:capacity] = self._count
+        self._count = grown_count
+        grown_acc = np.empty((len(self.aggregates), new_capacity))
+        for index, agg in enumerate(self.aggregates):
+            if agg.func == "min":
+                grown_acc[index] = np.inf
+            elif agg.func == "max":
+                grown_acc[index] = -np.inf
+            else:
+                grown_acc[index] = 0.0
+            grown_acc[index, :capacity] = self._acc[index]
+        self._acc = grown_acc
+        if not self._key_arrays:
+            self._key_arrays = [
+                np.empty(new_capacity, dtype=column.dtype)
+                for column in columns
+            ]
+        else:
+            self._key_arrays = [
+                np.concatenate(
+                    [keys, np.empty(new_capacity - keys.size, dtype=keys.dtype)]
+                )
+                for keys in self._key_arrays
+            ]
+
+    def _resolve_slots(
+        self, columns: List[np.ndarray], first_row: np.ndarray
+    ) -> np.ndarray:
+        """Global slot index per tile-distinct group, appending new ones."""
+        if self._tuple_slots is not None:
+            return self._resolve_slots_tuples(columns, first_row)
+        self._promote_key_dtypes(columns)
+        codes = self._encode(columns, first_row)
+        position = np.searchsorted(self._codes_sorted, codes)
+        clipped = np.minimum(position, max(0, self._codes_sorted.size - 1))
+        known = (
+            (position < self._codes_sorted.size)
+            & (self._codes_sorted[clipped] == codes)
+            if self._codes_sorted.size
+            else np.zeros(codes.size, dtype=bool)
+        )
+        slots = np.empty(codes.size, dtype=np.int64)
+        slots[known] = self._slots_sorted[clipped[known]]
+        fresh = np.flatnonzero(~known)
+        if fresh.size:
+            self._grow(fresh.size, columns)
+            start = self._num_groups
+            new_slots = np.arange(start, start + fresh.size, dtype=np.int64)
+            slots[fresh] = new_slots
+            for keys, column in zip(self._key_arrays, columns):
+                keys[start : start + fresh.size] = column[first_row[fresh]]
+            self._num_groups += fresh.size
+            self._codes = np.concatenate([self._codes, codes[fresh]])
+            insert_order = np.argsort(
+                np.concatenate([self._codes_sorted, codes[fresh]]),
+                kind="stable",
+            )
+            merged = np.concatenate([self._slots_sorted, new_slots])
+            all_codes = np.concatenate([self._codes_sorted, codes[fresh]])
+            self._codes_sorted = all_codes[insert_order]
+            self._slots_sorted = merged[insert_order]
+        return slots
+
+    def _promote_key_dtypes(self, columns: List[np.ndarray]) -> None:
+        """Widen stored key arrays if a tile brings a wider key dtype."""
+        if not self._key_arrays:
+            return
+        for index, (keys, column) in enumerate(
+            zip(self._key_arrays, columns)
+        ):
+            wanted = np.promote_types(keys.dtype, column.dtype)
+            if wanted != keys.dtype:
+                self._key_arrays[index] = keys.astype(wanted)
+
+    def _resolve_slots_tuples(
+        self, columns: List[np.ndarray], first_row: np.ndarray
+    ) -> np.ndarray:
+        table = self._tuple_slots
+        self._promote_key_dtypes(columns)
+        rows = list(
+            zip(*(column[first_row].tolist() for column in columns))
+        )
+        slots = np.empty(len(rows), dtype=np.int64)
+        fresh_positions = []
+        for position, row in enumerate(rows):
+            slot = table.get(row)
+            if slot is None:
+                fresh_positions.append(position)
+            else:
+                slots[position] = slot
+        if fresh_positions:
+            self._grow(len(fresh_positions), columns)
+            for position in fresh_positions:
+                slot = self._num_groups
+                table[rows[position]] = slot
+                slots[position] = slot
+                for keys, column in zip(self._key_arrays, columns):
+                    keys[slot] = column[first_row[position]]
+                self._num_groups += 1
+        return slots
+
+    # -- finalize --------------------------------------------------------
 
     @property
     def num_groups(self) -> int:
-        return len(self._groups)
+        if not self.group_keys:
+            return 1 if self._global_acc is not None else 0
+        return self._num_groups
 
     def result(self) -> Batch:
         """Finalize: one row per group, keys first, then aggregates."""
-        groups = sorted(self._groups)
         batch: Batch = {}
-        for position, key in enumerate(self.group_keys):
-            batch[key] = np.asarray([group[position] for group in groups])
-        for index, agg in enumerate(self.aggregates):
-            column = []
-            for group in groups:
-                value = self._groups[group][index]
+        if not self.group_keys:
+            accumulators = (
+                self._global_acc
+                if self._global_acc is not None
+                else self._initial_scalar()
+            )
+            if self._global_acc is None:
+                # Global aggregate over empty input still yields one row
+                # of zero-ish values, matching SQL's sum() -> NULL
+                # simplified to 0.
+                batch.update(
+                    {agg.name: np.zeros(1) for agg in self.aggregates}
+                )
+                return batch
+            for index, agg in enumerate(self.aggregates):
+                value = accumulators[index]
                 if agg.func == "avg":
-                    count = self._counts[group]
-                    value = value / count if count else 0.0
-                column.append(value)
-            batch[agg.name] = np.asarray(column, dtype=np.float64)
-        if not groups:
-            # Global aggregate over empty input still yields one row of
-            # zero-ish values, matching SQL's sum() -> NULL simplified to 0.
+                    value = (
+                        value / self._global_count if self._global_count else 0.0
+                    )
+                batch[agg.name] = np.asarray([value], dtype=np.float64)
+            return batch
+
+        n = self._num_groups
+        if n == 0:
             for key in self.group_keys:
                 batch[key] = np.empty(0)
             for agg in self.aggregates:
-                batch[agg.name] = np.zeros(0 if self.group_keys else 1)
+                batch[agg.name] = np.zeros(0)
+            return batch
+        keys = [array[:n] for array in self._key_arrays]
+        order = np.lexsort(tuple(reversed(keys)))
+        for key, array in zip(self.group_keys, keys):
+            batch[key] = array[order]
+        for index, agg in enumerate(self.aggregates):
+            column = self._acc[index, :n][order]
+            if agg.func == "avg":
+                counts = self._count[:n][order]
+                column = np.where(counts > 0, column / np.maximum(counts, 1), 0.0)
+            batch[agg.name] = column.astype(np.float64)
         return batch
 
 

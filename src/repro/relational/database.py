@@ -18,6 +18,24 @@ from .table import Table
 
 __all__ = ["ColumnStats", "Database"]
 
+#: Widest presence bitmap the exact distinct counter will allocate
+#: (64 MiB of bools); wider integer ranges fall back to ``np.unique``.
+_DISTINCT_BITMAP_LIMIT = 1 << 26
+
+
+def _distinct_count(array: np.ndarray, minimum, maximum) -> int:
+    """Exact distinct count, avoiding the ``np.unique`` sort/hash when a
+    presence bitmap over the value range is cheaper (integer keys with
+    bounded range — every catalogue fact/dimension key qualifies).
+    """
+    if np.issubdtype(array.dtype, np.integer) or array.dtype == np.bool_:
+        span = int(maximum) - int(minimum) + 1
+        if span <= max(65536, 4 * array.size) and span <= _DISTINCT_BITMAP_LIMIT:
+            seen = np.zeros(span, dtype=bool)
+            seen[array.astype(np.int64) - int(minimum)] = True
+            return int(np.count_nonzero(seen))
+    return int(np.unique(array).size)
+
 
 @dataclass(frozen=True)
 class ColumnStats:
@@ -32,10 +50,12 @@ class ColumnStats:
     def from_array(cls, array: np.ndarray) -> "ColumnStats":
         if array.size == 0:
             return cls(0.0, 0.0, 0, 0)
+        minimum = array.min()
+        maximum = array.max()
         return cls(
-            minimum=float(array.min()),
-            maximum=float(array.max()),
-            distinct=int(np.unique(array).size),
+            minimum=float(minimum),
+            maximum=float(maximum),
+            distinct=_distinct_count(array, minimum, maximum),
             count=int(array.size),
         )
 

@@ -58,10 +58,10 @@ class Table:
         cls, schema: TableSchema, rows: Iterable[Sequence]
     ) -> "Table":
         """Build a table from an iterable of row tuples (testing helper)."""
-        materialized = [tuple(row) for row in rows]
+        transposed = list(zip(*rows))  # one pass over the row iterable
         columns = {}
         for position, column in enumerate(schema):
-            values = [row[position] for row in materialized]
+            values = transposed[position] if transposed else ()
             columns[column.name] = np.asarray(
                 values, dtype=column.dtype.numpy_dtype
             )

@@ -1,0 +1,122 @@
+"""Golden equivalence: the vectorized runtime produces the seed's results.
+
+The fixtures under ``tests/fixtures/`` were recorded from the seed commit
+*before* the group-by/probe/simulator fast paths landed:
+
+* ``golden_rows_sf005.json`` — a sha1 digest of the sorted, rounded
+  result rows for every catalogue query (TPC-H Q5/Q7/Q8/Q9/Q14 and SSB
+  Q1.1–Q4.3) under every engine at SF 0.05;
+* ``trace_q9_gpl_sf005.json`` — the byte-exact ``--trace-out`` JSON of a
+  traced GPL Q9 run;
+* ``counters_q9_gpl_sf005.json`` — the simulator counters (elapsed
+  cycles, cost breakdown, row count) of that same run.
+
+Together they pin the optimization contract: identical rows, identical
+simulator arithmetic, byte-identical trace export.  A legitimate
+*model* change that moves cycles must re-record the fixtures and say so;
+a perf-only change must never trip these tests.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.core import GPLEngine, GPLWithoutCEEngine
+from repro.gpu import AMD_A10
+from repro.kbe import KBEEngine
+from repro.obs import Tracer, use_tracer
+from repro.ssb import generate_ssb, ssb_query
+from repro.tpch import generate_database, query_by_name
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+ENGINES = {
+    "GPLEngine": GPLEngine,
+    "GPLWithoutCEEngine": GPLWithoutCEEngine,
+    "KBEEngine": KBEEngine,
+}
+TPCH_QUERIES = ("Q5", "Q7", "Q8", "Q9", "Q14")
+SSB_QUERIES = (
+    "Q1.1", "Q1.2", "Q1.3",
+    "Q2.1", "Q2.2", "Q2.3",
+    "Q3.1", "Q3.2", "Q3.3", "Q3.4",
+    "Q4.1", "Q4.2", "Q4.3",
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads((FIXTURES / "golden_rows_sf005.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    return generate_database(scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def ssb_db():
+    return generate_ssb(scale=0.05)
+
+
+def _digest(result) -> str:
+    rows = sorted(
+        tuple(round(float(value), 6) for value in row)
+        for row in result.rows()
+    )
+    return hashlib.sha1(repr(rows).encode()).hexdigest()
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+@pytest.mark.parametrize("query", TPCH_QUERIES)
+def test_tpch_rows_match_seed(golden, tpch_db, query, engine_name):
+    engine = ENGINES[engine_name](tpch_db, AMD_A10)
+    result = engine.execute(query_by_name(query))
+    assert _digest(result) == golden[f"tpch/{query}/{engine_name}"]
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+@pytest.mark.parametrize("query", SSB_QUERIES)
+def test_ssb_rows_match_seed(golden, ssb_db, query, engine_name):
+    engine = ENGINES[engine_name](ssb_db, AMD_A10)
+    result = engine.execute(ssb_query(query))
+    assert _digest(result) == golden[f"ssb/{query}/{engine_name}"]
+
+
+def test_traced_run_matches_seed_byte_for_byte(tpch_db, tmp_path):
+    """Simulator determinism: counters and trace export are bit-equal."""
+    from repro.model.search import clear_search_cache
+
+    clear_search_cache()  # the fixture was recorded with a cold cache
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = GPLEngine(tpch_db, AMD_A10).execute(query_by_name("Q9"))
+    out = tmp_path / "trace.json"
+    tracer.write_json(str(out))
+    expected = (FIXTURES / "trace_q9_gpl_sf005.json").read_bytes()
+    assert out.read_bytes() == expected
+
+    witness = json.loads(
+        (FIXTURES / "counters_q9_gpl_sf005.json").read_text()
+    )
+    assert result.counters.elapsed_cycles == witness["elapsed_cycles"]
+    assert result.num_rows == witness["rows"]
+    breakdown = {
+        key: float(value)
+        for key, value in result.counters.breakdown().items()
+    }
+    assert breakdown == witness["breakdown"]
+
+
+def test_golden_fixture_covers_every_combination(golden):
+    expected = {
+        f"tpch/{query}/{engine}"
+        for query in TPCH_QUERIES
+        for engine in ENGINES
+    } | {
+        f"ssb/{query}/{engine}"
+        for query in SSB_QUERIES
+        for engine in ENGINES
+    }
+    assert set(golden) == expected

@@ -112,3 +112,55 @@ class TestMeasuredEffect:
         # "elapsed time for query optimization is generally smaller than
         # 5ms" on the paper's hardware; allow generous slack in Python.
         assert elapsed < 2.0
+
+
+class TestSearchCacheBound:
+    def test_lru_eviction_counted_and_bounded(self, search, q8_segments):
+        from repro.model.search import (
+            DEFAULT_SEARCH_CACHE_LIMIT,
+            clear_search_cache,
+            search_cache_stats,
+            set_search_cache_limit,
+        )
+
+        clear_search_cache()
+        try:
+            set_search_cache_limit(1)
+            search.optimize_plan(q8_segments)  # > 1 distinct segments
+            stats = search_cache_stats()
+            assert stats["limit"] == 1
+            assert stats["size"] <= 1
+            assert stats["evictions"] >= len(q8_segments) - 1
+            # A re-run now misses on the evicted shapes instead of hitting.
+            misses = stats["misses"]
+            search.optimize_plan(q8_segments)
+            assert search_cache_stats()["misses"] > misses
+        finally:
+            set_search_cache_limit(DEFAULT_SEARCH_CACHE_LIMIT)
+            clear_search_cache()
+
+    def test_hits_refresh_lru_order(self, search, q8_segments):
+        from repro.model.search import (
+            DEFAULT_SEARCH_CACHE_LIMIT,
+            clear_search_cache,
+            search_cache_stats,
+            set_search_cache_limit,
+        )
+
+        clear_search_cache()
+        try:
+            set_search_cache_limit(len(q8_segments))
+            search.optimize_plan(q8_segments)  # fills the cache exactly
+            search.optimize_plan(q8_segments)  # all hits, no evictions
+            stats = search_cache_stats()
+            assert stats["hits"] >= len(q8_segments)
+            assert stats["evictions"] == 0
+        finally:
+            set_search_cache_limit(DEFAULT_SEARCH_CACHE_LIMIT)
+            clear_search_cache()
+
+    def test_limit_must_be_positive(self):
+        from repro.model.search import set_search_cache_limit
+
+        with pytest.raises(ValueError):
+            set_search_cache_limit(0)
