@@ -23,6 +23,11 @@ milliseconds, result rows, a result checksum, and simulator cycles) and
 Compare two files with::
 
     python scripts/bench.py --diff BENCH_baseline.json BENCH_after.json
+
+``--diff`` reports speedups and flags checksum drift; ``--check`` gates
+on the machine-independent invariants only (checksums, row counts,
+simulated cycles — never wall-clock), which is what CI enforces against
+the committed ``BENCH_baseline.json``.
 """
 
 from __future__ import annotations
@@ -199,6 +204,53 @@ def diff(before_path: str, after_path: str) -> int:
     return 1 if mismatched else 0
 
 
+def check(baseline_path: str, candidate_path: str) -> int:
+    """Gate on correctness invariants only: checksums and sim cycles.
+
+    Wall-clock milliseconds vary with the machine and are deliberately
+    ignored — this is the CI-safe comparison.  Overlapping
+    (query, engine, scale) entries must agree on the result checksum,
+    the row count, and the simulated cycle count; any drift exits 1.
+    """
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    candidate = json.loads(pathlib.Path(candidate_path).read_text())
+    by_key = {
+        (e["query"], e["engine"], e["scale"]): e
+        for e in baseline.get("entries", [])
+    }
+    compared = 0
+    failures = []
+    for entry in candidate.get("entries", []):
+        key = (entry["query"], entry["engine"], entry["scale"])
+        base = by_key.get(key)
+        if base is None:
+            continue
+        compared += 1
+        label = f"{key[0]} {key[1]} sf={key[2]}"
+        for field in ("checksum", "rows", "sim_cycles"):
+            if base.get(field) != entry.get(field):
+                failures.append(
+                    f"{label}: {field} {base.get(field)!r} -> "
+                    f"{entry.get(field)!r}"
+                )
+    if not compared:
+        print(
+            f"no overlapping entries between {baseline_path} and "
+            f"{candidate_path}"
+        )
+        return 1
+    if failures:
+        print(f"bench invariant drift ({len(failures)}):")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(
+        f"bench invariants hold: {compared} entries agree on "
+        "checksum/rows/sim_cycles (wall-clock not compared)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI parser (importable so the docs lint can verify flags)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -230,6 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("BEFORE", "AFTER"),
         help="compare two BENCH files instead of running the suite",
     )
+    parser.add_argument(
+        "--check",
+        nargs=2,
+        metavar=("BASELINE", "CANDIDATE"),
+        help=(
+            "gate on correctness invariants (checksums, rows, simulated "
+            "cycles) between two BENCH files; wall-clock is ignored, so "
+            "this comparison is machine-independent and CI-safe"
+        ),
+    )
     return parser
 
 
@@ -237,6 +299,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.diff:
         return diff(*args.diff)
+    if args.check:
+        return check(*args.check)
 
     import numpy
 

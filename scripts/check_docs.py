@@ -11,9 +11,9 @@ Three checks over every tracked markdown file:
    cannot name code that was renamed or removed;
 3. **CLI flags** — every ``--flag`` a doc attributes to a ``python -m
    repro <command>`` context must be accepted by that command's parser,
-   and every ``--flag`` on a line mentioning ``bench.py`` must be
-   accepted by ``scripts/bench.py``'s parser, so flag renames cannot
-   strand the docs;
+   and every ``--flag`` on a line mentioning ``bench.py`` or
+   ``soak.py`` must be accepted by that script's parser, so flag
+   renames cannot strand the docs;
 4. **metric catalogue** — the table under ``## Metrics catalogue`` in
    ``docs/observability.md`` must list exactly the metric names in
    ``repro.obs.metric_catalogue()``: a documented metric missing from
@@ -62,11 +62,14 @@ METRIC_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`")
 FOREIGN_FLAGS = {"--benchmark-only"}
 
 BENCH_SCRIPT = REPO / "scripts" / "bench.py"
+SOAK_SCRIPT = REPO / "scripts" / "soak.py"
 
 
-def _bench_flags():
-    """Option strings accepted by ``scripts/bench.py``."""
-    spec = importlib.util.spec_from_file_location("_bench", BENCH_SCRIPT)
+def _script_flags(script_path):
+    """Option strings accepted by a script's importable ``build_parser``."""
+    spec = importlib.util.spec_from_file_location(
+        f"_{script_path.stem}", script_path
+    )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return {
@@ -94,7 +97,10 @@ def iter_problems():
         }
         for name, sub in subparsers.choices.items()
     }
-    bench_flags = _bench_flags()
+    script_flags = {
+        "bench.py": _script_flags(BENCH_SCRIPT),
+        "soak.py": _script_flags(SOAK_SCRIPT),
+    }
 
     for path in DOC_FILES:
         text = path.read_text()
@@ -120,13 +126,16 @@ def iter_problems():
             flags = set(FLAG_RE.findall(line)) - FOREIGN_FLAGS
             if not flags:
                 continue
-            if "bench.py" in line:
-                # Lines about the benchmark harness are checked against
-                # its own parser, not the repro CLI subcommands.
-                for flag in sorted(flags - bench_flags):
+            script = next(
+                (name for name in script_flags if name in line), None
+            )
+            if script is not None:
+                # Lines about the bench/soak harnesses are checked
+                # against their own parsers, not the repro CLI.
+                for flag in sorted(flags - script_flags[script]):
                     yield (
                         f"{rel}: flag {flag} not accepted by "
-                        f"scripts/bench.py"
+                        f"scripts/{script}"
                     )
                 continue
             commands = set(COMMAND_RE.findall(line)) & set(flags_by_command)

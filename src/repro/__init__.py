@@ -14,7 +14,9 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every reproduced table and figure.
 """
 
+from .cancel import CancellationToken
 from .core import (
+    CheckpointStore,
     GPLConfig,
     GPLEngine,
     GPLWithoutCEEngine,
@@ -35,6 +37,8 @@ from .tpch import generate_database, q5, q7, q8, q9, q14, query_by_name
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancellationToken",
+    "CheckpointStore",
     "GPLConfig",
     "GPLEngine",
     "GPLWithoutCEEngine",

@@ -28,11 +28,16 @@ Query names select the workload: ``Q5``/``Q7``/``Q8``/``Q9``/``Q14`` run
 TPC-H, flight-numbered names (``Q1.1`` … ``Q4.3``) run the Star Schema
 Benchmark.  Everything runs in-process against the simulated device; no
 files are written unless ``--output`` is given.
+
+Exit codes: 0 success, 1 hard failure, 2 other typed errors, 3 a
+deadline cancelled the query (``--deadline-cycles``), 4 the bounded
+serve queue shed at least one query (``--max-pending``).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
@@ -40,7 +45,7 @@ from typing import Iterator, List, Optional
 from . import __version__
 from .bench.reporting import banner, format_table
 from .core import GPLConfig, GPLEngine, GPLWithoutCEEngine, ResilientExecutor
-from .errors import ExecutionError, ReproError
+from .errors import DeadlineExceededError, ExecutionError, ReproError
 from .faults import FaultInjector, FaultPlan
 from .gpu import device_by_name
 from .kbe import KBEEngine
@@ -128,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per engine in resilient mode (default 2)",
     )
     run.add_argument(
+        "--deadline-cycles",
+        type=float,
+        help=(
+            "cancel the query once it has consumed this many simulated "
+            "cycles (exit code 3); checked at segment and tile boundaries"
+        ),
+    )
+    run.add_argument(
         "--memory-budget-mb",
         type=float,
         help=(
@@ -201,6 +214,43 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="retry budget per engine in resilient mode (default 2)",
+    )
+    serve.add_argument(
+        "--deadline-cycles",
+        type=float,
+        help=(
+            "service-level deadline: cancel any query past this many "
+            "simulated cycles (records it as outcome 'deadline'; exit "
+            "code 3 when any query is cancelled)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help=(
+            "consecutive GPL-tier faults before the per-query circuit "
+            "breaker trips to the KBE degrade path (0 disables breakers; "
+            "default 3)"
+        ),
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        help=(
+            "bound the async admission queue to this many pending "
+            "queries; overflow is shed per --queue-policy (default: "
+            "unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-policy",
+        choices=("reject", "shed-oldest"),
+        default="reject",
+        help=(
+            "what a full bounded queue sheds: the arriving query "
+            "('reject') or the oldest pending one ('shed-oldest')"
+        ),
     )
     serve.add_argument(
         "--memory-budget-mb",
@@ -352,6 +402,9 @@ def cmd_run(args) -> int:
     fault_plan = (
         FaultPlan.parse(args.inject_faults) if args.inject_faults else None
     )
+    spec = _query_spec(args.query)
+    if args.deadline_cycles is not None:
+        spec = dataclasses.replace(spec, deadline_cycles=args.deadline_cycles)
     if args.resilient:
         executor = ResilientExecutor(
             database,
@@ -367,7 +420,7 @@ def cmd_run(args) -> int:
             partitioned_joins=args.partitioned_joins,
         )
         with _traced(args.trace_out):
-            result = executor.execute(_query_spec(args.query))
+            result = executor.execute(spec)
         engine_name = f"{result.engine} (resilient)"
     else:
         engine_cls = ENGINES[args.engine]
@@ -380,7 +433,7 @@ def cmd_run(args) -> int:
         if fault_plan is not None:
             engine.fault_injector = FaultInjector(fault_plan)
         with _traced(args.trace_out):
-            result = engine.execute(_query_spec(args.query))
+            result = engine.execute(spec)
         engine_name = engine.name
     print(banner(f"{args.query} on {engine_name} ({device.name})"))
     print(format_table(result.columns, result.decoded_rows()[:25]))
@@ -439,6 +492,10 @@ def cmd_serve(args) -> int:
         max_retries=args.max_retries,
         partitioned_joins=args.partitioned_joins,
         tuned=args.tuned,
+        default_deadline_cycles=args.deadline_cycles,
+        breaker_threshold=args.breaker_threshold,
+        max_pending=args.max_pending,
+        queue_policy=args.queue_policy,
     )
     with _traced(args.trace_out):
         report = service.run([_query_spec(name) for name in names])
@@ -449,7 +506,15 @@ def cmd_serve(args) -> int:
         )
     )
     print(report.to_text())
-    return 0 if report.failed == 0 else 1
+    # Exit-code priority mirrors `run`: hard failures beat deadline
+    # cancellations beat load shedding; a fully-served drain exits 0.
+    if report.hard_failures:
+        return 1
+    if report.deadline_exceeded:
+        return 3
+    if report.shed:
+        return 4
+    return 0
 
 
 def cmd_compare(args) -> int:
@@ -643,6 +708,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except DeadlineExceededError as exc:
+        print(
+            f"error: {type(exc).__name__}: {exc}".splitlines()[0],
+            file=sys.stderr,
+        )
+        return 3
     except ReproError as exc:
         # One line, first line only: deadlock snapshots span many lines.
         message = str(exc).splitlines()[0] if str(exc) else "unknown error"

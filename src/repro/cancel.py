@@ -1,0 +1,105 @@
+"""Cooperative cancellation for deadline-aware query execution.
+
+The simulator never blocks on wall-clock time — everything is virtual
+cycles — so cancellation is *cooperative*: a :class:`CancellationToken`
+is handed down from the serving layer (or CLI) through the engine to the
+:class:`~repro.gpu.simulator.Simulator`, which consults it at segment
+boundaries and at every event-loop step (tile/kernel completions).  When
+the token's budget runs out the simulator raises a typed
+:class:`~repro.errors.DeadlineExceededError` instead of finishing the
+query — deterministic for a given seed and deadline, and cheap: one
+``float`` comparison per simulated event when a deadline is armed, zero
+overhead when it is not.
+
+One token spans one *query*, not one attempt: the resilience layer
+charges the cycles consumed by failed attempts back onto the token, so a
+query that Δ-halves or falls back to KBE still answers (or cancels)
+against a single cumulative deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import DeadlineExceededError
+
+__all__ = ["CancellationToken"]
+
+
+class CancellationToken:
+    """Cumulative cycle budget for one query, shared across attempts.
+
+    ``consumed_cycles`` holds cycles charged by *finished* (successful or
+    failed) simulator runs; in-flight runs pass their own elapsed cycles
+    to :meth:`check` on top of that.  ``cancel()`` flips the token
+    unconditionally, for callers that want to abandon a query early
+    regardless of its deadline.
+    """
+
+    __slots__ = ("query", "deadline_cycles", "consumed_cycles", "cancelled",
+                 "reason", "checks")
+
+    def __init__(
+        self,
+        deadline_cycles: Optional[float] = None,
+        query: str = "",
+    ):
+        if deadline_cycles is not None and deadline_cycles <= 0:
+            raise ValueError("deadline_cycles must be positive when set")
+        self.query = query
+        self.deadline_cycles = deadline_cycles
+        self.consumed_cycles = 0.0
+        self.cancelled = False
+        self.reason = ""
+        self.checks = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether checks can ever fire (deadline armed or cancelled)."""
+        return self.deadline_cycles is not None or self.cancelled
+
+    def remaining_cycles(self, run_cycles: float = 0.0) -> float:
+        """Cycles left before expiry; ``inf`` when no deadline is armed."""
+        if self.deadline_cycles is None:
+            return float("inf")
+        return self.deadline_cycles - self.consumed_cycles - run_cycles
+
+    def expired(self, run_cycles: float = 0.0) -> bool:
+        if self.cancelled:
+            return True
+        return self.remaining_cycles(run_cycles) < 0
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        self.cancelled = True
+        self.reason = reason
+
+    def charge(self, cycles: float) -> None:
+        """Fold one finished simulator run into the cumulative budget."""
+        self.consumed_cycles += cycles
+
+    def check(self, run_cycles: float = 0.0, where: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent.
+
+        ``run_cycles`` is the elapsed-cycle count of the simulator run in
+        flight (not yet charged); ``where`` names the boundary for the
+        error message (e.g. a segment id).
+        """
+        self.checks += 1
+        if not self.expired(run_cycles):
+            return
+        elapsed = self.consumed_cycles + run_cycles
+        if self.cancelled:
+            detail = self.reason
+        else:
+            detail = (
+                f"deadline {self.deadline_cycles:.0f} cycles exceeded at "
+                f"{elapsed:.0f} cycles"
+            )
+        suffix = f" (at {where})" if where else ""
+        raise DeadlineExceededError(
+            f"query {self.query or '?'}: {detail}{suffix}",
+            query=self.query,
+            deadline_cycles=self.deadline_cycles or 0.0,
+            elapsed_cycles=elapsed,
+            where=where,
+        )

@@ -1,6 +1,7 @@
 """GPL core: the pipelined query execution engine and its components."""
 
 from .base import EngineBase, QueryResult, workgroups_for
+from .checkpoint import CheckpointStore, QueryCheckpoint, SegmentCheckpoint
 from .config import DEFAULT_TILE_BYTES, MIN_TILE_BYTES, GPLConfig
 from .engine import GPLEngine, GPLWithoutCEEngine
 from .resilience import (
@@ -16,6 +17,9 @@ __all__ = [
     "EngineBase",
     "QueryResult",
     "workgroups_for",
+    "CheckpointStore",
+    "QueryCheckpoint",
+    "SegmentCheckpoint",
     "DEFAULT_TILE_BYTES",
     "MIN_TILE_BYTES",
     "GPLConfig",

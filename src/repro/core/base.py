@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..cancel import CancellationToken
 from ..errors import ExecutionError
 from ..gpu import DeviceSpec, HardwareCounters, Profiler, ProfilerReport, Simulator
 from ..obs.tracing import maybe_span
@@ -153,6 +154,16 @@ class EngineBase:
         #: consults it and repeat queries skip optimization + lowering
         #: entirely; ``None`` costs nothing.
         self.plan_cache = None
+        #: Optional :class:`repro.cancel.CancellationToken` threaded into
+        #: every simulator this engine creates (set by the resilience
+        #: layer or the serving loop; ``None`` costs nothing).  When no
+        #: token is attached, :meth:`execute` arms one automatically for
+        #: specs that carry ``deadline_cycles``.
+        self.cancellation = None
+        #: Optional :class:`repro.core.checkpoint.QueryCheckpoint`.  When
+        #: set (by the resilience executor), :meth:`execute_plan` resumes
+        #: completed segments from it and records newly completed ones.
+        self.checkpoint = None
         self._optimizer = SelingerOptimizer(
             database, choose_fact=adaptive_fact
         )
@@ -227,14 +238,42 @@ class EngineBase:
     def execute(self, spec: QuerySpec) -> QueryResult:
         """Run a query end to end: real results plus simulated timing."""
         plan = self.prepare(spec)
-        return self.execute_plan(spec.name, plan)
+        token = self.cancellation
+        if token is None and spec.deadline_cycles is not None:
+            token = CancellationToken(spec.deadline_cycles, query=spec.name)
+        return self.execute_plan(spec.name, plan, cancellation=token)
 
-    def execute_plan(self, query_name: str, plan: PhysicalPlan) -> QueryResult:
-        simulator = Simulator(self.device, injector=self.fault_injector)
+    def execute_plan(
+        self,
+        query_name: str,
+        plan: PhysicalPlan,
+        cancellation=None,
+    ) -> QueryResult:
+        token = cancellation if cancellation is not None else self.cancellation
+        simulator = Simulator(
+            self.device, injector=self.fault_injector, cancellation=token
+        )
         context = ExecutionContext()
-        for pipeline in plan.pipelines:
-            simulator.begin_segment(pipeline.pipeline_id)
-            self._run_pipeline(pipeline, simulator, context)
+        checkpoint = self.checkpoint
+        if checkpoint is not None:
+            checkpoint.begin_attempt(
+                tuple(p.pipeline_id for p in plan.pipelines)
+            )
+        try:
+            for pipeline in plan.pipelines:
+                if checkpoint is not None and checkpoint.restore(
+                    pipeline.pipeline_id, context
+                ):
+                    continue
+                simulator.begin_segment(pipeline.pipeline_id)
+                self._run_pipeline(pipeline, simulator, context)
+                if checkpoint is not None:
+                    checkpoint.record(pipeline.pipeline_id, context)
+        finally:
+            # Charge even a failed run's completed-segment cycles to the
+            # token: the deadline is cumulative across resilient retries.
+            if token is not None:
+                token.charge(simulator.counters.elapsed_cycles)
         output = context.intermediate(plan.output_pipeline)
         counters = simulator.counters
         profiler = Profiler(self.device)

@@ -1,0 +1,255 @@
+"""Segment checkpoint/resume for the resilience layer.
+
+GPL's defining structure — plans split into pipelines ("segments") that
+*materialize* at blocking kernels — gives retries natural recovery
+points: once a segment has finished, its outputs (an intermediate batch
+or a built hash table) are complete, engine-independent values sitting
+in the :class:`~repro.plans.ExecutionContext`.  A retry therefore never
+needs to re-run segments that already completed; it only needs their
+materialized outputs back.
+
+Two classes implement this:
+
+* :class:`CheckpointStore` — a bounded, LRU-evicting pool of completed
+  segment outputs, shared across the queries of a
+  :class:`~repro.serve.QueryService` so checkpoint memory is capped
+  service-wide.  Eviction is safe: an evicted segment simply re-executes
+  on the next retry.
+* :class:`QueryCheckpoint` — one query's window onto the store, alive
+  for the duration of one :meth:`ResilientExecutor.execute` call (all
+  its retries and engine fallbacks).  The engines call
+  :meth:`~QueryCheckpoint.restore` before each segment and
+  :meth:`~QueryCheckpoint.record` after it completes.
+
+Because every engine (GPL, GPL w/o CE, KBE) executes the *same* physical
+pipelines functionally, checkpoints survive Δ-halving retries *and*
+GPL→KBE fallback unchanged; only segments whose pipeline ids disappear
+from a re-planned attempt are invalidated (see
+:meth:`QueryCheckpoint.begin_attempt`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..plans.runtime import Batch, batch_bytes
+
+__all__ = ["CheckpointStore", "QueryCheckpoint", "SegmentCheckpoint"]
+
+#: Default service-wide cap on live checkpoint bytes (256 MiB of
+#: simulated intermediates — generous for the repro's scale factors while
+#: still exercising eviction in soak runs).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+#: Default cap on the number of live segment checkpoints.
+DEFAULT_MAX_SEGMENTS = 256
+
+
+@dataclass
+class SegmentCheckpoint:
+    """The materialized outputs one completed segment contributed."""
+
+    segment_id: str
+    intermediates: Dict[str, Batch] = field(default_factory=dict)
+    hash_tables: Dict[str, object] = field(default_factory=dict)
+    nbytes: int = 0
+
+    @staticmethod
+    def capture(
+        segment_id: str,
+        intermediates: Dict[str, Batch],
+        hash_tables: Dict[str, object],
+    ) -> "SegmentCheckpoint":
+        size = sum(batch_bytes(batch) for batch in intermediates.values())
+        size += sum(int(table.nbytes) for table in hash_tables.values())
+        return SegmentCheckpoint(
+            segment_id=segment_id,
+            intermediates=dict(intermediates),
+            hash_tables=dict(hash_tables),
+            nbytes=size,
+        )
+
+
+class CheckpointStore:
+    """Bounded LRU pool of :class:`SegmentCheckpoint` entries.
+
+    Keys are ``(query_ticket, segment_id)`` — ``query_ticket`` is a
+    store-issued monotonic id, so two in-flight executions of the same
+    query name never alias.  ``max_bytes``/``max_segments`` bound the
+    pool; recording a segment evicts least-recently-used entries (from
+    *any* query) until the new entry fits.  A segment larger than the
+    whole budget is simply not stored.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_segments: int = DEFAULT_MAX_SEGMENTS,
+    ):
+        if max_bytes < 0 or max_segments < 0:
+            raise ValueError("checkpoint store bounds must be non-negative")
+        self.max_bytes = max_bytes
+        self.max_segments = max_segments
+        self._entries: "OrderedDict[Tuple[int, str], SegmentCheckpoint]" = (
+            OrderedDict()
+        )
+        self._next_ticket = 0
+        self.live_bytes = 0
+        # lifetime counters (service-wide observability)
+        self.recorded_total = 0
+        self.resumed_total = 0
+        self.evicted_total = 0
+        self.invalidated_total = 0
+        self.peak_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def open(self, query: str = "") -> "QueryCheckpoint":
+        """A fresh per-execution window onto this store."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        return QueryCheckpoint(self, ticket, query)
+
+    # -- entry management (used by QueryCheckpoint) ---------------------
+
+    def _put(self, ticket: int, entry: SegmentCheckpoint) -> bool:
+        if entry.nbytes > self.max_bytes or self.max_segments == 0:
+            return False
+        while self._entries and (
+            self.live_bytes + entry.nbytes > self.max_bytes
+            or len(self._entries) >= self.max_segments
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self.live_bytes -= evicted.nbytes
+            self.evicted_total += 1
+        if len(self._entries) >= self.max_segments:
+            return False
+        self._entries[(ticket, entry.segment_id)] = entry
+        self.live_bytes += entry.nbytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        self.recorded_total += 1
+        return True
+
+    def _get(self, ticket: int, segment_id: str) -> Optional[SegmentCheckpoint]:
+        entry = self._entries.get((ticket, segment_id))
+        if entry is not None:
+            self._entries.move_to_end((ticket, segment_id))
+        return entry
+
+    def _drop(self, ticket: int, segment_id: str, invalidated: bool) -> None:
+        entry = self._entries.pop((ticket, segment_id), None)
+        if entry is not None:
+            self.live_bytes -= entry.nbytes
+            if invalidated:
+                self.invalidated_total += 1
+
+    def counters_dict(self) -> Dict[str, int]:
+        return {
+            "live_segments": len(self._entries),
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
+            "recorded": self.recorded_total,
+            "resumed": self.resumed_total,
+            "evicted": self.evicted_total,
+            "invalidated": self.invalidated_total,
+        }
+
+
+class QueryCheckpoint:
+    """One query's checkpoint window, spanning all its retry attempts.
+
+    The engine protocol (driven by ``EngineBase.execute_plan``):
+
+    1. :meth:`begin_attempt` with the attempt's plan signature — drops
+       checkpoints for segments the new plan no longer contains;
+    2. per segment, :meth:`restore` — on hit, splice the recorded
+       outputs back into the context and *skip* execution;
+    3. after a segment completes, :meth:`record` — capture the keys this
+       segment added to the context.
+
+    Per-execution counters (``segments_recorded`` / ``segments_resumed``
+    / ``segments_invalidated``) feed the
+    :class:`~repro.core.ResilienceReport`.
+    """
+
+    def __init__(self, store: CheckpointStore, ticket: int, query: str = ""):
+        self._store = store
+        self._ticket = ticket
+        self.query = query
+        self._segments: "OrderedDict[str, None]" = OrderedDict()
+        self._seen_intermediates: set = set()
+        self._seen_hash_tables: set = set()
+        self.segments_recorded = 0
+        self.segments_resumed = 0
+        self.segments_invalidated = 0
+
+    def begin_attempt(self, plan_signature: Tuple[str, ...]) -> None:
+        """Reset per-attempt state; invalidate re-planned segments."""
+        self._seen_intermediates = set()
+        self._seen_hash_tables = set()
+        current = set(plan_signature)
+        for segment_id in list(self._segments):
+            if segment_id not in current:
+                self._store._drop(self._ticket, segment_id, invalidated=True)
+                del self._segments[segment_id]
+                self.segments_invalidated += 1
+
+    def restore(self, segment_id: str, context) -> bool:
+        """Splice a recorded segment back into ``context`` if available.
+
+        Returns ``True`` when the segment can be skipped.  A miss (never
+        recorded, or evicted by the store) returns ``False`` and the
+        segment re-executes — eviction is always safe.
+        """
+        if segment_id not in self._segments:
+            return False
+        entry = self._store._get(self._ticket, segment_id)
+        if entry is None:  # evicted under memory pressure
+            del self._segments[segment_id]
+            return False
+        context.intermediates.update(entry.intermediates)
+        context.hash_tables.update(entry.hash_tables)
+        self._seen_intermediates.update(entry.intermediates)
+        self._seen_hash_tables.update(entry.hash_tables)
+        self.segments_resumed += 1
+        self._store.resumed_total += 1
+        return True
+
+    def record(self, segment_id: str, context) -> None:
+        """Capture the context keys this just-completed segment added."""
+        new_intermediates = {
+            key: value
+            for key, value in context.intermediates.items()
+            if key not in self._seen_intermediates
+        }
+        new_hash_tables = {
+            key: value
+            for key, value in context.hash_tables.items()
+            if key not in self._seen_hash_tables
+        }
+        self._seen_intermediates.update(new_intermediates)
+        self._seen_hash_tables.update(new_hash_tables)
+        if segment_id in self._segments:  # re-recorded after invalidation
+            self._store._drop(self._ticket, segment_id, invalidated=False)
+            del self._segments[segment_id]
+        entry = SegmentCheckpoint.capture(
+            segment_id, new_intermediates, new_hash_tables
+        )
+        if self._store._put(self._ticket, entry):
+            self._segments[segment_id] = None
+            self.segments_recorded += 1
+
+    def release(self) -> None:
+        """Drop every checkpoint this execution holds (query finished)."""
+        for segment_id in self._segments:
+            self._store._drop(self._ticket, segment_id, invalidated=False)
+        self._segments.clear()
+
+    def counters_dict(self) -> Dict[str, int]:
+        return {
+            "segments_recorded": self.segments_recorded,
+            "segments_resumed": self.segments_resumed,
+            "segments_invalidated": self.segments_invalidated,
+        }

@@ -32,10 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cancel import CancellationToken
 from ..errors import (
     AdmissionError,
     CalibrationError,
     ChannelError,
+    DeadlineExceededError,
     DeviceMemoryError,
     ExecutionError,
     KernelFaultError,
@@ -47,6 +49,7 @@ from ..obs.tracing import add_event, maybe_span
 from ..plans import QuerySpec
 from ..relational import Database
 from .base import QueryResult
+from .checkpoint import CheckpointStore, QueryCheckpoint
 from .config import GPLConfig
 from .engine import GPLEngine, GPLWithoutCEEngine
 
@@ -69,7 +72,7 @@ class AttemptRecord:
     engine: str
     tile_bytes: int
     outcome: str  # ok | oom | channel-overflow | deadlock | kernel-fault |
-    #               admission-rejected
+    #               admission-rejected | deadline-exceeded
     error: str = ""
 
 
@@ -89,6 +92,17 @@ class ResilienceReport:
     admission_shrinks: int = 0
     admission_rejections: int = 0
     calibration_misses: int = 0
+    #: The query ran past ``deadline_cycles`` and was cancelled (fatal:
+    #: no retry or fallback is attempted once the budget is spent).
+    deadline_exceeded: bool = False
+    #: Segment checkpoint/resume accounting for this execution.
+    segments_recorded: int = 0
+    segments_resumed: int = 0
+    segments_invalidated: int = 0
+    #: Fault-schedule accounting: total firings the plan scheduled, and
+    #: the specs that still held unspent budget when the run ended.
+    faults_scheduled: int = 0
+    faults_unfired: List[str] = field(default_factory=list)
     faults_fired: Dict[str, int] = field(default_factory=dict)
     attempts: List[AttemptRecord] = field(default_factory=list)
 
@@ -101,6 +115,12 @@ class ResilienceReport:
             "admission_shrinks": self.admission_shrinks,
             "admission_rejections": self.admission_rejections,
             "calibration_misses": self.calibration_misses,
+            "deadline_exceeded": self.deadline_exceeded,
+            "segments_recorded": self.segments_recorded,
+            "segments_resumed": self.segments_resumed,
+            "segments_invalidated": self.segments_invalidated,
+            "faults_scheduled": self.faults_scheduled,
+            "faults_unfired": list(self.faults_unfired),
             "faults_fired": dict(sorted(self.faults_fired.items())),
             "attempts": [
                 (a.engine, a.tile_bytes, a.outcome) for a in self.attempts
@@ -120,12 +140,32 @@ class ResilienceReport:
             )
         if self.calibration_misses:
             lines.append(f"calibration misses: {self.calibration_misses}")
+        if self.deadline_exceeded:
+            lines.append("DEADLINE EXCEEDED (no retry/fallback attempted)")
+        if self.segments_recorded or self.segments_resumed:
+            line = (
+                f"checkpoints: {self.segments_recorded} segments recorded, "
+                f"{self.segments_resumed} resumed"
+            )
+            if self.segments_invalidated:
+                line += f", {self.segments_invalidated} invalidated"
+            lines.append(line)
         if self.faults_fired:
             fired = ", ".join(
                 f"{kind} x{count}"
                 for kind, count in sorted(self.faults_fired.items())
             )
             lines.append(f"faults fired: {fired}")
+        if self.faults_scheduled:
+            if self.faults_unfired:
+                lines.append(
+                    "faults unfired: " + "; ".join(self.faults_unfired)
+                )
+            else:
+                lines.append(
+                    f"fault schedule exhausted: all {self.faults_scheduled} "
+                    f"scheduled firings fired"
+                )
         for attempt in self.attempts:
             detail = f" ({attempt.error})" if attempt.error else ""
             lines.append(
@@ -165,6 +205,9 @@ class ResilientExecutor:
         partitioned_joins: bool = False,
         plan_cache=None,
         segment_configs=None,
+        deadline_cycles: Optional[float] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoints: bool = True,
     ):
         if not engines:
             raise ExecutionError("the fallback chain needs at least one engine")
@@ -191,6 +234,21 @@ class ResilientExecutor:
         #: Optional per-segment model-chosen configs (the serving layer's
         #: tuned mode) handed to the GPL engines; KBE ignores them.
         self.segment_configs = dict(segment_configs or {})
+        #: Executor-level default deadline; a spec's own
+        #: ``deadline_cycles`` takes precedence.  The deadline spans the
+        #: *whole* resilient execution: cycles consumed by failed
+        #: attempts are charged against it too.
+        self.deadline_cycles = deadline_cycles
+        #: Segment checkpoint pool.  ``checkpoint_store`` lets a serving
+        #: layer share (and bound) one pool across queries; with
+        #: ``checkpoints=True`` and no store, the executor owns a private
+        #: one.  ``checkpoints=False`` disables resume entirely (every
+        #: retry re-runs from scratch — the pre-checkpoint behaviour).
+        self.checkpoint_store = (
+            checkpoint_store
+            if checkpoint_store is not None
+            else (CheckpointStore() if checkpoints else None)
+        )
 
     # -- public API -------------------------------------------------------
 
@@ -200,42 +258,92 @@ class ResilientExecutor:
         produced them."""
         report = ResilienceReport()
         last_error: Optional[Exception] = None
+        deadline = (
+            spec.deadline_cycles
+            if spec.deadline_cycles is not None
+            else self.deadline_cycles
+        )
+        token = (
+            CancellationToken(deadline, query=spec.name)
+            if deadline is not None
+            else None
+        )
+        checkpoint = (
+            self.checkpoint_store.open(spec.name)
+            if self.checkpoint_store is not None
+            else None
+        )
         with maybe_span(
             "resilience.execute",
             category="resilience",
             query=spec.name,
             chain=",".join(self.engines),
         ) as span:
-            for position, name in enumerate(self.engines):
-                if position > 0:
-                    report.fallbacks += 1
-                    add_event(
-                        "resilience.fallback",
-                        to_engine=self._DISPLAY[name],
-                        reason=type(last_error).__name__
-                        if last_error is not None
-                        else "?",
+            try:
+                for position, name in enumerate(self.engines):
+                    if position > 0:
+                        report.fallbacks += 1
+                        add_event(
+                            "resilience.fallback",
+                            to_engine=self._DISPLAY[name],
+                            reason=type(last_error).__name__
+                            if last_error is not None
+                            else "?",
+                        )
+                    result, last_error = self._attempt_engine(
+                        name, spec, report, token, checkpoint
                     )
-                result, last_error = self._attempt_engine(name, spec, report)
-                if result is not None:
-                    report.engine_used = result.engine
-                    self._harvest_faults(report)
-                    result.resilience = report
-                    if span is not None:
-                        span.attrs["engine_used"] = report.engine_used
-                        span.attrs["retries"] = report.retries
-                        span.attrs["fallbacks"] = report.fallbacks
-                    return result
-            self._harvest_faults(report)
+                    if result is not None:
+                        report.engine_used = result.engine
+                        result.resilience = report
+                        if span is not None:
+                            span.attrs["engine_used"] = report.engine_used
+                            span.attrs["retries"] = report.retries
+                            span.attrs["fallbacks"] = report.fallbacks
+                        return result
+                    if isinstance(last_error, DeadlineExceededError):
+                        # Fatal: the caller's time budget is spent; more
+                        # retries or a slower fallback can only blow it
+                        # further.
+                        report.deadline_exceeded = True
+                        add_event(
+                            "resilience.deadline",
+                            query=spec.name,
+                            deadline_cycles=deadline,
+                        )
+                        break
+            finally:
+                # One harvest covers every exit: success, chain
+                # exhaustion, deadline, and an unexpected raise.
+                if checkpoint is not None:
+                    report.segments_recorded = checkpoint.segments_recorded
+                    report.segments_resumed = checkpoint.segments_resumed
+                    report.segments_invalidated = (
+                        checkpoint.segments_invalidated
+                    )
+                    checkpoint.release()
+                self._harvest_faults(report)
             assert last_error is not None
+            last_error.resilience = report
             raise last_error
 
     # -- chain internals --------------------------------------------------
 
     def _attempt_engine(
-        self, name: str, spec: QuerySpec, report: ResilienceReport
+        self,
+        name: str,
+        spec: QuerySpec,
+        report: ResilienceReport,
+        token: Optional[CancellationToken] = None,
+        checkpoint: Optional[QueryCheckpoint] = None,
     ) -> Tuple[Optional[QueryResult], Optional[Exception]]:
-        """Admit + execute one engine, retrying down the Δ ladder."""
+        """Admit + execute one engine, retrying down the Δ ladder.
+
+        ``checkpoint`` carries completed-segment outputs across retries
+        *and* across the engine fallbacks of one execution (the physical
+        plan is engine-independent), so each new attempt resumes from the
+        last completed segment instead of re-running the whole plan.
+        """
         config = self.config
         retries = 0
         while True:
@@ -258,10 +366,26 @@ class ResilientExecutor:
                 return None, exc
             engine = self._build(name, config)
             engine.fault_injector = self.injector
+            engine.cancellation = token
+            engine.checkpoint = checkpoint
             error: Exception
             outcome: str
             try:
                 result = engine.execute(spec)
+            except DeadlineExceededError as exc:
+                report.attempts.append(
+                    AttemptRecord(
+                        engine.name, config.tile_bytes, "deadline-exceeded",
+                        str(exc).splitlines()[0],
+                    )
+                )
+                add_event(
+                    "resilience.attempt",
+                    engine=engine.name,
+                    outcome="deadline-exceeded",
+                    tile_bytes=config.tile_bytes,
+                )
+                return None, exc
             except self._FALLBACK as exc:
                 outcome = (
                     "deadlock"
@@ -416,3 +540,5 @@ class ResilientExecutor:
     def _harvest_faults(self, report: ResilienceReport) -> None:
         if self.injector is not None:
             report.faults_fired = self.injector.fired_counts()
+            report.faults_scheduled = self.injector.scheduled_total
+            report.faults_unfired = self.injector.unfired_specs()

@@ -197,6 +197,33 @@ class KernelFaultError(SimulationError):
         self.injected = injected
 
 
+class DeadlineExceededError(ReproError):
+    """A query ran past its deadline and was cooperatively cancelled.
+
+    Raised by the simulator's cancellation checks (segment and tile
+    boundaries) when the simulated cycles consumed by a query — summed
+    across resilient retries — exceed ``QuerySpec.deadline_cycles`` (or
+    the service-level default).  Deliberately *not* a
+    :class:`SimulationError`: the device did nothing wrong, the caller's
+    time budget simply ran out, so the resilience layer treats it as
+    fatal rather than retryable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        query: str = "",
+        deadline_cycles: float = 0.0,
+        elapsed_cycles: float = 0.0,
+        where: str = "",
+    ):
+        super().__init__(message)
+        self.query = query
+        self.deadline_cycles = deadline_cycles
+        self.elapsed_cycles = elapsed_cycles
+        self.where = where
+
+
 class PipelineDeadlockError(SimulationError):
     """A pipelined segment stopped making progress.
 

@@ -367,3 +367,21 @@ class FaultInjector:
     def exhausted(self) -> bool:
         """Every scheduled fault has fired its full ``times`` budget."""
         return all(remaining == 0 for remaining in self._remaining)
+
+    @property
+    def scheduled_total(self) -> int:
+        """Total firings the plan scheduled (the sum of ``times``)."""
+        return sum(spec.times for spec in self.plan.faults)
+
+    def unfired_specs(self) -> List[str]:
+        """Human-readable specs that still hold unspent firing budget.
+
+        Chaos harnesses assert this is empty to prove every scheduled
+        fault actually exercised the code path it targeted (a fault whose
+        site pattern never matched fires zero times and shows up here).
+        """
+        return [
+            f"{spec.describe()} ({remaining} of {spec.times} unfired)"
+            for spec, remaining in zip(self.plan.faults, self._remaining)
+            if remaining > 0
+        ]

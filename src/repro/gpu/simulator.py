@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import (
     ChannelError,
+    DeadlineExceededError,
     DeadlockSnapshot,
     PipelineDeadlockError,
     SimulationError,
@@ -139,12 +140,16 @@ class Simulator:
     completion, channel edges); without one, the hooks cost nothing.
     """
 
-    def __init__(self, device: DeviceSpec, injector=None):
+    def __init__(self, device: DeviceSpec, injector=None, cancellation=None):
         self.device = device
         self.memory = MemoryModel.for_device(device)
         self.channel_model = ChannelModel.for_device(device)
         self.counters = HardwareCounters(num_cus=device.num_cus)
         self.injector = injector
+        #: Optional :class:`~repro.cancel.CancellationToken` consulted at
+        #: segment boundaries and every event-loop step; ``None`` (the
+        #: default) costs nothing on the hot path.
+        self.cancellation = cancellation
         #: The pipeline/segment id currently executing (set by the engines
         #: via :meth:`begin_segment`); fault sites match against it.
         self.segment: str = ""
@@ -152,10 +157,39 @@ class Simulator:
     def begin_segment(self, segment_id: str) -> None:
         """Mark segment entry: the launch point for segment-scoped faults."""
         self.segment = segment_id
+        token = self.cancellation
+        if token is not None and token.active:
+            token.check(self.counters.elapsed_cycles, where=segment_id)
         if self.injector is not None:
             self.injector.on_segment_launch(
                 segment_id, budget_bytes=float(self.device.global_mem_bytes)
             )
+
+    def _watchdog(self, message: str, snapshot: DeadlockSnapshot) -> None:
+        """Raise the right typed error for a pipeline that stopped.
+
+        With no deadline armed a wedged pipeline is a
+        :class:`PipelineDeadlockError` (retryable by fallback).  With a
+        deadline armed the caller asked for a time bound, and a pipeline
+        that can never finish *will* blow it — so the watchdog surfaces a
+        deterministic :class:`DeadlineExceededError` instead of making
+        the caller wait for the budget to drain.
+        """
+        token = self.cancellation
+        if token is not None and token.deadline_cycles is not None:
+            raise DeadlineExceededError(
+                f"query {token.query or '?'}: pipeline stalled with a "
+                f"deadline armed ({message})",
+                query=token.query,
+                deadline_cycles=token.deadline_cycles,
+                elapsed_cycles=(
+                    token.consumed_cycles
+                    + self.counters.elapsed_cycles
+                    + snapshot.cycle
+                ),
+                where=self.segment,
+            )
+        raise PipelineDeadlockError(message, snapshot)
 
     # ------------------------------------------------------------------
     # shared cost pieces
@@ -278,6 +312,12 @@ class Simulator:
             )
         self.counters.record(stats)
         self.counters.add_elapsed(elapsed)
+        token = self.cancellation
+        if token is not None and token.active:
+            token.check(
+                self.counters.elapsed_cycles,
+                where=self.segment or launch.display_name,
+            )
         tracer = current_tracer()
         if tracer is not None:
             with tracer.span(
@@ -758,9 +798,21 @@ class Simulator:
 
         start_some(runtimes)
         if not heap:
-            raise PipelineDeadlockError(
+            self._watchdog(
                 "pipeline cannot start: no runnable work",
                 self._snapshot(runtimes, channel_states, 0.0, 0.0),
+            )
+
+        # Cooperative cancellation: precompute the in-run cycle at which
+        # the query's deadline lands so the per-event check is one float
+        # comparison (and skipped entirely when no token is armed).
+        token = self.cancellation
+        deadline_now = None
+        if token is not None and token.active:
+            deadline_now = (
+                -1.0
+                if token.cancelled
+                else token.remaining_cycles(self.counters.elapsed_cycles)
             )
 
         # No-progress budget: every event retires exactly one work-group
@@ -773,9 +825,13 @@ class Simulator:
 
         while heap:
             now, _, index = heappop(heap)
+            if deadline_now is not None and now > deadline_now:
+                token.check(
+                    self.counters.elapsed_cycles + now, where=self.segment
+                )
             events += 1
             if events > events_budget:
-                raise PipelineDeadlockError(
+                self._watchdog(
                     f"pipeline exceeded its no-progress budget "
                     f"({events_budget} events) without finishing",
                     self._snapshot(
@@ -821,7 +877,7 @@ class Simulator:
 
         unfinished = [s.name for s in runtimes if not s.finished]
         if unfinished:
-            raise PipelineDeadlockError(
+            self._watchdog(
                 f"pipeline deadlocked with unfinished stages: {unfinished}",
                 self._snapshot(runtimes, channel_states, now, last_progress),
             )

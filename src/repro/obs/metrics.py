@@ -60,7 +60,7 @@ METRIC_CATALOGUE: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "serve_queries_total", "counter",
         "Queries drained through the service, by outcome.",
-        labels=("status",),  # ok | failed
+        labels=("status",),  # ok | failed | deadline | shed
     ),
     MetricSpec(
         "serve_rounds_total", "counter",
@@ -85,6 +85,35 @@ METRIC_CATALOGUE: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "serve_makespan_ms", "gauge",
         "Makespan of the most recent drain.",
+    ),
+    MetricSpec(
+        "serve_deadline_exceeded_total", "counter",
+        "Queries cancelled because their cycle deadline expired.",
+    ),
+    MetricSpec(
+        "serve_shed_total", "counter",
+        "Queries dropped by the bounded admission queue, by policy.",
+        labels=("policy",),  # reject | shed-oldest
+    ),
+    # -- circuit breaker -------------------------------------------------
+    MetricSpec(
+        "breaker_transitions_total", "counter",
+        "Circuit-breaker state transitions, by state entered.",
+        labels=("state",),  # closed | open | half-open
+    ),
+    MetricSpec(
+        "breaker_degraded_total", "counter",
+        "Queries routed straight to KBE by an open breaker.",
+    ),
+    # -- segment checkpoints ---------------------------------------------
+    MetricSpec(
+        "checkpoint_segments_total", "counter",
+        "Segment checkpoint events across the shared store, by event.",
+        labels=("event",),  # recorded | resumed | evicted | invalidated
+    ),
+    MetricSpec(
+        "checkpoint_live_bytes", "gauge",
+        "Bytes of materialized segment outputs held by the store.",
     ),
     # -- caches ----------------------------------------------------------
     MetricSpec(

@@ -126,6 +126,12 @@ class QuerySpec:
     distinct: Tuple[str, ...] = ()
     #: Keep only the first N result rows (after ordering).
     limit: Optional[int] = None
+    #: Cooperative-cancellation deadline in simulated device cycles,
+    #: cumulative across resilient retries; ``None`` means no deadline.
+    #: Deliberately excluded from :func:`~repro.plans.optimizer
+    #: .spec_fingerprint` — the plan shape does not depend on it, so
+    #: queries with different deadlines still share plan-cache entries.
+    deadline_cycles: Optional[float] = None
 
     def __post_init__(self) -> None:
         aliases = [ref.alias for ref in self.tables]
@@ -147,6 +153,8 @@ class QuerySpec:
             )
         if self.limit is not None and self.limit < 1:
             raise PlanError("limit must be a positive row count")
+        if self.deadline_cycles is not None and self.deadline_cycles <= 0:
+            raise PlanError("deadline_cycles must be positive when set")
 
     def table_ref(self, alias: str) -> TableRef:
         for ref in self.tables:

@@ -11,18 +11,22 @@ produces a deterministic :class:`ServiceReport` with throughput, p50/p95
 latency, and cache hit/miss counters.
 """
 
+from .breaker import BREAKER_STATES, CircuitBreaker
 from .caches import CacheStats, PlanCache
 from .report import QueryRecord, ServiceReport, percentile
 from .scheduler import POLICIES, ScheduledQuery, Scheduler
-from .service import QueryService
+from .service import QUEUE_POLICIES, QueryService
 
 __all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
     "CacheStats",
     "PlanCache",
     "QueryRecord",
     "ServiceReport",
     "percentile",
     "POLICIES",
+    "QUEUE_POLICIES",
     "ScheduledQuery",
     "Scheduler",
     "QueryService",

@@ -1,0 +1,130 @@
+"""Per-query circuit breakers for the serving layer.
+
+A breaker guards the expensive half of the fallback chain: when a query
+shape keeps faulting on the GPL engines (deadlocks, kernel aborts — the
+errors that force :class:`~repro.core.ResilientExecutor` to fall back),
+re-attempting full pipelined execution on every arrival just burns
+simulated device time before landing on KBE anyway.  The breaker trips
+after ``threshold`` *consecutive* GPL-tier faults and routes subsequent
+arrivals of that query straight to the KBE degrade path (still
+answering, still reference-correct — just without pipelining).
+
+Classic three-state machine, deterministic because the service executes
+drains sequentially:
+
+* ``closed`` — full chain; consecutive faults count toward the trip.
+* ``open`` — degrade to KBE for ``cooldown`` arrivals, then half-open.
+* ``half-open`` — let ``probe_budget`` arrivals try the full chain; one
+  success re-closes, exhausting the budget re-opens.
+
+The breaker never *drops* a query (that is the admission queue's job);
+it only picks which engine chain serves it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["CircuitBreaker", "BREAKER_STATES", "breaker_states"]
+
+#: The states a breaker reports (the ``state`` label of
+#: ``breaker_transitions_total``).
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+class CircuitBreaker:
+    """Breaker for one query shape on the GPL engine tier."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: int = 2,
+        probe_budget: int = 1,
+    ):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be at least 1")
+        if cooldown < 1:
+            raise ValueError("breaker cooldown must be at least 1")
+        if probe_budget < 1:
+            raise ValueError("breaker probe budget must be at least 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.probe_budget = probe_budget
+        self._pending_transitions: List[str] = []
+        self.state = "closed"
+        self._consecutive_faults = 0
+        self._served_while_open = 0
+        self._probes_left = 0
+        self._probing = False
+        # lifetime counters
+        self.trips = 0
+        self.degraded_served = 0
+        self.probes = 0
+
+    def on_arrival(self) -> str:
+        """Decide how the next arrival runs: ``"full"`` or ``"degraded"``.
+
+        May transition ``open -> half-open`` when the cooldown has been
+        served; the transition is returned to the caller via
+        :meth:`drain_transitions`.
+        """
+        if self.state == "open":
+            if self._served_while_open >= self.cooldown:
+                self._transition("half-open")
+                self._probes_left = self.probe_budget
+            else:
+                self._served_while_open += 1
+                self.degraded_served += 1
+                self._probing = False
+                return "degraded"
+        if self.state == "half-open":
+            self.probes += 1
+            self._probing = True
+            return "full"
+        self._probing = False
+        return "full"
+
+    def on_result(self, fault: bool) -> None:
+        """Record the outcome of the arrival :meth:`on_arrival` routed.
+
+        ``fault`` means the GPL tier misbehaved for this query: the
+        resilient execution fell back at least once, or failed outright.
+        Degraded (KBE-routed) arrivals never count as faults — KBE is
+        the degrade path, not the thing being protected.
+        """
+        if self.state == "half-open" and self._probing:
+            if fault:
+                self._probes_left -= 1
+                if self._probes_left <= 0:
+                    self._transition("open")
+                    self._served_while_open = 0
+            else:
+                self._transition("closed")
+                self._consecutive_faults = 0
+            self._probing = False
+            return
+        if self.state == "closed":
+            if fault:
+                self._consecutive_faults += 1
+                if self._consecutive_faults >= self.threshold:
+                    self.trips += 1
+                    self._transition("open")
+                    self._served_while_open = 0
+            else:
+                self._consecutive_faults = 0
+
+    # -- transition log --------------------------------------------------
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self._pending_transitions.append(state)
+
+    def drain_transitions(self) -> List[str]:
+        """New states entered since the last call (for metrics/spans)."""
+        out, self._pending_transitions = self._pending_transitions, []
+        return out
+
+
+def breaker_states(breakers: Dict[str, CircuitBreaker]) -> Dict[str, str]:
+    """Final state per query shape, sorted for deterministic witnesses."""
+    return {name: breakers[name].state for name in sorted(breakers)}

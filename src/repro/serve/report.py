@@ -56,6 +56,12 @@ class QueryRecord:
     num_rows: int = 0
     ok: bool = True
     error: str = ""
+    #: How the query left the service: ``ok`` | ``failed`` |
+    #: ``deadline`` (cancelled past its cycle budget) | ``shed``
+    #: (dropped by the bounded admission queue, never executed).
+    outcome: str = "ok"
+    #: An open circuit breaker routed this query straight to KBE.
+    breaker_degraded: bool = False
 
     @property
     def latency_ms(self) -> float:
@@ -81,6 +87,17 @@ class ServiceReport:
     #: Cost-model drift roll-up (``{"per_query": ..., "overall": ...}``)
     #: accumulated by the service's :class:`~repro.obs.DriftRecorder`.
     drift: Dict[str, object] = field(default_factory=dict)
+    #: Final circuit-breaker state per query shape (empty: breakers off).
+    breaker: Dict[str, str] = field(default_factory=dict)
+    #: Checkpoint-store counter deltas for this drain (recorded /
+    #: resumed / evicted / invalidated segment events).
+    checkpoint: Dict[str, int] = field(default_factory=dict)
+    #: Fault-schedule accounting summed over the drain's executions:
+    #: total scheduled firings, total fired, and the specs that still
+    #: held unspent budget (chaos soaks assert ``faults_unfired == []``).
+    faults_scheduled: int = 0
+    faults_fired_total: int = 0
+    faults_unfired: List[str] = field(default_factory=list)
 
     # -- derived ----------------------------------------------------------
 
@@ -99,6 +116,23 @@ class ServiceReport:
     @property
     def num_rounds(self) -> int:
         return max((r.round for r in self.records), default=-1) + 1
+
+    @property
+    def deadline_exceeded(self) -> int:
+        return sum(1 for r in self.records if r.outcome == "deadline")
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for r in self.records if r.outcome == "shed")
+
+    @property
+    def breaker_degraded(self) -> int:
+        return sum(1 for r in self.records if r.breaker_degraded)
+
+    @property
+    def hard_failures(self) -> int:
+        """Failures that are neither deadline cancellations nor sheds."""
+        return sum(1 for r in self.records if r.outcome == "failed")
 
     @property
     def throughput_qps(self) -> float:
@@ -138,8 +172,23 @@ class ServiceReport:
             "plan_cache": dict(sorted(self.plan_cache.items())),
             "calibration_cache": dict(sorted(self.calibration_cache.items())),
             "search_cache": dict(sorted(self.search_cache.items())),
+            "outcomes": {
+                outcome: sum(
+                    1 for r in self.records if r.outcome == outcome
+                )
+                for outcome in ("ok", "failed", "deadline", "shed")
+            },
+            "breaker": dict(sorted(self.breaker.items())),
+            "breaker_degraded": self.breaker_degraded,
+            "checkpoint": dict(sorted(self.checkpoint.items())),
+            "faults_scheduled": self.faults_scheduled,
+            "faults_fired_total": self.faults_fired_total,
+            "faults_unfired": list(self.faults_unfired),
             "schedule": [
-                (r.index, r.query, r.round, r.slots, r.engine, r.ok)
+                (
+                    r.index, r.query, r.round, r.slots, r.engine, r.ok,
+                    r.outcome, r.breaker_degraded,
+                )
                 for r in self.records
             ],
         }
@@ -154,6 +203,43 @@ class ServiceReport:
             f"latency p50 {self.p50_latency_ms:.3f} ms, "
             f"p95 {self.p95_latency_ms:.3f} ms",
         ]
+        if self.deadline_exceeded or self.shed or self.breaker_degraded:
+            lines.append(
+                f"resilience: {self.deadline_exceeded} deadline-exceeded | "
+                f"{self.shed} shed | "
+                f"{self.breaker_degraded} breaker-degraded"
+            )
+        if self.breaker:
+            open_like = {
+                name: state
+                for name, state in sorted(self.breaker.items())
+                if state != "closed"
+            }
+            if open_like:
+                lines.append(
+                    "breakers: "
+                    + ", ".join(
+                        f"{name}={state}" for name, state in open_like.items()
+                    )
+                )
+        if self.checkpoint.get("recorded") or self.checkpoint.get("resumed"):
+            lines.append(
+                f"checkpoints: {self.checkpoint.get('recorded', 0)} segments "
+                f"recorded, {self.checkpoint.get('resumed', 0)} resumed, "
+                f"{self.checkpoint.get('evicted', 0)} evicted"
+            )
+        if self.faults_scheduled:
+            if self.faults_unfired:
+                lines.append(
+                    f"faults: {self.faults_fired_total} of "
+                    f"{self.faults_scheduled} scheduled firings fired; "
+                    "unfired: " + "; ".join(self.faults_unfired)
+                )
+            else:
+                lines.append(
+                    f"faults: all {self.faults_scheduled} scheduled "
+                    f"firings fired"
+                )
         for label, stats in (
             ("plan cache", self.plan_cache),
             ("calibration cache", self.calibration_cache),
@@ -173,7 +259,16 @@ class ServiceReport:
                 f"under {overall['underestimated_share']:.0%}"
             )
         for r in sorted(self.records, key=lambda r: (r.round, r.index)):
-            status = r.engine if r.ok else f"FAILED ({r.error})"
+            if r.ok:
+                status = r.engine
+                if r.breaker_degraded:
+                    status += " [breaker]"
+            elif r.outcome == "deadline":
+                status = f"DEADLINE ({r.error})"
+            elif r.outcome == "shed":
+                status = f"SHED ({r.error})"
+            else:
+                status = f"FAILED ({r.error})"
             lines.append(
                 f"  #{r.index:<3} {r.query:<6} round {r.round} "
                 f"x{r.slots} slots | wait {r.wait_ms:8.3f} ms + "

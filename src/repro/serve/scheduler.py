@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import GPLConfig
 from ..errors import ExecutionError
+from ..faults import FaultPlan
 from ..plans import PhysicalPlan, QuerySpec
 
 __all__ = ["POLICIES", "ScheduledQuery", "Scheduler"]
@@ -49,6 +50,9 @@ class ScheduledQuery:
     #: Model-chosen per-segment configs (the service's ``tuned`` mode);
     #: ``None`` means the service's baseline config applies throughout.
     segment_configs: Optional[Dict[str, GPLConfig]] = None
+    #: Per-query fault schedule override (chaos harnesses); ``None``
+    #: falls through to the service-wide plan.
+    fault_plan: Optional[FaultPlan] = None
 
 
 class Scheduler:

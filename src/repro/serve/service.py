@@ -32,10 +32,18 @@ counters (given the same starting cache state; see ``docs/serving.md``).
 
 from __future__ import annotations
 
+from collections import Counter as _Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import GPLConfig, GPLEngine, QueryResult, ResilientExecutor
-from ..errors import ReproError
+from ..cancel import CancellationToken
+from ..core import (
+    CheckpointStore,
+    GPLConfig,
+    GPLEngine,
+    QueryResult,
+    ResilientExecutor,
+)
+from ..errors import DeadlineExceededError, ExecutionError, ReproError
 from ..faults import FaultInjector, FaultPlan
 from ..gpu import DeviceSpec
 from ..model import (
@@ -46,14 +54,20 @@ from ..model import (
     search_cache_stats,
 )
 from ..obs import DriftRecorder, MetricsRegistry
-from ..obs.tracing import maybe_span
+from ..obs.tracing import add_event, maybe_span
 from ..plans import QuerySpec
 from ..relational import Database
+from .breaker import CircuitBreaker, breaker_states
 from .caches import PlanCache
 from .report import QueryRecord, ServiceReport
 from .scheduler import ScheduledQuery, Scheduler
 
-__all__ = ["QueryService"]
+__all__ = ["QueryService", "QUEUE_POLICIES"]
+
+#: Backpressure policies for the bounded admission queue: ``reject``
+#: sheds the *arriving* query, ``shed-oldest`` drops the oldest queued
+#: ticket to make room (freshness-biased serving).
+QUEUE_POLICIES: Tuple[str, ...] = ("reject", "shed-oldest")
 
 
 def _stats_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
@@ -88,7 +102,21 @@ class QueryService:
         plan_cache: Optional[PlanCache] = None,
         tuned: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        default_deadline_cycles: Optional[float] = None,
+        breaker_threshold: Optional[int] = 3,
+        breaker_cooldown: int = 2,
+        breaker_probes: int = 1,
+        max_pending: Optional[int] = None,
+        queue_policy: str = "reject",
+        checkpoint_store: Optional[CheckpointStore] = None,
     ):
+        if queue_policy not in QUEUE_POLICIES:
+            raise ExecutionError(
+                f"unknown queue policy {queue_policy!r}; "
+                f"expected one of {QUEUE_POLICIES}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ExecutionError("max_pending must be at least 1")
         self.database = database
         self.device = device
         self.config = config or GPLConfig()
@@ -115,9 +143,30 @@ class QueryService:
         #: Predicted-vs-measured cycles per completed query (Figs 11/24
         #: from live telemetry); feeds ``model_drift_*`` metrics.
         self.drift = DriftRecorder(registry=self.registry)
+        #: Service-level deadline applied to every query whose spec does
+        #: not carry its own ``deadline_cycles``.
+        self.default_deadline_cycles = default_deadline_cycles
+        #: Circuit-breaker tuning; ``breaker_threshold=None`` (or the
+        #: non-resilient mode, which has no fallback chain to protect)
+        #: disables breakers entirely.
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.breaker_probes = breaker_probes
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        #: Bounded admission queue: ``None`` keeps the historical
+        #: unbounded behaviour.
+        self.max_pending = max_pending
+        self.queue_policy = queue_policy
+        #: Shared segment-checkpoint pool, bounded service-wide; every
+        #: resilient execution resumes retries through it.
+        self.checkpoint_store = (
+            checkpoint_store if checkpoint_store is not None
+            else CheckpointStore()
+        )
         #: Ticket -> result for every completed query this service ran.
         self.results: Dict[int, QueryResult] = {}
-        self._queue: List[Tuple[int, QuerySpec]] = []
+        self._queue: List[Tuple[int, QuerySpec, Optional[FaultPlan]]] = []
+        self._shed: List[Tuple[int, QuerySpec]] = []
         self._next_ticket = 0
         self._search: Optional[ConfigurationSearch] = None
 
@@ -128,11 +177,39 @@ class QueryService:
         """Queued-but-not-yet-drained query count."""
         return len(self._queue)
 
-    def enqueue(self, spec: QuerySpec) -> int:
-        """Queue a query; returns its ticket (the submission index)."""
+    def enqueue(
+        self, spec: QuerySpec, fault_plan: Optional[FaultPlan] = None
+    ) -> int:
+        """Queue a query; returns its ticket (the submission index).
+
+        ``fault_plan`` overrides the service-wide plan for this query
+        only (chaos harnesses use it to vary schedules per query).  When
+        the queue is bounded (``max_pending``) and full, backpressure
+        applies: ``reject`` sheds the arriving query, ``shed-oldest``
+        drops the oldest queued ticket instead.  Shed queries are never
+        executed; they surface in the next drain's report with outcome
+        ``shed`` (and in :attr:`results` not at all).
+        """
         ticket = self._next_ticket
         self._next_ticket += 1
-        self._queue.append((ticket, spec))
+        if (
+            self.max_pending is not None
+            and len(self._queue) >= self.max_pending
+        ):
+            if self.queue_policy == "reject":
+                self._shed.append((ticket, spec))
+                add_event(
+                    "serve.shed", query=spec.name, ticket=ticket,
+                    policy=self.queue_policy,
+                )
+                return ticket
+            oldest = self._queue.pop(0)
+            self._shed.append((oldest[0], oldest[1]))
+            add_event(
+                "serve.shed", query=oldest[1].name, ticket=oldest[0],
+                policy=self.queue_policy,
+            )
+        self._queue.append((ticket, spec, fault_plan))
         return ticket
 
     def submit(self, spec: QuerySpec) -> QueryResult:
@@ -140,20 +217,26 @@ class QueryService:
 
         The query still flows through every cache, so a warmed service
         answers synchronous traffic without re-planning; it runs alone,
-        so it gets the full device.
+        so it gets the full device.  The sync path bypasses the bounded
+        queue too — backpressure is a property of the backlog.
         """
         ticket = self._next_ticket
         self._next_ticket += 1
-        self._drain_batch([(ticket, spec)])
+        self._drain_batch([(ticket, spec, None)])
         result = self.results.get(ticket)
         if result is None:
             raise self._last_error  # failure of a sync submit propagates
         return result
 
     def drain(self) -> ServiceReport:
-        """Schedule and execute the whole backlog; empty the queue."""
+        """Schedule and execute the whole backlog; empty the queue.
+
+        Queries shed by the bounded queue since the last drain surface
+        in this drain's report (outcome ``shed``, never executed).
+        """
         batch, self._queue = self._queue, []
-        return self._drain_batch(batch)
+        shed, self._shed = self._shed, []
+        return self._drain_batch(batch, shed)
 
     def run(self, specs: Sequence[QuerySpec]) -> ServiceReport:
         """Convenience: enqueue a trace, then drain it."""
@@ -200,11 +283,11 @@ class QueryService:
         )
 
     def _plan_queries(
-        self, batch: Sequence[Tuple[int, QuerySpec]]
+        self, batch: Sequence[Tuple[int, QuerySpec, Optional[FaultPlan]]]
     ) -> List[ScheduledQuery]:
         probe = self._probe_engine()
         planned: List[ScheduledQuery] = []
-        for ticket, spec in batch:
+        for ticket, spec, fault_plan in batch:
             with maybe_span(
                 "serve.plan", category="serve", query=spec.name, ticket=ticket
             ):
@@ -229,29 +312,60 @@ class QueryService:
                         plan_cache_hit=self.plan_cache.stats.hits
                         > hits_before,
                         segment_configs=segment_configs,
+                        fault_plan=fault_plan,
                     )
                 )
         return planned
 
+    def _breaker_for(self, query: str) -> Optional[CircuitBreaker]:
+        """The breaker guarding one query shape (lazily created).
+
+        Breakers only exist in resilient mode with a threshold set: the
+        non-resilient path has no fallback chain for a breaker to
+        short-circuit.
+        """
+        if not self.resilient or not self.breaker_threshold:
+            return None
+        breaker = self._breakers.get(query)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+                probe_budget=self.breaker_probes,
+            )
+            self._breakers[query] = breaker
+        return breaker
+
     def _execute_one(
-        self, query: ScheduledQuery, slots: int, budget_share: float
+        self,
+        query: ScheduledQuery,
+        slots: int,
+        budget_share: float,
+        degraded: bool = False,
     ) -> QueryResult:
         device = (
             self.device
             if slots == self.device.concurrency
             else self.device.with_overrides(concurrency=slots)
         )
+        fault_plan = (
+            query.fault_plan if query.fault_plan is not None
+            else self.fault_plan
+        )
         if self.resilient:
             executor = ResilientExecutor(
                 self.database,
                 device,
                 config=self.config,
-                fault_plan=self.fault_plan,
+                fault_plan=fault_plan,
                 memory_budget_bytes=budget_share,
                 max_retries=self.max_retries,
+                engines=("kbe",) if degraded else ("gpl", "gpl-woce", "kbe"),
                 partitioned_joins=self.partitioned_joins,
                 plan_cache=self.plan_cache,
                 segment_configs=query.segment_configs,
+                deadline_cycles=self.default_deadline_cycles,
+                checkpoint_store=self.checkpoint_store,
             )
             return executor.execute(query.spec)
         engine = GPLEngine(
@@ -262,12 +376,23 @@ class QueryService:
             partitioned_joins=self.partitioned_joins,
         )
         engine.plan_cache = self.plan_cache
-        if self.fault_plan is not None:
-            engine.fault_injector = FaultInjector(self.fault_plan)
+        if fault_plan is not None:
+            engine.fault_injector = FaultInjector(fault_plan)
+        deadline = (
+            query.spec.deadline_cycles
+            if query.spec.deadline_cycles is not None
+            else self.default_deadline_cycles
+        )
+        if deadline is not None:
+            engine.cancellation = CancellationToken(
+                deadline, query=query.spec.name
+            )
         return engine.execute(query.spec)
 
     def _drain_batch(
-        self, batch: Sequence[Tuple[int, QuerySpec]]
+        self,
+        batch: Sequence[Tuple[int, QuerySpec, Optional[FaultPlan]]],
+        shed: Sequence[Tuple[int, QuerySpec]] = (),
     ) -> ServiceReport:
         with maybe_span(
             "serve.drain",
@@ -275,14 +400,17 @@ class QueryService:
             policy=self.scheduler.policy,
             queries=len(batch),
         ):
-            return self._drain_batch_inner(batch)
+            return self._drain_batch_inner(batch, shed)
 
     def _drain_batch_inner(
-        self, batch: Sequence[Tuple[int, QuerySpec]]
+        self,
+        batch: Sequence[Tuple[int, QuerySpec, Optional[FaultPlan]]],
+        shed: Sequence[Tuple[int, QuerySpec]] = (),
     ) -> ServiceReport:
         plan_before = self.plan_cache.stats.as_dict()
         calibration_before = calibration_cache_stats()
         search_before = search_cache_stats()
+        checkpoint_before = self.checkpoint_store.counters_dict()
 
         planned = self._plan_queries(batch)
         ordered = self.scheduler.order(planned)
@@ -291,6 +419,18 @@ class QueryService:
         )
 
         records: List[QueryRecord] = []
+        faults_scheduled = 0
+        faults_fired_total = 0
+        faults_unfired: "_Counter[str]" = _Counter()
+
+        def harvest_faults(resilience) -> None:
+            nonlocal faults_scheduled, faults_fired_total
+            if resilience is None:
+                return
+            faults_scheduled += resilience.faults_scheduled
+            faults_fired_total += sum(resilience.faults_fired.values())
+            faults_unfired.update(resilience.faults_unfired)
+
         clock_ms = 0.0
         self._last_error: Optional[ReproError] = None
         for round_index, members in enumerate(rounds):
@@ -305,6 +445,20 @@ class QueryService:
                 slots=slots,
             ):
                 for query in members:
+                    breaker = self._breaker_for(query.spec.name)
+                    degraded = False
+                    if breaker is not None:
+                        degraded = breaker.on_arrival() == "degraded"
+                        self._emit_breaker_events(query.spec.name, breaker)
+                        if degraded:
+                            self.registry.counter(
+                                "breaker_degraded_total"
+                            ).inc()
+                            add_event(
+                                "serve.breaker_degraded",
+                                query=query.spec.name,
+                                ticket=query.index,
+                            )
                     with maybe_span(
                         "serve.query",
                         category="serve",
@@ -313,10 +467,23 @@ class QueryService:
                     ) as span:
                         try:
                             result = self._execute_one(
-                                query, slots, budget_share
+                                query, slots, budget_share, degraded=degraded
                             )
                         except ReproError as exc:
+                            is_deadline = isinstance(
+                                exc, DeadlineExceededError
+                            )
                             self._last_error = exc
+                            harvest_faults(
+                                getattr(exc, "resilience", None)
+                            )
+                            if breaker is not None:
+                                # A deadline says the time budget ran
+                                # out, not that GPL faulted.
+                                breaker.on_result(fault=not is_deadline)
+                                self._emit_breaker_events(
+                                    query.spec.name, breaker
+                                )
                             if span is not None:
                                 span.attrs["ok"] = False
                             records.append(
@@ -333,6 +500,11 @@ class QueryService:
                                     plan_cache_hit=query.plan_cache_hit,
                                     ok=False,
                                     error=str(exc).splitlines()[0],
+                                    outcome=(
+                                        "deadline" if is_deadline
+                                        else "failed"
+                                    ),
+                                    breaker_degraded=degraded,
                                 )
                             )
                             continue
@@ -340,6 +512,19 @@ class QueryService:
                             span.attrs["ok"] = True
                             span.attrs["engine"] = result.engine
                     self.results[query.index] = result
+                    harvest_faults(result.resilience)
+                    if breaker is not None:
+                        # The GPL tier misbehaved if the resilient run
+                        # had to fall off it; a degraded (KBE-routed)
+                        # run says nothing about GPL health.
+                        resilience = result.resilience
+                        fault = (
+                            not degraded
+                            and resilience is not None
+                            and resilience.fallbacks > 0
+                        )
+                        breaker.on_result(fault=fault)
+                        self._emit_breaker_events(query.spec.name, breaker)
                     round_makespan = max(round_makespan, result.elapsed_ms)
                     self.drift.record(
                         query=query.spec.name,
@@ -361,9 +546,29 @@ class QueryService:
                             exec_ms=result.elapsed_ms,
                             plan_cache_hit=query.plan_cache_hit,
                             num_rows=result.num_rows,
+                            breaker_degraded=degraded,
                         )
                     )
             clock_ms += round_makespan
+
+        for ticket, spec in shed:
+            records.append(
+                QueryRecord(
+                    index=ticket,
+                    query=spec.name,
+                    engine="",
+                    round=-1,
+                    slots=0,
+                    est_cost_cycles=0.0,
+                    footprint_bytes=0.0,
+                    wait_ms=0.0,
+                    exec_ms=0.0,
+                    plan_cache_hit=False,
+                    ok=False,
+                    error=f"shed by bounded queue ({self.queue_policy})",
+                    outcome="shed",
+                )
+            )
 
         report = ServiceReport(
             device=self.device.name,
@@ -379,6 +584,18 @@ class QueryService:
                 calibration_cache_stats(), calibration_before
             ),
             search_cache=_stats_delta(search_cache_stats(), search_before),
+            breaker=breaker_states(self._breakers),
+            checkpoint={
+                key: self.checkpoint_store.counters_dict()[key]
+                - checkpoint_before[key]
+                for key in ("recorded", "resumed", "evicted", "invalidated")
+            },
+            faults_scheduled=faults_scheduled,
+            faults_fired_total=faults_fired_total,
+            faults_unfired=[
+                spec if count == 1 else f"{spec} x{count}"
+                for spec, count in sorted(faults_unfired.items())
+            ],
         )
         self._record_metrics(report, len(rounds))
         report.metrics = self.registry.to_json()
@@ -388,15 +605,41 @@ class QueryService:
         }
         return report
 
+    def _emit_breaker_events(
+        self, query: str, breaker: CircuitBreaker
+    ) -> None:
+        """Export any new breaker transitions as metrics + span events."""
+        for state in breaker.drain_transitions():
+            self.registry.counter("breaker_transitions_total").inc(
+                state=state
+            )
+            add_event("serve.breaker", query=query, state=state)
+
     def _record_metrics(self, report: ServiceReport, num_rounds: int) -> None:
         """Fold one drain's outcome into the service's metrics registry."""
         registry = self.registry
         registry.counter("serve_drains_total").inc()
         registry.counter("serve_rounds_total").inc(num_rounds)
         registry.gauge("serve_makespan_ms").set(report.makespan_ms)
+        if report.deadline_exceeded:
+            registry.counter("serve_deadline_exceeded_total").inc(
+                report.deadline_exceeded
+            )
+        if report.shed:
+            registry.counter("serve_shed_total").inc(
+                report.shed, policy=self.queue_policy
+            )
+        for event, count in sorted(report.checkpoint.items()):
+            if count > 0:
+                registry.counter("checkpoint_segments_total").inc(
+                    count, event=event
+                )
+        registry.gauge("checkpoint_live_bytes").set(
+            self.checkpoint_store.live_bytes
+        )
         for record in report.records:
             registry.counter("serve_queries_total").inc(
-                status="ok" if record.ok else "failed"
+                status=record.outcome
             )
             if record.ok:
                 registry.histogram("serve_wait_ms").observe(record.wait_ms)

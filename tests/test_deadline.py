@@ -1,0 +1,186 @@
+"""Deadlines and cooperative cancellation.
+
+The contract: a query past its cycle budget raises a typed
+``DeadlineExceededError`` (never a hang, never a masked generic error),
+the budget is cumulative across resilient retries and fallbacks, a
+stalled pipeline under a deadline surfaces as the deadline error (it
+will blow any finite budget) while staying ``PipelineDeadlockError``
+without one, and the CLI maps deadline errors to their own exit code 3.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cancel import CancellationToken
+from repro.core import ResilientExecutor
+from repro.core.engine import GPLEngine
+from repro.errors import DeadlineExceededError, PipelineDeadlockError
+from repro.faults import FaultInjector, FaultPlan
+from repro.tpch import query_by_name
+
+
+class TestToken:
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ValueError):
+            CancellationToken(0)
+        with pytest.raises(ValueError):
+            CancellationToken(-5.0)
+
+    def test_unarmed_token_never_expires(self):
+        token = CancellationToken()
+        assert not token.active
+        assert token.remaining_cycles(1e18) == float("inf")
+        token.check(1e18)  # no deadline, no raise
+
+    def test_charge_accumulates_across_runs(self):
+        token = CancellationToken(100.0, query="Q")
+        token.charge(60.0)
+        token.charge(30.0)
+        assert token.remaining_cycles() == pytest.approx(10.0)
+        token.check(run_cycles=10.0)  # exactly at the line: not expired
+        with pytest.raises(DeadlineExceededError) as info:
+            token.check(run_cycles=11.0, where="seg")
+        assert info.value.deadline_cycles == 100.0
+        assert info.value.elapsed_cycles == pytest.approx(101.0)
+        assert info.value.where == "seg"
+
+    def test_cancel_fires_without_deadline(self):
+        token = CancellationToken(query="Q")
+        token.cancel("shutting down")
+        assert token.active
+        with pytest.raises(DeadlineExceededError, match="shutting down"):
+            token.check()
+
+
+class TestEngineDeadline:
+    def test_spec_deadline_cancels_bare_engine(self, tiny_db, amd):
+        spec = dataclasses.replace(
+            query_by_name("Q14"), deadline_cycles=100.0
+        )
+        with pytest.raises(DeadlineExceededError) as info:
+            GPLEngine(tiny_db, amd).execute(spec)
+        assert info.value.elapsed_cycles > 100.0
+
+    def test_generous_deadline_is_invisible(self, tiny_db, amd):
+        spec = query_by_name("Q14")
+        plain = GPLEngine(tiny_db, amd).execute(spec)
+        bounded = GPLEngine(tiny_db, amd).execute(
+            dataclasses.replace(spec, deadline_cycles=1e12)
+        )
+        assert bounded.sorted_rows() == plain.sorted_rows()
+        assert bounded.counters.elapsed_cycles == pytest.approx(
+            plain.counters.elapsed_cycles
+        )
+
+    def test_deadline_is_fatal_in_resilient_mode(self, tiny_db, amd):
+        """No retry or fallback can un-spend cycles: the chain stops."""
+        executor = ResilientExecutor(tiny_db, amd, deadline_cycles=100.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            executor.execute(query_by_name("Q14"))
+        report = info.value.resilience
+        assert report.deadline_exceeded
+        assert len(report.attempts) == 1
+        assert report.attempts[0].outcome == "deadline-exceeded"
+        assert report.fallbacks == 0
+
+    def test_budget_spans_retries(self, tiny_db, amd):
+        """Cycles burned by a failed attempt count against the budget."""
+        spec = query_by_name("Q14")
+        clean = ResilientExecutor(tiny_db, amd).execute(spec)
+        clean_cycles = clean.counters.elapsed_cycles
+        # Enough for one clean run, not for a faulted run plus a retry
+        # (the retry resumes checkpoints, but the failed attempt's
+        # cycles were already spent).
+        executor = ResilientExecutor(
+            tiny_db,
+            amd,
+            fault_plan=FaultPlan.parse("oom@main"),
+            deadline_cycles=clean_cycles * 1.05,
+            checkpoints=False,
+        )
+        with pytest.raises(DeadlineExceededError):
+            executor.execute(spec)
+
+    def test_spec_deadline_overrides_executor_default(self, tiny_db, amd):
+        executor = ResilientExecutor(tiny_db, amd, deadline_cycles=100.0)
+        spec = dataclasses.replace(
+            query_by_name("Q14"), deadline_cycles=1e12
+        )
+        result = executor.execute(spec)  # generous spec deadline wins
+        assert not result.resilience.deadline_exceeded
+
+
+class TestWatchdogInterplay:
+    """A wedged pipeline is a deadlock without a deadline, a deadline
+    error with one — the watchdog picks the caller's vocabulary."""
+
+    def _stalled_engine(self, db, device):
+        engine = GPLEngine(db, device)
+        engine.fault_injector = FaultInjector(FaultPlan.parse("stall@main"))
+        return engine
+
+    def test_stall_without_deadline_is_deadlock(self, tiny_db, amd):
+        with pytest.raises(PipelineDeadlockError):
+            self._stalled_engine(tiny_db, amd).execute(query_by_name("Q14"))
+
+    def test_stall_with_deadline_is_deadline_error(self, tiny_db, amd):
+        spec = dataclasses.replace(
+            query_by_name("Q14"), deadline_cycles=1e12
+        )
+        with pytest.raises(DeadlineExceededError) as info:
+            self._stalled_engine(tiny_db, amd).execute(spec)
+        # The wedge, not the budget, ended the query — the snapshot's
+        # diagnosis survives in the message.
+        assert "stall" in str(info.value) or "never" in str(info.value)
+
+    def test_deadline_error_is_not_absorbed_by_chain(self, tiny_db, amd):
+        """Resilient + stall + deadline: the chain would absorb the
+        stall (w/o CE has no channels), but the deadline verdict is
+        final — the executor must not retry its way around it."""
+        executor = ResilientExecutor(
+            tiny_db,
+            amd,
+            fault_plan=FaultPlan.parse("stall@main"),
+            deadline_cycles=1e12,
+        )
+        with pytest.raises(DeadlineExceededError):
+            executor.execute(query_by_name("Q14"))
+
+
+class TestCLIExitCodes:
+    def test_run_deadline_exits_3(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["run", "Q14", "--scale", "0.002", "--deadline-cycles", "100"]
+        )
+        assert code == 3
+        assert "DeadlineExceededError" in capsys.readouterr().err
+
+    def test_resilient_run_deadline_exits_3(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "run", "Q14", "--scale", "0.002", "--resilient",
+                "--deadline-cycles", "100",
+            ]
+        )
+        assert code == 3
+
+    def test_stall_with_deadline_exits_3_not_2(self, capsys):
+        from repro.__main__ import main
+
+        base = ["run", "Q14", "--scale", "0.002", "--inject-faults", "stall"]
+        assert main(base) == 2  # deadlock: generic typed-error exit
+        capsys.readouterr()
+        assert main(base + ["--deadline-cycles", "1e12"]) == 3
+
+    def test_generous_deadline_exits_0(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["run", "Q14", "--scale", "0.002", "--deadline-cycles", "1e12"]
+        )
+        assert code == 0

@@ -299,6 +299,14 @@ class TestExecutorConfig:
             "admission_shrinks": 0,
             "admission_rejections": 0,
             "calibration_misses": 0,
+            "deadline_exceeded": False,
+            # Checkpoints are recorded even on clean runs (the first
+            # attempt cannot know it will succeed); nothing is resumed.
+            "segments_recorded": 3,
+            "segments_resumed": 0,
+            "segments_invalidated": 0,
+            "faults_scheduled": 0,
+            "faults_unfired": [],
             "faults_fired": {},
             "attempts": [("GPL", GPLConfig().tile_bytes, "ok")],
         }

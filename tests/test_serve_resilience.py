@@ -1,0 +1,307 @@
+"""Serving resilience: breakers, backpressure, deadlines, fault audit.
+
+The contract: every way a query can leave the service — ``ok``,
+``failed``, ``deadline``, ``shed`` — is distinguishable in the report
+counters, the Prometheus export, and the CLI exit code; circuit
+breakers degrade repeat offenders to KBE without dropping them; the
+bounded queue sheds deterministically per policy; and every drain
+audits its fault schedule (scheduled vs fired vs unfired).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+from repro.gpu import AMD_A10
+from repro.serve import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    QUEUE_POLICIES,
+    QueryService,
+)
+from repro.tpch import q5, q9, q14, query_by_name
+
+
+def service_for(db, **kwargs):
+    kwargs.setdefault("max_concurrent", 4)
+    return QueryService(db, AMD_A10, **kwargs)
+
+
+class TestCircuitBreakerUnit:
+    def test_validates_parameters(self):
+        for bad in ({"threshold": 0}, {"cooldown": 0}, {"probe_budget": 0}):
+            with pytest.raises(ValueError):
+                CircuitBreaker(**bad)
+
+    def test_trips_only_on_consecutive_faults(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.on_arrival(); breaker.on_result(fault=True)
+        breaker.on_arrival(); breaker.on_result(fault=False)  # resets
+        breaker.on_arrival(); breaker.on_result(fault=True)
+        assert breaker.state == "closed"
+        breaker.on_arrival(); breaker.on_result(fault=True)
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+
+    def test_open_serves_cooldown_degraded_then_half_opens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=2, probe_budget=1)
+        breaker.on_arrival(); breaker.on_result(fault=True)
+        assert breaker.state == "open"
+        assert breaker.on_arrival() == "degraded"
+        assert breaker.on_arrival() == "degraded"
+        assert breaker.on_arrival() == "full"  # half-open probe
+        assert breaker.state == "half-open"
+        assert breaker.degraded_served == 2
+
+    def test_successful_probe_closes_failing_probe_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1, probe_budget=1)
+        breaker.on_arrival(); breaker.on_result(fault=True)
+        breaker.on_arrival()  # degraded (cooldown)
+        breaker.on_result(fault=False)  # degraded results never count
+        assert breaker.on_arrival() == "full"
+        breaker.on_result(fault=True)  # probe faulted
+        assert breaker.state == "open"
+        breaker.on_arrival()  # degraded again
+        assert breaker.on_arrival() == "full"
+        breaker.on_result(fault=False)  # clean probe
+        assert breaker.state == "closed"
+
+    def test_transitions_drain_in_order(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1, probe_budget=1)
+        breaker.on_arrival(); breaker.on_result(fault=True)
+        breaker.on_arrival()
+        breaker.on_arrival(); breaker.on_result(fault=False)
+        assert breaker.drain_transitions() == ["open", "half-open", "closed"]
+        assert breaker.drain_transitions() == []
+        assert all(state in BREAKER_STATES for state in ("open", "half-open"))
+
+
+class TestBreakerService:
+    def test_breaker_degrades_repeat_offender(self, tiny_db):
+        service = service_for(
+            tiny_db,
+            fault_plan=FaultPlan.parse("stall@main,times=10"),
+            breaker_threshold=2,
+            breaker_cooldown=2,
+        )
+        report = service.run([q14() for _ in range(6)])
+        assert report.completed == 6  # degraded, never dropped
+        assert report.breaker_degraded >= 1
+        degraded = [r for r in report.records if r.breaker_degraded]
+        assert all(r.engine == "KBE" for r in degraded)
+        assert report.breaker == {"Q14": service._breakers["Q14"].state}
+
+    def test_degraded_rows_match_clean_rows(self, tiny_db):
+        faulty = service_for(
+            tiny_db,
+            fault_plan=FaultPlan.parse("stall@main,times=10"),
+            breaker_threshold=1,
+            breaker_cooldown=4,
+        )
+        faulty.run([q14() for _ in range(3)])
+        reference = service_for(tiny_db).submit(q14()).sorted_rows()
+        for ticket in sorted(faulty.results):
+            assert faulty.results[ticket].sorted_rows() == reference
+
+    def test_breaker_disabled_when_threshold_none(self, tiny_db):
+        service = service_for(
+            tiny_db,
+            fault_plan=FaultPlan.parse("stall@main,times=10"),
+            breaker_threshold=None,
+        )
+        report = service.run([q14() for _ in range(4)])
+        assert report.breaker_degraded == 0
+        assert report.breaker == {}
+
+    def test_deadline_errors_do_not_trip_breaker(self, tiny_db):
+        service = service_for(
+            tiny_db, breaker_threshold=1, default_deadline_cycles=100.0
+        )
+        report = service.run([q14() for _ in range(3)])
+        assert report.deadline_exceeded == 3
+        assert report.breaker_degraded == 0
+        assert service._breakers["Q14"].state == "closed"
+
+
+class TestBoundedQueue:
+    def test_queue_policies_constant(self):
+        assert QUEUE_POLICIES == ("reject", "shed-oldest")
+        with pytest.raises(ReproError):
+            service_for(None, queue_policy="drop-newest")
+        with pytest.raises(ReproError):
+            service_for(None, max_pending=0)
+
+    def test_reject_sheds_arriving_query(self, tiny_db):
+        service = service_for(tiny_db, max_pending=2, queue_policy="reject")
+        tickets = [service.enqueue(q) for q in (q5(), q9(), q14())]
+        assert service.pending == 2
+        report = service.drain()
+        shed = [r for r in report.records if r.outcome == "shed"]
+        assert [r.index for r in shed] == [tickets[2]]  # the newest
+        assert shed[0].query == "Q14"
+        assert shed[0].round == -1 and not shed[0].ok
+        assert tickets[2] not in service.results
+
+    def test_shed_oldest_drops_head_of_queue(self, tiny_db):
+        service = service_for(
+            tiny_db, max_pending=2, queue_policy="shed-oldest"
+        )
+        tickets = [service.enqueue(q) for q in (q5(), q9(), q14())]
+        report = service.drain()
+        shed = [r for r in report.records if r.outcome == "shed"]
+        assert [r.index for r in shed] == [tickets[0]]  # the oldest
+        assert report.shed == 1 and report.completed == 2
+        assert tickets[2] in service.results
+
+    def test_sync_submit_bypasses_backpressure(self, tiny_db):
+        service = service_for(tiny_db, max_pending=1)
+        service.enqueue(q5())
+        result = service.submit(q14())  # full queue, still answered
+        assert result.num_rows > 0
+        assert service.pending == 1
+
+
+class TestOutcomeDistinguishability:
+    """One drain, four fates — every surface tells them apart."""
+
+    def _mixed_report(self, db):
+        service = service_for(
+            db,
+            max_pending=3,
+            queue_policy="reject",
+            resilient=False,
+        )
+        service.enqueue(q5())
+        service.enqueue(
+            dataclasses.replace(q9(), deadline_cycles=100.0)
+        )
+        service.enqueue(q14(), fault_plan=FaultPlan.parse("abort@*:*"))
+        service.enqueue(q14())  # over max_pending: shed
+        return service, service.drain()
+
+    def test_counters_partition_outcomes(self, tiny_db):
+        service, report = self._mixed_report(tiny_db)
+        counters = report.counters_dict()
+        assert counters["outcomes"] == {
+            "ok": 1, "failed": 1, "deadline": 1, "shed": 1,
+        }
+        assert report.completed == 1
+        assert report.hard_failures == 1
+        assert report.deadline_exceeded == 1
+        assert report.shed == 1
+        # Schedule tuples carry the outcome per record.
+        outcomes = {t[0]: t[6] for t in counters["schedule"]}
+        assert sorted(outcomes.values()) == [
+            "deadline", "failed", "ok", "shed",
+        ]
+
+    def test_prometheus_export_distinguishes(self, tiny_db):
+        service, report = self._mixed_report(tiny_db)
+        text = service.registry.to_prometheus()
+        assert 'serve_queries_total{status="ok"} 1' in text
+        assert 'serve_queries_total{status="failed"} 1' in text
+        assert 'serve_queries_total{status="deadline"} 1' in text
+        assert 'serve_queries_total{status="shed"} 1' in text
+        assert "serve_deadline_exceeded_total 1" in text
+        assert 'serve_shed_total{policy="reject"} 1' in text
+
+    def test_to_text_labels_every_fate(self, tiny_db):
+        _, report = self._mixed_report(tiny_db)
+        text = report.to_text()
+        assert "DEADLINE" in text
+        assert "SHED" in text
+        assert "FAILED" in text
+        assert "resilience: 1 deadline-exceeded | 1 shed" in text
+
+
+class TestCLIServeExitCodes:
+    def test_deadline_only_exits_3(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "serve", "--queries", "Q14", "--repeat", "1",
+                "--scale", "0.002", "--deadline-cycles", "100",
+            ]
+        )
+        assert code == 3
+        assert "DEADLINE" in capsys.readouterr().out
+
+    def test_shed_only_exits_4(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "serve", "--queries", "Q5,Q9,Q14", "--repeat", "1",
+                "--scale", "0.002", "--max-pending", "2",
+                "--queue-policy", "shed-oldest",
+            ]
+        )
+        assert code == 4
+        assert "SHED" in capsys.readouterr().out
+
+    def test_hard_failure_outranks_both(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "serve", "--queries", "Q5,Q14", "--repeat", "1",
+                "--scale", "0.002", "--no-resilient",
+                "--inject-faults", "abort@*:*",
+                "--max-pending", "1", "--queue-policy", "reject",
+            ]
+        )
+        assert code == 1
+
+
+class TestFaultAudit:
+    def test_unfired_faults_reported(self, tiny_db):
+        service = service_for(
+            tiny_db,
+            fault_plan=FaultPlan.parse("oom@no_such_segment,times=3"),
+        )
+        report = service.run([q14()])
+        assert report.faults_scheduled == 3
+        assert report.faults_fired_total == 0
+        assert len(report.faults_unfired) == 1
+        assert "unfired" in report.to_text()
+
+    def test_exhausted_schedule_reports_all_fired(self, tiny_db):
+        service = service_for(tiny_db, fault_plan=FaultPlan.parse("oom"))
+        report = service.run([q14()])
+        assert report.faults_scheduled == 1
+        assert report.faults_fired_total == 1
+        assert report.faults_unfired == []
+        assert "all 1 scheduled firings fired" in report.to_text()
+
+
+class TestSoakSmoke:
+    def test_tiny_soak_is_deterministic(self, tmp_path):
+        import importlib.util
+        import json
+        import pathlib
+
+        script = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "scripts" / "soak.py"
+        )
+        spec = importlib.util.spec_from_file_location("_soak", script)
+        soak = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(soak)
+
+        out = tmp_path / "SOAK_test.json"
+        code = soak.main(
+            [
+                "--queries", "25", "--runs", "2", "--scale", "0.002",
+                "--quiet", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["submitted"] == 25
+        assert sum(payload["outcomes"].values()) == 25
+        assert payload["faults_fired"] <= payload["faults_scheduled"]
+        # The recorded baseline re-verifies against itself.
+        assert soak.check(str(out), verbose=False) == 0
