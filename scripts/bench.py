@@ -2,7 +2,9 @@
 """Perf-trajectory benchmark harness.
 
 Runs a fixed suite — Q5/Q9 x {GPL, KBE} x SF {0.1, 0.5} plus a serve
-drain — and writes ``BENCH_<label>.json`` next to the repository root so
+drain and a sharded serve drain (the same trace on a 1-device vs a
+4-device pool) — and writes ``BENCH_<label>.json`` next to the
+repository root so
 every performance PR carries machine-readable before/after evidence from
 the same machine:
 
@@ -18,8 +20,11 @@ visible in the recorded cache counters.
 
 The JSON layout is stable: ``meta`` (label, git revision, python/numpy
 versions), ``entries`` (one per query x engine x scale with wall-clock
-milliseconds, result rows, a result checksum, and simulator cycles) and
-``serve`` (drain wall-clock, throughput, and cache/search stats).
+milliseconds, result rows, a result checksum, and simulator cycles),
+``serve`` (drain wall-clock, throughput, and cache/search stats) and
+``shard`` (per-pool-size simulated makespan, the 1->4 device
+``sim_speedup``, and per-query checksums that must match across pool
+sizes).
 Compare two files with::
 
     python scripts/bench.py --diff BENCH_baseline.json BENCH_after.json
@@ -49,6 +54,8 @@ ENGINES = ("GPL", "KBE")
 SERVE_QUERIES = ("Q5", "Q9", "Q14")
 SERVE_REPEAT = 3
 SERVE_SCALE = 0.1
+#: Pool sizes for the sharded serve drain (single device vs a fleet).
+SHARD_DEVICES = (1, 4)
 
 
 def _git_rev() -> str:
@@ -167,7 +174,71 @@ def run_suite(scales, repeats: int) -> dict:
         f" serve sf={serve_scale}: {serve_ms:.1f} ms, "
         f"{report.throughput_qps:.2f} q/s"
     )
-    return {"entries": entries, "serve": serve}
+    shard = run_shard_scenario(
+        {name: database.table(name) for name in database.names},
+        serve_scale,
+    )
+    return {"entries": entries, "serve": serve, "shard": shard}
+
+
+def run_shard_scenario(tables, scale) -> dict:
+    """Sharded serve drain: the same trace on 1 vs 4 simulated devices.
+
+    The scaling witness is *simulated* makespan (machine-independent):
+    scatter-gather overlaps shard work across pool devices, so the
+    4-device drain should finish the trace in well under the 1-device
+    simulated time.  Per-query result checksums must be identical across
+    pool sizes — ``--check`` gates on them exactly like the engine
+    checksums.
+    """
+    from repro.gpu import AMD_A10
+    from repro.serve import QueryService
+    from repro.shard import DevicePool
+    from repro.tpch import query_by_name
+
+    specs = [
+        query_by_name(name)
+        for name in SERVE_QUERIES
+        for _ in range(SERVE_REPEAT)
+    ]
+    section = {"scale": scale, "queries": len(specs), "configs": {}}
+    checksums = {}
+    for devices in SHARD_DEVICES:
+        database = _fresh_database(tables)
+        pool = None if devices == 1 else DevicePool(devices)
+        service = QueryService(database, AMD_A10, pool=pool)
+        sums = {
+            name: _result_checksum(service.submit(query_by_name(name)))
+            for name in SERVE_QUERIES
+        }
+        start = time.perf_counter()
+        report = service.run(specs)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        checksums[devices] = sums
+        section["configs"][str(devices)] = {
+            "devices": devices,
+            "wall_ms": round(wall_ms, 3),
+            "makespan_ms": round(report.makespan_ms, 6),
+            "throughput_qps": round(report.throughput_qps, 3),
+            "completed": report.completed,
+            "failed": report.failed,
+            "checksums": sums,
+        }
+        print(
+            f" shard x{devices} sf={scale}: simulated makespan "
+            f"{report.makespan_ms:.3f} ms, {report.throughput_qps:.2f} q/s"
+        )
+    first, last = SHARD_DEVICES[0], SHARD_DEVICES[-1]
+    section["checksums_match"] = checksums[first] == checksums[last]
+    base = section["configs"][str(first)]["makespan_ms"]
+    fleet = section["configs"][str(last)]["makespan_ms"]
+    section["sim_speedup"] = round(base / fleet, 3) if fleet else 0.0
+    print(
+        f" shard scaling {first}->{last} devices: "
+        f"{section['sim_speedup']:.2f}x simulated throughput, checksums "
+        f"{'match' if section['checksums_match'] else 'DIVERGE'}"
+    )
+    return section
 
 
 def diff(before_path: str, after_path: str) -> int:
@@ -201,6 +272,13 @@ def diff(before_path: str, after_path: str) -> int:
             f"{'serve drain':<24}{b['wall_ms']:>12.1f}{a['wall_ms']:>12.1f}"
             f"{speed:>8.2f}x"
         )
+    if after.get("shard"):
+        shard = after["shard"]
+        print(
+            f"{'shard 1->4 devices':<24}"
+            f"{'':>12}{'':>12}{shard.get('sim_speedup', 0):>8.2f}x"
+            "  (simulated makespan)"
+        )
     return 1 if mismatched else 0
 
 
@@ -232,6 +310,25 @@ def check(baseline_path: str, candidate_path: str) -> int:
                 failures.append(
                     f"{label}: {field} {base.get(field)!r} -> "
                     f"{entry.get(field)!r}"
+                )
+    shard = candidate.get("shard")
+    if shard is not None:
+        compared += 1
+        if not shard.get("checksums_match"):
+            failures.append(
+                "shard: per-query checksums diverge between pool sizes "
+                f"{list(shard.get('configs', {}))}"
+            )
+        base_shard = baseline.get("shard") or {}
+        for devices, config in sorted(shard.get("configs", {}).items()):
+            base_config = base_shard.get("configs", {}).get(devices)
+            if base_config is None:
+                continue
+            if base_config.get("checksums") != config.get("checksums"):
+                failures.append(
+                    f"shard x{devices}: checksums "
+                    f"{base_config.get('checksums')!r} -> "
+                    f"{config.get('checksums')!r}"
                 )
     if not compared:
         print(

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs lint: catch broken links and stale references.
 
-Three checks over every tracked markdown file:
+Six checks over every tracked markdown file:
 
 1. **intra-repo links** — every relative ``[text](target)`` must point
    at a file or directory that exists (anchors are stripped; external
@@ -18,7 +18,15 @@ Three checks over every tracked markdown file:
    ``docs/observability.md`` must list exactly the metric names in
    ``repro.obs.metric_catalogue()``: a documented metric missing from
    the catalogue is stale, a catalogue metric missing from the docs is
-   undocumented, and both fail.
+   undocumented, and both fail;
+5. **undocumented flags** — the reverse of check 3 for the flags in
+   ``MUST_DOCUMENT_FLAGS`` (currently the ``--devices`` pool flags):
+   every command whose parser accepts such a flag must have at least
+   one doc line attributing the flag to that command, so a new flag
+   cannot ship without documentation;
+6. **reachability** — every ``docs/*.md`` page must be reachable by
+   following relative links from ``docs/README.md``, so a page cannot
+   be orphaned from the index.
 
 Exit code 0 when clean, 1 with one line per problem otherwise.  Run
 from the repository root (CI does); no arguments.
@@ -64,6 +72,12 @@ FOREIGN_FLAGS = {"--benchmark-only"}
 BENCH_SCRIPT = REPO / "scripts" / "bench.py"
 SOAK_SCRIPT = REPO / "scripts" / "soak.py"
 
+# Check 5: flags that MUST be documented on every command whose parser
+# accepts them.  Extend this set when a new cross-cutting flag lands.
+MUST_DOCUMENT_FLAGS = {"--devices"}
+
+DOCS_INDEX = REPO / "docs" / "README.md"
+
 
 def _script_flags(script_path):
     """Option strings accepted by a script's importable ``build_parser``."""
@@ -101,6 +115,9 @@ def iter_problems():
         "bench.py": _script_flags(BENCH_SCRIPT),
         "soak.py": _script_flags(SOAK_SCRIPT),
     }
+    # (command, flag) pairs the docs attribute somewhere — fed into
+    # check 5 after the per-file sweep.
+    documented_pairs = set()
 
     for path in DOC_FILES:
         text = path.read_text()
@@ -149,9 +166,57 @@ def iter_problems():
                         f"{rel}: flag {flag} not accepted by "
                         f"{'/'.join(sorted(commands))}"
                     )
+                for cmd in commands:
+                    if flag in flags_by_command[cmd]:
+                        documented_pairs.add((cmd, flag))
 
     # 4. metric catalogue <-> docs/observability.md, both directions
     yield from _catalogue_problems()
+
+    # 5. must-document flags: every command accepting one needs a doc
+    # line attributing that flag to it (the reverse of check 3)
+    for flag in sorted(MUST_DOCUMENT_FLAGS):
+        for cmd in sorted(flags_by_command):
+            if flag in flags_by_command[cmd] and (cmd, flag) not in (
+                documented_pairs
+            ):
+                yield (
+                    f"docs: flag {flag} accepted by `{cmd}` is never "
+                    f"documented for it"
+                )
+
+    # 6. every docs/*.md page reachable from the docs index
+    yield from _reachability_problems()
+
+
+def _reachability_problems():
+    """BFS the relative links from docs/README.md; flag orphan pages."""
+    rel_index = DOCS_INDEX.relative_to(REPO)
+    if not DOCS_INDEX.exists():
+        yield f"{rel_index}: missing (docs index)"
+        return
+    reachable = {DOCS_INDEX.resolve()}
+    frontier = [DOCS_INDEX]
+    while frontier:
+        page = frontier.pop()
+        for match in LINK_RE.finditer(page.read_text()):
+            target = match.group(1).split("#", 1)[0]
+            if not target or ":" in target:
+                continue
+            resolved = (page.parent / target).resolve()
+            if (
+                resolved.suffix == ".md"
+                and resolved.exists()
+                and resolved not in reachable
+            ):
+                reachable.add(resolved)
+                frontier.append(resolved)
+    for path in sorted((REPO / "docs").glob("*.md")):
+        if path.resolve() not in reachable:
+            yield (
+                f"{path.relative_to(REPO)}: not reachable by links "
+                f"from {rel_index}"
+            )
 
 
 def _catalogue_problems():

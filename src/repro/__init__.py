@@ -31,6 +31,7 @@ from .model import CostModel, ConfigurationSearch, calibrate_channels
 from .ocelot import OcelotEngine
 from .plans import QuerySpec
 from .serve import PlanCache, QueryService, ServiceReport
+from .shard import DevicePool, DeviceSlot, ShardedExecutor, ShardReport
 from .ssb import generate_ssb, ssb_query
 from .tpch import generate_database, q5, q7, q8, q9, q14, query_by_name
 
@@ -63,6 +64,10 @@ __all__ = [
     "PlanCache",
     "QueryService",
     "ServiceReport",
+    "DevicePool",
+    "DeviceSlot",
+    "ShardedExecutor",
+    "ShardReport",
     "generate_ssb",
     "ssb_query",
     "generate_database",

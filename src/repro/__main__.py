@@ -149,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--devices",
+        default="1",
+        metavar="POOL",
+        help=(
+            "shard the query across a simulated device pool: a count "
+            "('4', repeating the --device preset) or a comma-separated "
+            "preset list ('amd,amd,nvidia'); '1' (default) runs "
+            "single-device"
+        ),
+    )
+    run.add_argument(
         "--trace-out",
         metavar="FILE",
         help="write a Perfetto trace.json of the run to FILE",
@@ -267,6 +278,17 @@ def build_parser() -> argparse.ArgumentParser:
             "run every query with the cost model's per-segment optimal "
             "configs (Section 4.1's search) instead of one baseline "
             "config; the drift report then mirrors Figs 11/24"
+        ),
+    )
+    serve.add_argument(
+        "--devices",
+        default="1",
+        metavar="POOL",
+        help=(
+            "serve across a simulated device pool: a count ('4', "
+            "repeating the --device preset) or a comma-separated preset "
+            "list ('amd,amd,nvidia'); every query scatter-gathers over "
+            "the pool ('1', the default, serves single-device)"
         ),
     )
     serve.add_argument(
@@ -396,6 +418,24 @@ def _traced(trace_out: Optional[str]) -> Iterator[None]:
     )
 
 
+def _pool_for(args):
+    """The :class:`~repro.shard.DevicePool` ``--devices`` asks for.
+
+    Returns ``None`` for the default single-device mode.
+    """
+    text = getattr(args, "devices", "1").strip()
+    if text == "1":
+        return None
+    from .shard import DevicePool
+
+    try:
+        return DevicePool.from_spec(text, default=args.device)
+    except ReproError:
+        raise
+    except ValueError as exc:
+        raise ExecutionError(str(exc)) from exc
+
+
 def cmd_run(args) -> int:
     database = _database(args)
     device = device_by_name(args.device)
@@ -405,6 +445,43 @@ def cmd_run(args) -> int:
     spec = _query_spec(args.query)
     if args.deadline_cycles is not None:
         spec = dataclasses.replace(spec, deadline_cycles=args.deadline_cycles)
+    pool = _pool_for(args)
+    if pool is not None:
+        if args.engine != "gpl":
+            raise ExecutionError(
+                "--devices shards through the GPL engine (plus the "
+                "resilient fallback chain); it cannot run "
+                f"--engine {args.engine}"
+            )
+        from .shard import ShardedExecutor
+
+        executor = ShardedExecutor(
+            database,
+            pool,
+            config=GPLConfig(tile_bytes=args.tile_kb * 1024),
+            resilient=args.resilient,
+            fault_plans=fault_plan,
+            memory_budget_bytes=(
+                args.memory_budget_mb * 1024 * 1024
+                if args.memory_budget_mb
+                else None
+            ),
+            max_retries=args.max_retries,
+            partitioned_joins=args.partitioned_joins,
+        )
+        with _traced(args.trace_out):
+            result = executor.execute(spec)
+        print(banner(f"{args.query} on {result.engine} ({result.device})"))
+        print(format_table(result.columns, result.decoded_rows()[:25]))
+        if result.num_rows > 25:
+            print(f"... {result.num_rows - 25} more rows")
+        print(
+            f"\nelapsed {result.elapsed_ms:.3f} ms (slowest shard + merge) "
+            f"| launches {result.counters.kernel_launches}"
+        )
+        print(banner("shard report"))
+        print(result.shard.describe())
+        return 0
     if args.resilient:
         executor = ResilientExecutor(
             database,
@@ -476,6 +553,7 @@ def cmd_serve(args) -> int:
     fault_plan = (
         FaultPlan.parse(args.inject_faults) if args.inject_faults else None
     )
+    pool = _pool_for(args)
     service = QueryService(
         database,
         device,
@@ -496,12 +574,17 @@ def cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         max_pending=args.max_pending,
         queue_policy=args.queue_policy,
+        pool=pool,
     )
     with _traced(args.trace_out):
         report = service.run([_query_spec(name) for name in names])
+    where = (
+        device.name if pool is None
+        else f"a pool of {len(pool)} devices"
+    )
     print(
         banner(
-            f"serving {report.num_queries} queries on {device.name} "
+            f"serving {report.num_queries} queries on {where} "
             f"({args.policy}, {args.max_concurrent} concurrent)"
         )
     )

@@ -60,6 +60,10 @@ class QueryResult:
     #: retry/fallback/fault accounting of the run that produced this
     #: result, surfaced next to the hardware counters.
     resilience: Optional["object"] = None
+    #: Set by :class:`repro.shard.ShardedExecutor`: fan-out, partition,
+    #: and merge accounting when this result was produced by
+    #: scatter-gather execution across a device pool.
+    shard: Optional["object"] = None
 
     @property
     def num_rows(self) -> int:

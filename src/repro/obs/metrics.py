@@ -95,6 +95,34 @@ METRIC_CATALOGUE: Tuple[MetricSpec, ...] = (
         "Queries dropped by the bounded admission queue, by policy.",
         labels=("policy",),  # reject | shed-oldest
     ),
+    # -- sharded execution -----------------------------------------------
+    MetricSpec(
+        "shard_queries_total", "counter",
+        "Queries executed by scatter-gather across a device pool, by "
+        "merge kind.",
+        labels=("merge",),  # reaggregate | distinct | concat
+    ),
+    MetricSpec(
+        "shard_fanout", "histogram",
+        "Shards that actually executed per sharded query (empty shards "
+        "are skipped).",
+        buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+    ),
+    MetricSpec(
+        "shard_skew", "gauge",
+        "Partition skew of the most recent sharded query (largest shard "
+        "over mean shard; 1.0 = balanced).",
+    ),
+    MetricSpec(
+        "shard_merge_ms", "histogram",
+        "Simulated gather/merge time per sharded query.",
+    ),
+    MetricSpec(
+        "shard_device_busy_ms_total", "counter",
+        "Cumulative simulated busy time per pool device (scatter work "
+        "plus, on dev0, merges).",
+        labels=("device",),
+    ),
     # -- circuit breaker -------------------------------------------------
     MetricSpec(
         "breaker_transitions_total", "counter",

@@ -56,6 +56,9 @@ CATEGORY_TRACKS: Dict[str, int] = {
     "search": 3,
     "resilience": 4,
     "simulator": 5,
+    # Appended out of pipeline order (shard sits between serve and
+    # plan) so existing track ids — and recorded traces — stay stable.
+    "shard": 6,
 }
 
 

@@ -22,6 +22,13 @@ from .expressions import (
     col,
     lit,
 )
+from .partition import (
+    PartitionMetadata,
+    hash_shard_assignment,
+    partition_database,
+    partition_table,
+    round_robin_assignment,
+)
 from .schema import ColumnDef, TableSchema
 from .table import Table
 from .types import DataType, date_to_days, days_to_date
@@ -45,6 +52,11 @@ __all__ = [
     "ColumnDef",
     "TableSchema",
     "Table",
+    "PartitionMetadata",
+    "hash_shard_assignment",
+    "round_robin_assignment",
+    "partition_table",
+    "partition_database",
     "DataType",
     "date_to_days",
     "days_to_date",

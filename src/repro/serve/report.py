@@ -60,8 +60,12 @@ class QueryRecord:
     #: ``deadline`` (cancelled past its cycle budget) | ``shed``
     #: (dropped by the bounded admission queue, never executed).
     outcome: str = "ok"
-    #: An open circuit breaker routed this query straight to KBE.
+    #: An open circuit breaker routed this query (or, on a pooled
+    #: service, at least one of its shards) straight to KBE.
     breaker_degraded: bool = False
+    #: Shards that executed when the service ran this query across a
+    #: device pool (0 = single-device execution).
+    shards: int = 0
 
     @property
     def latency_ms(self) -> float:
@@ -75,6 +79,8 @@ class ServiceReport:
     device: str = ""
     policy: str = ""
     max_concurrent: int = 1
+    #: Pool size the drain executed against (1 = single device).
+    devices: int = 1
     memory_budget_bytes: float = 0.0
     makespan_ms: float = 0.0
     records: List[QueryRecord] = field(default_factory=list)
@@ -165,6 +171,7 @@ class ServiceReport:
             "device": self.device,
             "policy": self.policy,
             "max_concurrent": self.max_concurrent,
+            "devices": self.devices,
             "num_queries": self.num_queries,
             "completed": self.completed,
             "failed": self.failed,
@@ -187,15 +194,18 @@ class ServiceReport:
             "schedule": [
                 (
                     r.index, r.query, r.round, r.slots, r.engine, r.ok,
-                    r.outcome, r.breaker_degraded,
+                    r.outcome, r.breaker_degraded, r.shards,
                 )
                 for r in self.records
             ],
         }
 
     def to_text(self) -> str:
+        where = self.device or "?"
+        if self.devices > 1:
+            where = f"{where} x{self.devices} (sharded)"
         lines = [
-            f"{self.policy} on {self.device or '?'} | "
+            f"{self.policy} on {where} | "
             f"{self.completed}/{self.num_queries} ok in "
             f"{self.num_rounds} rounds | makespan {self.makespan_ms:.3f} ms "
             f"(sequential {self.sequential_ms:.3f} ms)",

@@ -57,6 +57,7 @@ from ..obs import DriftRecorder, MetricsRegistry
 from ..obs.tracing import add_event, maybe_span
 from ..plans import QuerySpec
 from ..relational import Database
+from ..shard import DevicePool, ShardedExecutor
 from .breaker import CircuitBreaker, breaker_states
 from .caches import PlanCache
 from .report import QueryRecord, ServiceReport
@@ -109,6 +110,7 @@ class QueryService:
         max_pending: Optional[int] = None,
         queue_policy: str = "reject",
         checkpoint_store: Optional[CheckpointStore] = None,
+        pool: Optional[DevicePool] = None,
     ):
         if queue_policy not in QUEUE_POLICIES:
             raise ExecutionError(
@@ -117,16 +119,31 @@ class QueryService:
             )
         if max_pending is not None and max_pending < 1:
             raise ExecutionError("max_pending must be at least 1")
+        if pool is not None and tuned:
+            raise ExecutionError(
+                "tuned mode is single-device: per-segment configs are "
+                "searched against one device, not a pool"
+            )
         self.database = database
         self.device = device
         self.config = config or GPLConfig()
         self.scheduler = Scheduler(policy)
         self.max_concurrent = max(1, max_concurrent)
-        self.memory_budget_bytes = float(
-            memory_budget_bytes
-            if memory_budget_bytes is not None
-            else device.global_mem_bytes
-        )
+        #: Multi-device mode: when a :class:`~repro.shard.DevicePool` is
+        #: attached, every query scatter-gathers across it instead of
+        #: running on ``device`` (which remains the planning/estimation
+        #: device).  Admission rounds are then sized by the *tightest*
+        #: device budget — each round member gets a share of every
+        #: device, so the constraining device governs.
+        self.pool = pool
+        if memory_budget_bytes is not None:
+            self.memory_budget_bytes = float(memory_budget_bytes)
+        elif pool is not None:
+            self.memory_budget_bytes = min(
+                slot.effective_budget_bytes for slot in pool
+            )
+        else:
+            self.memory_budget_bytes = float(device.global_mem_bytes)
         self.resilient = resilient
         self.fault_plan = fault_plan
         self.max_retries = max_retries
@@ -169,6 +186,20 @@ class QueryService:
         self._shed: List[Tuple[int, QuerySpec]] = []
         self._next_ticket = 0
         self._search: Optional[ConfigurationSearch] = None
+        self._sharded: Optional[ShardedExecutor] = None
+        if pool is not None:
+            self._sharded = ShardedExecutor(
+                database,
+                pool,
+                config=self.config,
+                resilient=resilient,
+                fault_plans=fault_plan,
+                max_retries=max_retries,
+                partitioned_joins=partitioned_joins,
+                plan_cache=self.plan_cache,
+                deadline_cycles=default_deadline_cycles,
+                checkpoint_store=self.checkpoint_store,
+            )
 
     # -- submission -------------------------------------------------------
 
@@ -336,13 +367,97 @@ class QueryService:
             self._breakers[query] = breaker
         return breaker
 
+    def _breaker_scopes(
+        self, query: str
+    ) -> List[Tuple[str, Optional[CircuitBreaker]]]:
+        """``(scope label, breaker)`` pairs guarding one query.
+
+        Single-device services have one service-wide scope per query
+        shape; a pooled service has one scope per device (an unhealthy
+        device degrades only its own shard to KBE, the rest of the pool
+        keeps running GPL).
+        """
+        if self.pool is None:
+            return [(query, self._breaker_for(query))]
+        return [
+            (f"{query}@{slot.name}", self._breaker_for(f"{query}@{slot.name}"))
+            for slot in self.pool
+        ]
+
+    def _settle_breakers(
+        self,
+        scopes: List[Tuple[str, Optional[CircuitBreaker]]],
+        degraded_scopes: set,
+        result: Optional[QueryResult] = None,
+        error_fault: Optional[bool] = None,
+    ) -> None:
+        """Feed one query's outcome to its breaker scope(s).
+
+        ``error_fault`` is set when the query raised (the whole
+        scatter-gather aborted, so every scope observes the fault);
+        otherwise per-device shard records attribute fallbacks to the
+        device that fell back.  A degraded (KBE-routed) scope says
+        nothing about GPL health, and a skipped (empty) shard counts as
+        trivially healthy.
+        """
+        if error_fault is not None:
+            for label, breaker in scopes:
+                if breaker is not None:
+                    breaker.on_result(fault=error_fault)
+                    self._emit_breaker_events(label, breaker)
+            return
+        if self.pool is None:
+            label, breaker = scopes[0]
+            if breaker is not None:
+                resilience = result.resilience
+                fault = (
+                    label not in degraded_scopes
+                    and resilience is not None
+                    and resilience.fallbacks > 0
+                )
+                breaker.on_result(fault=fault)
+                self._emit_breaker_events(label, breaker)
+            return
+        shard = getattr(result, "shard", None)
+        by_device = (
+            {record.device: record for record in shard.records}
+            if shard is not None
+            else {}
+        )
+        for (label, breaker), slot in zip(scopes, self.pool):
+            if breaker is None:
+                continue
+            record = by_device.get(slot.name)
+            fault = (
+                label not in degraded_scopes
+                and record is not None
+                and not record.skipped
+                and record.fallbacks > 0
+            )
+            breaker.on_result(fault=fault)
+            self._emit_breaker_events(label, breaker)
+
     def _execute_one(
         self,
         query: ScheduledQuery,
         slots: int,
         budget_share: float,
         degraded: bool = False,
+        share: int = 1,
+        degraded_scopes: set = frozenset(),
     ) -> QueryResult:
+        if self._sharded is not None:
+            engines_by_device = {
+                slot.index: ("kbe",)
+                for slot in self.pool
+                if f"{query.spec.name}@{slot.name}" in degraded_scopes
+            }
+            return self._sharded.execute(
+                query.spec,
+                share=share,
+                engines_by_device=engines_by_device or None,
+                fault_plan=query.fault_plan,
+            )
         device = (
             self.device
             if slots == self.device.concurrency
@@ -445,12 +560,13 @@ class QueryService:
                 slots=slots,
             ):
                 for query in members:
-                    breaker = self._breaker_for(query.spec.name)
-                    degraded = False
-                    if breaker is not None:
-                        degraded = breaker.on_arrival() == "degraded"
-                        self._emit_breaker_events(query.spec.name, breaker)
-                        if degraded:
+                    scopes = self._breaker_scopes(query.spec.name)
+                    degraded_scopes = set()
+                    for label, breaker in scopes:
+                        if breaker is None:
+                            continue
+                        if breaker.on_arrival() == "degraded":
+                            degraded_scopes.add(label)
                             self.registry.counter(
                                 "breaker_degraded_total"
                             ).inc()
@@ -458,7 +574,10 @@ class QueryService:
                                 "serve.breaker_degraded",
                                 query=query.spec.name,
                                 ticket=query.index,
+                                scope=label,
                             )
+                        self._emit_breaker_events(label, breaker)
+                    degraded = bool(degraded_scopes)
                     with maybe_span(
                         "serve.query",
                         category="serve",
@@ -467,7 +586,12 @@ class QueryService:
                     ) as span:
                         try:
                             result = self._execute_one(
-                                query, slots, budget_share, degraded=degraded
+                                query,
+                                slots,
+                                budget_share,
+                                degraded=degraded,
+                                share=len(members),
+                                degraded_scopes=degraded_scopes,
                             )
                         except ReproError as exc:
                             is_deadline = isinstance(
@@ -477,13 +601,13 @@ class QueryService:
                             harvest_faults(
                                 getattr(exc, "resilience", None)
                             )
-                            if breaker is not None:
-                                # A deadline says the time budget ran
-                                # out, not that GPL faulted.
-                                breaker.on_result(fault=not is_deadline)
-                                self._emit_breaker_events(
-                                    query.spec.name, breaker
-                                )
+                            # A deadline says the time budget ran out,
+                            # not that GPL faulted.
+                            self._settle_breakers(
+                                scopes,
+                                degraded_scopes,
+                                error_fault=not is_deadline,
+                            )
                             if span is not None:
                                 span.attrs["ok"] = False
                             records.append(
@@ -513,18 +637,12 @@ class QueryService:
                             span.attrs["engine"] = result.engine
                     self.results[query.index] = result
                     harvest_faults(result.resilience)
-                    if breaker is not None:
-                        # The GPL tier misbehaved if the resilient run
-                        # had to fall off it; a degraded (KBE-routed)
-                        # run says nothing about GPL health.
-                        resilience = result.resilience
-                        fault = (
-                            not degraded
-                            and resilience is not None
-                            and resilience.fallbacks > 0
-                        )
-                        breaker.on_result(fault=fault)
-                        self._emit_breaker_events(query.spec.name, breaker)
+                    # The GPL tier misbehaved if the resilient run had
+                    # to fall off it; per-device scopes attribute shard
+                    # fallbacks to the device that fell back.
+                    self._settle_breakers(
+                        scopes, degraded_scopes, result=result
+                    )
                     round_makespan = max(round_makespan, result.elapsed_ms)
                     self.drift.record(
                         query=query.spec.name,
@@ -547,6 +665,11 @@ class QueryService:
                             plan_cache_hit=query.plan_cache_hit,
                             num_rows=result.num_rows,
                             breaker_degraded=degraded,
+                            shards=(
+                                result.shard.fanout
+                                if result.shard is not None
+                                else 0
+                            ),
                         )
                     )
             clock_ms += round_makespan
@@ -574,6 +697,7 @@ class QueryService:
             device=self.device.name,
             policy=self.scheduler.policy,
             max_concurrent=self.max_concurrent,
+            devices=len(self.pool) if self.pool is not None else 1,
             memory_budget_bytes=self.memory_budget_bytes,
             makespan_ms=clock_ms,
             records=records,
@@ -668,6 +792,18 @@ class QueryService:
             for record in report.records
             if record.ok and record.index in self.results
         ):
+            shard = result.shard
+            if shard is not None:
+                registry.counter("shard_queries_total").inc(
+                    merge=shard.merge_kind
+                )
+                registry.histogram("shard_fanout").observe(shard.fanout)
+                registry.gauge("shard_skew").set(shard.skew)
+                registry.histogram("shard_merge_ms").observe(shard.merge_ms)
+                for device, busy in sorted(shard.device_busy_ms().items()):
+                    registry.counter("shard_device_busy_ms_total").inc(
+                        busy, device=device
+                    )
             resilience = result.resilience
             if resilience is None:
                 continue

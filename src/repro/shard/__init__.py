@@ -1,0 +1,33 @@
+"""Multi-device sharded execution: device pools + scatter-gather plans.
+
+This layer scales the single-device GPL stack horizontally: a
+:class:`DevicePool` of independently-seeded simulated GPUs, deterministic
+fact-table partitioning (:mod:`repro.relational.partition`), and a
+:class:`ShardedExecutor` that scatters one logical query across the pool
+and gathers the partials with a correctness-preserving merge.  See
+``docs/sharding.md`` for the full lifecycle.
+"""
+
+from .executor import ShardedExecutor, ShardRecord, ShardReport
+from .planner import (
+    PARTIALS_TABLE,
+    ShardPlan,
+    choose_partition_key,
+    decompose,
+    substitute_columns,
+)
+from .pool import DEFAULT_POOL_SEED, DevicePool, DeviceSlot
+
+__all__ = [
+    "DEFAULT_POOL_SEED",
+    "DevicePool",
+    "DeviceSlot",
+    "PARTIALS_TABLE",
+    "ShardPlan",
+    "ShardRecord",
+    "ShardReport",
+    "ShardedExecutor",
+    "choose_partition_key",
+    "decompose",
+    "substitute_columns",
+]

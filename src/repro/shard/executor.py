@@ -1,0 +1,526 @@
+"""The scatter-gather executor: one logical query across a device pool.
+
+Execution lifecycle (see :mod:`repro.shard.planner` for the plan split):
+
+1. **Partition** — the fact table is hash-partitioned (round-robin
+   fallback) into one database per pool device; partitions are cached
+   per (table, key, shard-count) so repeated queries over the same pool
+   repartition nothing.
+2. **Scatter** — the scatter spec runs once per non-empty shard, each on
+   its own device through a per-shard :class:`ResilientExecutor`, so
+   admission control, fault retries, Δ-halving, engine fallback,
+   checkpoints, and deadlines all compose per device.  Empty shards are
+   skipped (a shard with no fact rows contributes nothing to any merge;
+   when *every* shard is empty, shard 0 runs alone to reproduce
+   single-device empty-input semantics, including global-aggregate
+   identity rows).
+3. **Gather** — partial results are concatenated into a synthetic
+   ``_shard_partials`` table and the gather spec runs over it as a
+   normal single-table query on the merge device (pool slot 0), so merge
+   work is simulated, traced, and costed like any other query.  Plans
+   with no aggregates and no DISTINCT merge host-side (concatenation +
+   the original ordering/limit) because there is nothing to re-reduce.
+
+The merged :class:`~repro.core.QueryResult` carries fleet-level
+counters (work summed across shards, critical-path elapsed time: the
+slowest shard plus the merge) and a :class:`ShardReport` on its
+``shard`` attribute with per-device records, partition metadata, skew,
+and merge accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core import GPLEngine, QueryResult, ResilientExecutor
+from ..core.checkpoint import CheckpointStore
+from ..core.config import GPLConfig
+from ..core.resilience import ENGINE_CHAIN
+from ..faults import FaultPlan
+from ..gpu import HardwareCounters
+from ..obs.tracing import maybe_span
+from ..plans import QuerySpec
+from ..relational import (
+    ColumnDef,
+    Database,
+    DataType,
+    PartitionMetadata,
+    Table,
+    TableSchema,
+    partition_database,
+)
+from .planner import PARTIALS_TABLE, ShardPlan, decompose
+from .pool import DevicePool, DeviceSlot
+
+__all__ = ["ShardRecord", "ShardReport", "ShardedExecutor"]
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One device's share of a scatter phase."""
+
+    index: int
+    device: str  # slot label, e.g. "dev2"
+    spec_name: str  # device preset name
+    rows_in: int  # fact rows assigned to this shard
+    rows_out: int  # partial rows produced
+    elapsed_ms: float
+    sim_cycles: float
+    kernel_launches: int
+    engine: str
+    retries: int
+    fallbacks: int
+    skipped: bool
+
+    def describe(self) -> str:
+        if self.skipped:
+            return f"{self.device}: skipped (0 rows)"
+        return (
+            f"{self.device}: {self.rows_in} rows -> {self.rows_out} "
+            f"partials in {self.elapsed_ms:.3f} ms [{self.engine}]"
+        )
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Fan-out, partition, and merge accounting for one sharded query."""
+
+    query: str
+    devices: int
+    partition: PartitionMetadata
+    merge_kind: str  # "reaggregate" | "distinct" | "concat"
+    records: Tuple[ShardRecord, ...]
+    merge_ms: float
+    merge_cycles: float
+    merge_engine: str
+
+    @property
+    def fanout(self) -> int:
+        """Shards that actually executed (non-empty)."""
+        return sum(1 for record in self.records if not record.skipped)
+
+    @property
+    def skew(self) -> float:
+        return self.partition.skew
+
+    @property
+    def makespan_ms(self) -> float:
+        """Critical-path time: slowest shard plus the serial merge."""
+        scatter = max(
+            (record.elapsed_ms for record in self.records), default=0.0
+        )
+        return scatter + self.merge_ms
+
+    def device_busy_ms(self) -> Dict[str, float]:
+        """Per-device busy time (the utilization metric's raw material)."""
+        busy = {record.device: record.elapsed_ms for record in self.records}
+        busy["dev0"] = busy.get("dev0", 0.0) + self.merge_ms
+        return busy
+
+    def describe(self) -> str:
+        lines = [
+            f"shard report for {self.query}: {self.fanout}/{self.devices} "
+            f"devices, {self.partition.describe()}, merge={self.merge_kind} "
+            f"({self.merge_ms:.3f} ms on {self.merge_engine})",
+        ]
+        lines.extend(f"  {record.describe()}" for record in self.records)
+        return "\n".join(lines)
+
+
+def _dtype_for(array: np.ndarray, dictionary: Optional[Tuple[str, ...]]) -> DataType:
+    """Partials-schema type for one partial-result column."""
+    if dictionary is not None:
+        return DataType.DICT
+    if array.dtype == np.float32:
+        return DataType.FLOAT32
+    if np.issubdtype(array.dtype, np.floating):
+        return DataType.FLOAT64
+    if array.dtype == np.int32:
+        return DataType.INT32
+    return DataType.INT64
+
+
+class ShardedExecutor:
+    """Run logical queries across a :class:`DevicePool` (see module doc)."""
+
+    def __init__(
+        self,
+        database: Database,
+        pool: DevicePool,
+        config: Optional[GPLConfig] = None,
+        resilient: bool = True,
+        fault_plans: Union[None, FaultPlan, Sequence[Optional[FaultPlan]]] = None,
+        memory_budget_bytes: Optional[float] = None,
+        max_retries: int = 2,
+        engines: Sequence[str] = ENGINE_CHAIN,
+        partitioned_joins: bool = False,
+        plan_cache=None,
+        deadline_cycles: Optional[float] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoints: bool = True,
+    ) -> None:
+        self.database = database
+        self.pool = pool
+        self.config = config or GPLConfig()
+        self.resilient = resilient
+        self.fault_plans = fault_plans
+        #: Uniform per-device budget override; ``None`` defers to each
+        #: slot's own budget (which defaults to full device memory).
+        self.memory_budget_bytes = memory_budget_bytes
+        self.max_retries = max_retries
+        self.engines = tuple(engines)
+        self.partitioned_joins = partitioned_joins
+        self.plan_cache = plan_cache
+        self.deadline_cycles = deadline_cycles
+        self.checkpoint_store = checkpoint_store
+        self.checkpoints = checkpoints
+        # (table, key, num_shards) -> (shard databases, metadata); the
+        # executor is bound to one database, so the key needs no db id.
+        self._partition_cache: Dict[
+            Tuple[str, Optional[str], int],
+            Tuple[List[Database], PartitionMetadata],
+        ] = {}
+
+    # -- partitioning -----------------------------------------------------
+
+    def _partitions(
+        self, plan: ShardPlan
+    ) -> Tuple[List[Database], PartitionMetadata]:
+        key = (plan.partition_table, plan.partition_key, len(self.pool))
+        cached = self._partition_cache.get(key)
+        if cached is None:
+            cached = partition_database(
+                self.database,
+                len(self.pool),
+                plan.partition_table,
+                key=plan.partition_key,
+            )
+            self._partition_cache[key] = cached
+        return cached
+
+    def _fault_plan_for(self, slot: DeviceSlot) -> Optional[FaultPlan]:
+        if self.fault_plans is None or isinstance(self.fault_plans, FaultPlan):
+            return self.fault_plans
+        return self.fault_plans[slot.index]
+
+    # -- execution --------------------------------------------------------
+
+    def execute(
+        self,
+        spec: QuerySpec,
+        engines: Optional[Sequence[str]] = None,
+        share: int = 1,
+        engines_by_device: Optional[Dict[int, Sequence[str]]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> QueryResult:
+        """Scatter ``spec`` across the pool and merge the partials.
+
+        The serving layer uses the overrides: ``share`` is how many
+        concurrent queries split each device (every shard gets
+        ``concurrency // share`` kernel slots and ``budget / share``
+        memory on its device), ``engines`` replaces the fallback chain
+        for every shard, ``engines_by_device`` overrides it per device
+        index (per-device breaker degradation), and ``fault_plan``
+        overrides the executor-wide fault plans for this query.
+        """
+        plan = decompose(spec, self.database)
+        shard_dbs, metadata = self._partitions(plan)
+        executed = [
+            index
+            for index in range(len(self.pool))
+            if metadata.shard_rows[index] > 0
+        ]
+        if not executed:
+            # Every shard is empty: run shard 0 alone so empty-input
+            # semantics (including global-aggregate identity rows) match
+            # single-device execution exactly.
+            executed = [0]
+
+        with maybe_span(
+            "shard.execute",
+            "shard",
+            query=spec.name,
+            devices=len(self.pool),
+            fanout=len(executed),
+            scheme=metadata.scheme,
+        ):
+            records: List[ShardRecord] = []
+            partials: List[QueryResult] = []
+            for index in range(len(self.pool)):
+                slot = self.pool.slot(index)
+                if index not in executed:
+                    records.append(
+                        ShardRecord(
+                            index=index,
+                            device=slot.name,
+                            spec_name=slot.spec.name,
+                            rows_in=0,
+                            rows_out=0,
+                            elapsed_ms=0.0,
+                            sim_cycles=0.0,
+                            kernel_launches=0,
+                            engine="",
+                            retries=0,
+                            fallbacks=0,
+                            skipped=True,
+                        )
+                    )
+                    continue
+                shard_engines = engines
+                if engines_by_device and index in engines_by_device:
+                    shard_engines = engines_by_device[index]
+                result = self._run_shard(
+                    plan.scatter_spec,
+                    shard_dbs[index],
+                    slot,
+                    engines=shard_engines,
+                    share=max(1, share),
+                    fault_plan=fault_plan,
+                )
+                partials.append(result)
+                resilience = result.resilience
+                records.append(
+                    ShardRecord(
+                        index=index,
+                        device=slot.name,
+                        spec_name=slot.spec.name,
+                        rows_in=metadata.shard_rows[index],
+                        rows_out=result.num_rows,
+                        elapsed_ms=result.elapsed_ms,
+                        sim_cycles=result.counters.elapsed_cycles,
+                        kernel_launches=result.counters.kernel_launches,
+                        engine=result.engine,
+                        retries=getattr(resilience, "retries", 0),
+                        fallbacks=getattr(resilience, "fallbacks", 0),
+                        skipped=False,
+                    )
+                )
+
+            merged = self._merge(spec, plan, partials)
+            report = ShardReport(
+                query=spec.name,
+                devices=len(self.pool),
+                partition=metadata,
+                merge_kind=plan.merge_kind,
+                records=tuple(records),
+                merge_ms=merged.elapsed_ms,
+                merge_cycles=merged.counters.elapsed_cycles,
+                merge_engine=merged.engine,
+            )
+            return self._assemble(spec, partials, merged, report)
+
+    def _run_shard(
+        self,
+        scatter_spec: QuerySpec,
+        shard_db: Database,
+        slot: DeviceSlot,
+        engines: Optional[Sequence[str]],
+        share: int,
+        fault_plan: Optional[FaultPlan],
+    ) -> QueryResult:
+        device = slot.spec
+        if share > 1:
+            device = device.with_overrides(
+                concurrency=max(1, device.concurrency // share)
+            )
+        budget = self.memory_budget_bytes
+        if budget is None:
+            budget = slot.memory_budget_bytes
+        if budget is None and share > 1:
+            # Sharing an unbounded device still splits its real memory.
+            budget = slot.effective_budget_bytes
+        if budget is not None:
+            budget = budget / share
+        with maybe_span(
+            "shard.scatter",
+            "shard",
+            query=scatter_spec.name,
+            device=slot.name,
+            rows=shard_db.table(
+                scatter_spec.table_ref(scatter_spec.fact).table
+            ).num_rows,
+        ):
+            if not self.resilient:
+                engine = GPLEngine(
+                    shard_db,
+                    device,
+                    config=self.config,
+                    partitioned_joins=self.partitioned_joins,
+                )
+                engine.plan_cache = self.plan_cache
+                return engine.execute(scatter_spec)
+            executor = ResilientExecutor(
+                shard_db,
+                device,
+                config=self.config,
+                fault_plan=(
+                    fault_plan if fault_plan is not None
+                    else self._fault_plan_for(slot)
+                ),
+                memory_budget_bytes=budget,
+                max_retries=self.max_retries,
+                engines=engines or self.engines,
+                partitioned_joins=self.partitioned_joins,
+                plan_cache=self.plan_cache,
+                deadline_cycles=self.deadline_cycles,
+                checkpoint_store=self.checkpoint_store,
+                checkpoints=self.checkpoints,
+            )
+            return executor.execute(scatter_spec)
+
+    # -- merge ------------------------------------------------------------
+
+    def _partials_table(self, partials: Sequence[QueryResult]) -> Table:
+        """Concatenate partial batches into one deterministic table.
+
+        Shards are concatenated in device order; within a shard the
+        engine's output order is deterministic, so two runs build
+        byte-identical partials tables.
+        """
+        first = partials[0]
+        columns: Dict[str, np.ndarray] = {}
+        defs: List[ColumnDef] = []
+        for name in first.columns:
+            arrays = [partial.batch[name] for partial in partials]
+            merged = np.concatenate(arrays) if len(arrays) > 1 else arrays[0]
+            dictionary = first.dictionaries.get(name)
+            defs.append(
+                ColumnDef(name, _dtype_for(merged, dictionary), dictionary)
+            )
+            columns[name] = merged
+        return Table(TableSchema(tuple(defs)), columns)
+
+    def _merge(
+        self,
+        spec: QuerySpec,
+        plan: ShardPlan,
+        partials: Sequence[QueryResult],
+    ) -> QueryResult:
+        table = self._partials_table(partials)
+        with maybe_span(
+            "shard.gather",
+            "shard",
+            query=spec.name,
+            partial_rows=table.num_rows,
+            kind=plan.merge_kind,
+        ):
+            if plan.gather_spec is None:
+                return self._concat_merge(spec, table, partials[0])
+            gather_db = Database()
+            gather_db.add(PARTIALS_TABLE, table)
+            merge_slot = self.pool.slot(0)
+            if not self.resilient:
+                engine = GPLEngine(
+                    gather_db, merge_slot.spec, config=self.config
+                )
+                engine.plan_cache = self.plan_cache
+                return engine.execute(plan.gather_spec)
+            # The merge runs resiliently (admission + fallback) but
+            # without fault injection: fault schedules target shard
+            # work, and a deterministic merge keeps soak invariants
+            # anchored to the scatter phase.
+            executor = ResilientExecutor(
+                gather_db,
+                merge_slot.spec,
+                config=self.config,
+                memory_budget_bytes=merge_slot.memory_budget_bytes,
+                max_retries=self.max_retries,
+                engines=self.engines,
+                plan_cache=self.plan_cache,
+                checkpoint_store=self.checkpoint_store,
+                checkpoints=self.checkpoints,
+            )
+            return executor.execute(plan.gather_spec)
+
+    def _concat_merge(
+        self, spec: QuerySpec, table: Table, first: QueryResult
+    ) -> QueryResult:
+        """Host-side merge for plain selections: concat + order + limit."""
+        if spec.order_by:
+            table = table.sort_by(spec.order_by, spec.order_desc)
+        batch = {
+            name: table.column(name)[: spec.limit]
+            if spec.limit is not None
+            else table.column(name)
+            for name in table.schema.names
+        }
+        return QueryResult(
+            query=spec.name,
+            engine="host-concat",
+            device=self.pool.slot(0).spec.name,
+            batch=batch,
+            columns=tuple(table.schema.names),
+            elapsed_ms=0.0,
+            counters=HardwareCounters(num_cus=0),
+            report=first.report,
+            dictionaries=dict(first.dictionaries),
+        )
+
+    # -- assembly ---------------------------------------------------------
+
+    def _assemble(
+        self,
+        spec: QuerySpec,
+        partials: Sequence[QueryResult],
+        merged: QueryResult,
+        report: ShardReport,
+    ) -> QueryResult:
+        counters = self._fleet_counters(partials, merged)
+        engines = {partial.engine for partial in partials}
+        engine = engines.pop() if len(engines) == 1 else "mixed"
+        names = sorted({slot.spec.name for slot in self.pool})
+        result = QueryResult(
+            query=spec.name,
+            engine=f"sharded:{engine}x{report.fanout}",
+            device=f"pool[{len(self.pool)}: {' + '.join(names)}]",
+            batch=merged.batch,
+            columns=merged.columns,
+            elapsed_ms=report.makespan_ms,
+            counters=counters,
+            report=merged.report,
+            dictionaries=dict(merged.dictionaries),
+            resilience=merged.resilience,
+            shard=report,
+        )
+        return result
+
+    def _fleet_counters(
+        self, partials: Sequence[QueryResult], merged: QueryResult
+    ) -> HardwareCounters:
+        """Fleet-level counters: work summed, elapsed on the critical path.
+
+        ``elapsed_cycles`` adds the slowest shard's device-local cycles
+        to the merge cycles — the simulated makespan in cycles (exact
+        for homogeneous pools; for mixed pools the per-device clocks
+        differ and :attr:`ShardReport.makespan_ms` is the comparable
+        measure).
+        """
+        counters = HardwareCounters(
+            num_cus=sum(partial.counters.num_cus for partial in partials)
+        )
+        sources = list(partials) + [merged]
+        for source in sources:
+            other = source.counters
+            counters.compute_cycles += other.compute_cycles
+            counters.memory_cycles += other.memory_cycles
+            counters.stall_cycles += other.stall_cycles
+            counters.channel_cycles += other.channel_cycles
+            counters.delay_cycles += other.delay_cycles
+            counters.launch_overhead_cycles += other.launch_overhead_cycles
+            counters.bytes_materialized += other.bytes_materialized
+            counters.bytes_channel += other.bytes_channel
+            counters.cache_hits += other.cache_hits
+            counters.cache_accesses += other.cache_accesses
+            counters.kernel_launches += other.kernel_launches
+            counters.kernel_stats.extend(other.kernel_stats)
+        scatter_cycles = max(
+            (partial.counters.elapsed_cycles for partial in partials),
+            default=0.0,
+        )
+        counters.elapsed_cycles = (
+            scatter_cycles + merged.counters.elapsed_cycles
+        )
+        return counters

@@ -1,0 +1,302 @@
+"""Scatter-gather decomposition of one logical query into shard plans.
+
+:func:`decompose` splits a :class:`~repro.plans.QuerySpec` into
+
+* a **scatter spec** — the original query minus its epilogue
+  (order/limit/post-projection), executed once per shard against that
+  shard's slice of the fact table.  ``avg`` aggregates are rewritten to
+  a ``sum`` + ``count`` pair because averages of averages are wrong
+  under re-aggregation.
+* a **gather spec** — a single-table query over the concatenated
+  per-shard partial results (table :data:`PARTIALS_TABLE`) that
+  re-aggregates mergeable partials (``sum``/``count`` → ``sum``,
+  ``min`` → ``min``, ``max`` → ``max``, ``avg`` → summed pair plus a
+  division fix-up in the projection), then applies the original
+  post-projection, ordering, and limit.  Running the merge as a real
+  query through the normal optimizer/lowering path means merge work is
+  simulated, traced, and costed like any other query.
+
+Global (ungrouped) aggregates need one extra guard: a shard whose
+filters reject every row still emits one identity partial row, and a
+zero-count identity would poison ``min``/``max`` merges.  The scatter
+spec therefore carries a ``__shard_rows`` count and the gather spec
+filters partial rows with ``__shard_rows > 0``, reproducing the
+single-device "no rows at all → zero row" semantics exactly.
+
+Partition-key selection (:func:`choose_partition_key`) prefers the fact
+table's join/group-key columns (hash partitioning keeps match groups and
+aggregation groups whole per shard, maximizing scatter-side reduction),
+breaking ties by distinct count; a fact table with no integral candidate
+falls back to round-robin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from ..plans.logical import AggSpec, QuerySpec, TableRef
+from ..relational import (
+    Arith,
+    CaseWhen,
+    Col,
+    Compare,
+    Database,
+    Expression,
+    col,
+    lit,
+)
+
+__all__ = [
+    "PARTIALS_TABLE",
+    "SHARD_ROWS_COLUMN",
+    "ShardPlan",
+    "substitute_columns",
+    "choose_partition_key",
+    "decompose",
+]
+
+#: Name (and alias) of the synthesized table holding concatenated
+#: per-shard partial results during the gather phase.
+PARTIALS_TABLE = "_shard_partials"
+
+#: Per-partial-row contributing-row count added to ungrouped scatter
+#: specs; the gather phase filters identity rows on it (see module doc).
+SHARD_ROWS_COLUMN = "__shard_rows"
+
+
+def substitute_columns(
+    expr: Expression, mapping: Mapping[str, Expression]
+) -> Expression:
+    """Replace :class:`Col` references per ``mapping``, rebuilding nodes.
+
+    Works over any expression tree because every node is a frozen
+    dataclass whose fields are either child expressions or plain values.
+    Unchanged subtrees are returned as-is (no gratuitous copies).
+    """
+    if isinstance(expr, Col):
+        return mapping.get(expr.name, expr)
+    values: Dict[str, object] = {}
+    changed = False
+    for spec_field in dataclasses.fields(expr):
+        value = getattr(expr, spec_field.name)
+        if isinstance(value, Expression):
+            replaced = substitute_columns(value, mapping)
+            changed = changed or replaced is not value
+            values[spec_field.name] = replaced
+        else:
+            values[spec_field.name] = value
+    return type(expr)(**values) if changed else expr
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One logical query decomposed for scatter-gather execution."""
+
+    #: The original spec (kept for naming / reporting).
+    spec: QuerySpec
+    #: Per-shard query: original joins/filters/grouping, no epilogue.
+    scatter_spec: QuerySpec
+    #: Merge query over :data:`PARTIALS_TABLE`; ``None`` when the merge
+    #: is a plain host-side concatenation (no aggregates, no distinct).
+    gather_spec: Optional[QuerySpec]
+    #: Base-table name of the partitioned (fact) table.
+    partition_table: str
+    #: Base-table column to hash-partition on; ``None`` → round-robin.
+    partition_key: Optional[str]
+
+    @property
+    def merge_kind(self) -> str:
+        if self.spec.aggregates:
+            return "reaggregate"
+        if self.spec.distinct:
+            return "distinct"
+        return "concat"
+
+
+def choose_partition_key(
+    spec: QuerySpec, database: Database
+) -> Optional[str]:
+    """Pick the fact-table column to hash-partition on.
+
+    Candidates are the fact side of every join edge plus any group key
+    that lives on the fact table, translated back through the table
+    ref's renames to base-table column names.  Only integral columns
+    qualify (the hash mixer needs them); the highest distinct count wins
+    so partitions spread as evenly as possible.  Returns ``None`` when
+    no candidate qualifies — callers fall back to round-robin.
+    """
+    ref = spec.table_ref(spec.fact)
+    table = database.table(ref.table)
+    # post-rename name -> base name for the fact table's columns.
+    reverse = {renamed: base for base, renamed in ref.rename.items()}
+    visible = {
+        (ref.rename.get(column.name, column.name)): column.name
+        for column in table.schema
+    }
+
+    candidates: List[str] = []
+    for edge in spec.join_edges:
+        if edge.touches(spec.fact):
+            key = edge.key_for(spec.fact)
+            base = reverse.get(key, key)
+            if base in table.schema.names and base not in candidates:
+                candidates.append(base)
+    for key in spec.group_keys:
+        base = visible.get(key)
+        if base is not None and base not in candidates:
+            candidates.append(base)
+
+    best: Optional[str] = None
+    best_distinct = -1
+    for base in candidates:
+        array = table.column(base)
+        if not (
+            np.issubdtype(array.dtype, np.integer)
+            or array.dtype == np.bool_
+        ):
+            continue
+        distinct = database.stats(ref.table, base).distinct
+        if distinct > best_distinct:
+            best, best_distinct = base, distinct
+    return best
+
+
+def _scatter_aggregates(
+    spec: QuerySpec,
+) -> Tuple[Tuple[AggSpec, ...], Dict[str, Tuple[str, str]]]:
+    """Rewrite ``avg`` into a mergeable ``sum`` + ``count`` pair.
+
+    Returns the scatter aggregate list and, per rewritten avg, the
+    ``(sum_name, count_name)`` pair the gather phase recombines.
+    """
+    scatter: List[AggSpec] = []
+    avg_parts: Dict[str, Tuple[str, str]] = {}
+    for agg in spec.aggregates:
+        if agg.func == "avg":
+            sum_name = f"{agg.name}__psum"
+            count_name = f"{agg.name}__pcnt"
+            # avg divides the sum of the expression by the *group row
+            # count* (see GroupAggState.result), so the count partial is
+            # count(*), not count(expr).
+            scatter.append(AggSpec(sum_name, "sum", agg.expr))
+            scatter.append(AggSpec(count_name, "count", None))
+            avg_parts[agg.name] = (sum_name, count_name)
+        else:
+            scatter.append(agg)
+    if not spec.group_keys and spec.aggregates:
+        scatter.append(AggSpec(SHARD_ROWS_COLUMN, "count", None))
+    return tuple(scatter), avg_parts
+
+
+_MERGE_FUNC = {"sum": "sum", "count": "sum", "min": "min", "max": "max"}
+
+
+def _gather_spec(
+    spec: QuerySpec, avg_parts: Dict[str, Tuple[str, str]]
+) -> Optional[QuerySpec]:
+    """The merge query over :data:`PARTIALS_TABLE`."""
+    partials_ref = TableRef(table=PARTIALS_TABLE, alias=PARTIALS_TABLE)
+    common = dict(
+        name=f"{spec.name}@gather",
+        tables=(partials_ref,),
+        join_edges=(),
+        fact=PARTIALS_TABLE,
+        order_by=spec.order_by,
+        order_desc=spec.order_desc,
+        limit=spec.limit,
+    )
+
+    if spec.aggregates:
+        merged: List[AggSpec] = []
+        for agg in spec.aggregates:
+            if agg.func == "avg":
+                sum_name, count_name = avg_parts[agg.name]
+                merged.append(AggSpec(sum_name, "sum", col(sum_name)))
+                merged.append(AggSpec(count_name, "sum", col(count_name)))
+            else:
+                merged.append(
+                    AggSpec(agg.name, _MERGE_FUNC[agg.func], col(agg.name))
+                )
+        # avg fix-ups: guarded division so a merged count of zero (every
+        # shard filtered everything) reproduces single-device avg = 0.0.
+        fixups: Dict[str, Expression] = {
+            name: CaseWhen(
+                Compare(">", col(count_name), lit(0)),
+                Arith("/", col(sum_name), col(count_name)),
+                lit(0.0),
+            )
+            for name, (sum_name, count_name) in avg_parts.items()
+        }
+        if spec.post_projection:
+            projection = tuple(
+                (name, substitute_columns(expr, fixups))
+                for name, expr in spec.post_projection
+            )
+        elif avg_parts:
+            # No original projection but avgs need recombining: project
+            # every aggregate back under its original name, in order.
+            projection = tuple(
+                (agg.name, fixups.get(agg.name, col(agg.name)))
+                for agg in spec.aggregates
+            )
+        else:
+            projection = ()
+        filters: Dict[str, Expression] = {}
+        if not spec.group_keys:
+            filters[PARTIALS_TABLE] = Compare(
+                ">", col(SHARD_ROWS_COLUMN), lit(0)
+            )
+        return QuerySpec(
+            group_keys=spec.group_keys,
+            aggregates=tuple(merged),
+            post_projection=projection,
+            filters=filters,
+            **common,
+        )
+
+    if spec.distinct:
+        return QuerySpec(distinct=spec.distinct, **common)
+
+    # Plain selection: the merge is a host-side concatenation (plus the
+    # original ordering/limit), handled by the executor directly.
+    return None
+
+
+def decompose(spec: QuerySpec, database: Database) -> ShardPlan:
+    """Split ``spec`` into scatter and gather specs (see module doc)."""
+    ref = spec.table_ref(spec.fact)
+    if ref.table not in database:
+        raise PlanError(
+            f"fact table {ref.table!r} of {spec.name} not in database"
+        )
+    scatter_aggs, avg_parts = _scatter_aggregates(spec)
+    # A plain selection's limit pushes down (each shard's ordered top-K
+    # is a superset of its contribution to the global top-K) — but only
+    # together with its ordering: a per-shard limit without the sort
+    # would keep K *arbitrary* rows.  Aggregates/distinct never push the
+    # limit down (it applies to merged groups, not partials).
+    keep_limit = (
+        None if (spec.aggregates or spec.distinct) else spec.limit
+    )
+    scatter_spec = dataclasses.replace(
+        spec,
+        name=f"{spec.name}@shard",
+        aggregates=scatter_aggs,
+        post_projection=(),
+        order_by=spec.order_by if keep_limit is not None else (),
+        order_desc=spec.order_desc if keep_limit is not None else (),
+        limit=keep_limit,
+    )
+    gather = _gather_spec(spec, avg_parts)
+    return ShardPlan(
+        spec=spec,
+        scatter_spec=scatter_spec,
+        gather_spec=gather,
+        partition_table=ref.table,
+        partition_key=choose_partition_key(spec, database),
+    )

@@ -1,0 +1,188 @@
+"""Device pools: N independently-seeded simulated GPUs for sharding.
+
+A :class:`DevicePool` is the fleet abstraction the scatter-gather
+executor runs against.  Each :class:`DeviceSlot` pairs one simulator
+preset (:data:`~repro.gpu.AMD_A10` / :data:`~repro.gpu.NVIDIA_K40`,
+mixable) with a per-device memory budget, the device's concurrent-kernel
+slots, and a deterministically derived seed so per-device fault
+schedules (and any future per-device randomness) are independent but
+reproducible: the same pool spec always yields the same seeds.
+
+The pool itself holds no mutable execution state — simulators are built
+per run by the engines, exactly as in single-device execution — so one
+pool can back any number of concurrent queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..gpu import AMD_A10, DeviceSpec, device_by_name
+from ..relational.partition import _splitmix64
+
+__all__ = ["DeviceSlot", "DevicePool", "DEFAULT_POOL_SEED"]
+
+#: Default pool seed: the SIGMOD 2016 camera-ready date, like the rest of
+#: the repo's deterministic seeds.
+DEFAULT_POOL_SEED = 20160626
+
+
+def _derive_seed(base: int, index: int) -> int:
+    """Independent per-device seed via the splitmix64 finalizer."""
+    mixed = _splitmix64(np.asarray([base + index], dtype=np.int64))
+    return int(mixed[0] & np.uint64(0x7FFFFFFF))
+
+
+@dataclass(frozen=True)
+class DeviceSlot:
+    """One pool member: a device preset plus its per-device envelope."""
+
+    index: int
+    spec: DeviceSpec
+    #: Memory-budget ceiling for queries admitted to this device;
+    #: ``None`` means the device's full global memory.
+    memory_budget_bytes: Optional[float]
+    #: Deterministic per-device seed (fault schedules, jitter).
+    seed: int
+
+    @property
+    def name(self) -> str:
+        """Stable slot label used in breaker scopes and metrics."""
+        return f"dev{self.index}"
+
+    @property
+    def kernel_slots(self) -> int:
+        """Concurrent-kernel slots this device offers (the spec's C)."""
+        return self.spec.concurrency
+
+    @property
+    def effective_budget_bytes(self) -> float:
+        if self.memory_budget_bytes is not None:
+            return float(self.memory_budget_bytes)
+        return float(self.spec.global_mem_bytes)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}[{self.spec.vendor} {self.spec.name}, "
+            f"slots={self.kernel_slots}, "
+            f"budget={self.effective_budget_bytes / 2**20:.0f}MiB, "
+            f"seed={self.seed}]"
+        )
+
+
+class DevicePool:
+    """An ordered, immutable collection of :class:`DeviceSlot`.
+
+    ``devices`` accepts a count (``4`` → four default presets), a
+    sequence of preset names (``["amd", "nvidia"]``), or a sequence of
+    :class:`DeviceSpec` instances.  ``memory_budget_bytes`` is either one
+    ceiling applied to every device or a per-device sequence.
+    """
+
+    def __init__(
+        self,
+        devices: Union[int, Sequence[Union[str, DeviceSpec]]] = 2,
+        memory_budget_bytes: Union[None, float, Sequence[Optional[float]]] = None,
+        seed: int = DEFAULT_POOL_SEED,
+    ) -> None:
+        specs = self._resolve_specs(devices)
+        budgets = self._resolve_budgets(memory_budget_bytes, len(specs))
+        self._slots: Tuple[DeviceSlot, ...] = tuple(
+            DeviceSlot(
+                index=index,
+                spec=spec,
+                memory_budget_bytes=budget,
+                seed=_derive_seed(seed, index),
+            )
+            for index, (spec, budget) in enumerate(zip(specs, budgets))
+        )
+        self.seed = seed
+
+    @staticmethod
+    def _resolve_specs(
+        devices: Union[int, Sequence[Union[str, DeviceSpec]]],
+    ) -> List[DeviceSpec]:
+        if isinstance(devices, int):
+            if devices < 1:
+                raise SchemaError("a device pool needs at least one device")
+            return [AMD_A10] * devices
+        specs: List[DeviceSpec] = []
+        for entry in devices:
+            if isinstance(entry, DeviceSpec):
+                specs.append(entry)
+            else:
+                try:
+                    specs.append(device_by_name(entry))
+                except ValueError as error:
+                    raise SchemaError(str(error)) from None
+        if not specs:
+            raise SchemaError("a device pool needs at least one device")
+        return specs
+
+    @staticmethod
+    def _resolve_budgets(
+        budgets: Union[None, float, Sequence[Optional[float]]],
+        count: int,
+    ) -> List[Optional[float]]:
+        if budgets is None or isinstance(budgets, (int, float)):
+            return [budgets] * count  # type: ignore[list-item]
+        resolved = list(budgets)
+        if len(resolved) != count:
+            raise SchemaError(
+                f"{len(resolved)} memory budgets for {count} devices"
+            )
+        return resolved
+
+    @classmethod
+    def from_spec(
+        cls,
+        text: str,
+        memory_budget_bytes: Union[None, float, Sequence[Optional[float]]] = None,
+        seed: int = DEFAULT_POOL_SEED,
+        default: str = "amd",
+    ) -> "DevicePool":
+        """Parse a CLI-style pool spec.
+
+        ``"4"`` → four devices of the ``default`` preset;
+        ``"amd,amd,nvidia"`` → the named presets in order.
+        """
+        stripped = text.strip()
+        if not stripped:
+            raise SchemaError("empty device pool spec")
+        if stripped.isdigit():
+            return cls(
+                [default] * int(stripped), memory_budget_bytes, seed
+            )
+        names = [part.strip() for part in stripped.split(",") if part.strip()]
+        return cls(names, memory_budget_bytes, seed)
+
+    # -- collection protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[DeviceSlot]:
+        return iter(self._slots)
+
+    @property
+    def slots(self) -> Tuple[DeviceSlot, ...]:
+        return self._slots
+
+    def slot(self, index: int) -> DeviceSlot:
+        return self._slots[index]
+
+    @property
+    def specs(self) -> Tuple[DeviceSpec, ...]:
+        return tuple(slot.spec for slot in self._slots)
+
+    @property
+    def total_kernel_slots(self) -> int:
+        return sum(slot.kernel_slots for slot in self._slots)
+
+    def describe(self) -> str:
+        members = ", ".join(slot.describe() for slot in self._slots)
+        return f"DevicePool({len(self._slots)} devices: {members})"

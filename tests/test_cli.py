@@ -137,3 +137,44 @@ class TestServeCommand:
              "--no-resilient"]
         ) == 1
         assert "FAILED" in capsys.readouterr().out
+
+
+class TestDevicesFlag:
+    def test_run_sharded(self, capsys):
+        assert main(
+            ["run", "Q14", "--scale", "0.002", "--devices", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shard report" in out
+        assert "slowest shard + merge" in out
+        assert "promo_revenue" in out
+
+    def test_run_mixed_pool_spec(self, capsys):
+        assert main(
+            ["run", "Q14", "--scale", "0.002",
+             "--devices", "amd,nvidia"]
+        ) == 0
+        assert "shard report" in capsys.readouterr().out
+
+    def test_run_devices_rejects_non_gpl_engine(self, capsys):
+        assert main(
+            ["run", "Q14", "--scale", "0.002", "--devices", "2",
+             "--engine", "kbe"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_bad_pool_spec_exits_2(self, capsys):
+        assert main(
+            ["run", "Q14", "--scale", "0.002",
+             "--devices", "amd,warp9"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_sharded(self, capsys):
+        assert main(
+            ["serve", "--scale", "0.002", "--queries", "Q14",
+             "--repeat", "2", "--devices", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "a pool of 2 devices" in out
+        assert "x2 (sharded)" in out

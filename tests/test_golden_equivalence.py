@@ -15,6 +15,10 @@ Together they pin the optimization contract: identical rows, identical
 simulator arithmetic, byte-identical trace export.  A legitimate
 *model* change that moves cycles must re-record the fixtures and say so;
 a perf-only change must never trip these tests.
+
+The trace fixture was re-recorded once when ``CATEGORY_TRACKS`` gained
+the ``shard`` track: only the header's track-name metadata changed —
+every span event, counter, and cycle count stayed byte-identical.
 """
 
 import hashlib
