@@ -2,8 +2,10 @@
 """Perf-trajectory benchmark harness.
 
 Runs a fixed suite — Q5/Q9 x {GPL, KBE} x SF {0.1, 0.5} plus a serve
-drain and a sharded serve drain (the same trace on a 1-device vs a
-4-device pool) — and writes ``BENCH_<label>.json`` next to the
+drain, a sharded serve drain (the same trace on a 1-device vs a
+4-device pool), and a hot-vs-cold cached drain (the same trace twice
+through one caching service, gated on byte-identical checksums and a
+>= 2x hot speedup) — and writes ``BENCH_<label>.json`` next to the
 repository root so
 every performance PR carries machine-readable before/after evidence from
 the same machine:
@@ -21,10 +23,11 @@ visible in the recorded cache counters.
 The JSON layout is stable: ``meta`` (label, git revision, python/numpy
 versions), ``entries`` (one per query x engine x scale with wall-clock
 milliseconds, result rows, a result checksum, and simulator cycles),
-``serve`` (drain wall-clock, throughput, and cache/search stats) and
+``serve`` (drain wall-clock, throughput, and cache/search stats),
 ``shard`` (per-pool-size simulated makespan, the 1->4 device
 ``sim_speedup``, and per-query checksums that must match across pool
-sizes).
+sizes) and ``cache`` (cold/hot drain wall-clock, the hot speedup,
+per-ticket checksums, and the dedupe exactly-once witness).
 Compare two files with::
 
     python scripts/bench.py --diff BENCH_baseline.json BENCH_after.json
@@ -178,7 +181,11 @@ def run_suite(scales, repeats: int) -> dict:
         {name: database.table(name) for name in database.names},
         serve_scale,
     )
-    return {"entries": entries, "serve": serve, "shard": shard}
+    cache = run_cache_scenario(
+        {name: database.table(name) for name in database.names},
+        serve_scale,
+    )
+    return {"entries": entries, "serve": serve, "shard": shard, "cache": cache}
 
 
 def run_shard_scenario(tables, scale) -> dict:
@@ -236,6 +243,112 @@ def run_shard_scenario(tables, scale) -> dict:
     print(
         f" shard scaling {first}->{last} devices: "
         f"{section['sim_speedup']:.2f}x simulated throughput, checksums "
+        f"{'match' if section['checksums_match'] else 'DIVERGE'}"
+    )
+    return section
+
+
+def run_cache_scenario(tables, scale) -> dict:
+    """Hot-vs-cold serve drain through the result/segment caches.
+
+    One service with the caches and dedupe on drains the same trace
+    twice.  The cold drain executes (deduped) work and populates the
+    caches; the hot drain must answer every query from the result cache
+    — so it skips simulated execution entirely and its wall-clock is
+    bounded by cache lookups.  ``--check`` gates on the
+    machine-independent invariants (byte-identical per-ticket checksums
+    across drains and against the baseline, a dedupe round that
+    executed exactly once) plus the one wall-clock property robust
+    enough to gate: the hot drain beating the cold one by >= 2x.
+    """
+    from repro.gpu import AMD_A10
+    from repro.serve import QueryService
+    from repro.tpch import query_by_name
+
+    specs = [
+        query_by_name(name)
+        for name in SERVE_QUERIES
+        for _ in range(SERVE_REPEAT)
+    ]
+    database = _fresh_database(tables)
+    service = QueryService(
+        database,
+        AMD_A10,
+        result_cache_bytes=64 * 1024 * 1024,
+        segment_cache_bytes=256 * 1024 * 1024,
+        batch_dedupe=True,
+    )
+    drains = []
+    checksums = []
+    for label in ("cold", "hot"):
+        base_ticket = service._next_ticket
+        start = time.perf_counter()
+        report = service.run(specs)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        sums = {
+            f"{position}:{spec.name}": _result_checksum(
+                service.results[base_ticket + position]
+            )
+            for position, spec in enumerate(specs)
+        }
+        checksums.append(sums)
+        drains.append(
+            {
+                "wall_ms": round(wall_ms, 3),
+                "completed": report.completed,
+                "cached": report.cached,
+                "deduped": report.deduped,
+                "shared_scan_rounds": report.shared_scan_rounds,
+            }
+        )
+        print(
+            f" cache {label} sf={scale}: {wall_ms:.1f} ms, "
+            f"{report.cached} cached, {report.deduped} deduped"
+        )
+    cold, hot = drains
+    speedup = (
+        round(cold["wall_ms"] / hot["wall_ms"], 3) if hot["wall_ms"] else 0.0
+    )
+
+    # Dedupe exactly-once: N identical pending queries, one execution.
+    dedupe_service = QueryService(
+        database, AMD_A10, batch_dedupe=True
+    )
+    dedupe_n = 6
+    dedupe_report = dedupe_service.run(
+        [query_by_name("Q5") for _ in range(dedupe_n)]
+    )
+    executed = sum(
+        1
+        for record in dedupe_report.records
+        if record.outcome == "ok" and not record.deduped
+    )
+    reference = _result_checksum(dedupe_service.results[0])
+    rows_correct = all(
+        _result_checksum(dedupe_service.results[ticket]) == reference
+        for ticket in range(dedupe_n)
+    )
+    print(
+        f" cache dedupe: {dedupe_n} identical queries -> {executed} "
+        f"executed, rows {'correct' if rows_correct else 'DIVERGE'}"
+    )
+
+    section = {
+        "scale": scale,
+        "queries": len(specs),
+        "cold": cold,
+        "hot": hot,
+        "speedup": speedup,
+        "checksums_match": checksums[0] == checksums[1],
+        "checksums": checksums[0],
+        "dedupe": {
+            "queries": dedupe_n,
+            "executed": executed,
+            "rows_correct": rows_correct,
+        },
+    }
+    print(
+        f" cache hot/cold: {speedup:.2f}x wall-clock, checksums "
         f"{'match' if section['checksums_match'] else 'DIVERGE'}"
     )
     return section
@@ -330,6 +443,40 @@ def check(baseline_path: str, candidate_path: str) -> int:
                     f"{base_config.get('checksums')!r} -> "
                     f"{config.get('checksums')!r}"
                 )
+    cache = candidate.get("cache")
+    if cache is not None:
+        compared += 1
+        if not cache.get("checksums_match"):
+            failures.append(
+                "cache: per-ticket checksums diverge between the cold "
+                "and hot drains"
+            )
+        if cache.get("speedup", 0.0) < 2.0:
+            failures.append(
+                f"cache: hot drain only {cache.get('speedup')}x faster "
+                "than cold (gate: >= 2x — hot hits skip execution "
+                "entirely, so this holds on any machine)"
+            )
+        dedupe = cache.get("dedupe", {})
+        if dedupe.get("executed") != 1:
+            failures.append(
+                f"cache: dedupe round executed {dedupe.get('executed')} "
+                f"of {dedupe.get('queries')} identical queries "
+                "(expected exactly 1)"
+            )
+        if not dedupe.get("rows_correct"):
+            failures.append(
+                "cache: deduped queries returned divergent rows"
+            )
+        base_cache = baseline.get("cache") or {}
+        if (
+            base_cache.get("checksums")
+            and base_cache.get("checksums") != cache.get("checksums")
+        ):
+            failures.append(
+                f"cache: checksums {base_cache.get('checksums')!r} -> "
+                f"{cache.get('checksums')!r}"
+            )
     if not compared:
         print(
             f"no overlapping entries between {baseline_path} and "

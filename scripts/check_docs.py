@@ -20,10 +20,12 @@ Six checks over every tracked markdown file:
    the catalogue is stale, a catalogue metric missing from the docs is
    undocumented, and both fail;
 5. **undocumented flags** — the reverse of check 3 for the flags in
-   ``MUST_DOCUMENT_FLAGS`` (currently the ``--devices`` pool flags):
-   every command whose parser accepts such a flag must have at least
-   one doc line attributing the flag to that command, so a new flag
-   cannot ship without documentation;
+   ``MUST_DOCUMENT_FLAGS`` (the ``--devices`` pool flag and the serve
+   caching/batching flags ``--result-cache-bytes``,
+   ``--no-result-cache``, ``--batch-dedupe``): every command whose
+   parser accepts such a flag must have at least one doc line
+   attributing the flag to that command, so a new flag cannot ship
+   without documentation;
 6. **reachability** — every ``docs/*.md`` page must be reachable by
    following relative links from ``docs/README.md``, so a page cannot
    be orphaned from the index.
@@ -74,7 +76,12 @@ SOAK_SCRIPT = REPO / "scripts" / "soak.py"
 
 # Check 5: flags that MUST be documented on every command whose parser
 # accepts them.  Extend this set when a new cross-cutting flag lands.
-MUST_DOCUMENT_FLAGS = {"--devices"}
+MUST_DOCUMENT_FLAGS = {
+    "--devices",
+    "--result-cache-bytes",
+    "--no-result-cache",
+    "--batch-dedupe",
+}
 
 DOCS_INDEX = REPO / "docs" / "README.md"
 

@@ -132,7 +132,7 @@ def run_soak(params: dict, verbose: bool = True) -> dict:
     total = params["queries"]
     batch = params["batch"]
     witness = []  # per-drain counters_dict list; hashed for determinism
-    outcomes = {"ok": 0, "failed": 0, "deadline": 0, "shed": 0}
+    outcomes = {"ok": 0, "failed": 0, "deadline": 0, "shed": 0, "cached": 0}
     checkpoint = {"recorded": 0, "resumed": 0, "evicted": 0, "invalidated": 0}
     faults_scheduled = faults_fired = 0
     breaker_degraded = 0
@@ -222,7 +222,8 @@ def run_soak(params: dict, verbose: bool = True) -> dict:
             print(
                 f"  drain {drains:>2}: {report.num_queries:>2} queries | "
                 f"ok {counts['ok']:>2} failed {counts['failed']} "
-                f"deadline {counts['deadline']} shed {counts['shed']} | "
+                f"deadline {counts['deadline']} shed {counts['shed']} "
+                f"cached {counts['cached']} | "
                 f"faults {report.faults_fired_total}/"
                 f"{report.faults_scheduled} | "
                 f"resumed {report.checkpoint.get('resumed', 0)} | "

@@ -292,6 +292,36 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--result-cache-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        metavar="BYTES",
+        help=(
+            "byte budget of the whole-result LRU cache consulted "
+            "before admission; hits bypass execution entirely with "
+            "outcome 'cached' (default: 64 MiB)"
+        ),
+    )
+    serve.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help=(
+            "disable the result cache AND the cross-query segment "
+            "cache — every query re-executes end to end (the pre-PR-8 "
+            "serving behaviour)"
+        ),
+    )
+    serve.add_argument(
+        "--batch-dedupe",
+        action="store_true",
+        help=(
+            "shared-scan batched admission: execute one representative "
+            "of identical pending specs per drain (fanning the result "
+            "out to the duplicates) and group same-fact-table queries "
+            "into admission rounds"
+        ),
+    )
+    serve.add_argument(
         "--trace-out",
         metavar="FILE",
         help="write a Perfetto trace.json of the whole drain to FILE",
@@ -575,6 +605,13 @@ def cmd_serve(args) -> int:
         max_pending=args.max_pending,
         queue_policy=args.queue_policy,
         pool=pool,
+        result_cache_bytes=(
+            None if args.no_result_cache else args.result_cache_bytes
+        ),
+        segment_cache_bytes=(
+            None if args.no_result_cache else 256 * 1024 * 1024
+        ),
+        batch_dedupe=args.batch_dedupe,
     )
     with _traced(args.trace_out):
         report = service.run([_query_spec(name) for name in names])

@@ -17,7 +17,7 @@ import numpy as np
 from ..cancel import CancellationToken
 from ..errors import ExecutionError
 from ..gpu import DeviceSpec, HardwareCounters, Profiler, ProfilerReport, Simulator
-from ..obs.tracing import maybe_span
+from ..obs.tracing import add_event, maybe_span
 from ..plans import (
     ExecutionContext,
     PhysicalPlan,
@@ -28,6 +28,7 @@ from ..plans import (
 )
 from ..plans.runtime import Batch, batch_bytes, batch_rows
 from ..relational import Database
+from .checkpoint import SegmentCheckpoint
 
 __all__ = ["QueryResult", "EngineBase", "workgroups_for"]
 
@@ -168,6 +169,12 @@ class EngineBase:
         #: set (by the resilience executor), :meth:`execute_plan` resumes
         #: completed segments from it and records newly completed ones.
         self.checkpoint = None
+        #: Optional :class:`repro.core.checkpoint.SegmentCache` — the
+        #: *cross-query* store (set by the serving layer).  Segments
+        #: whose content keys hit the cache are spliced from it instead
+        #: of executing; completed segments are stored back under their
+        #: keys so later queries sharing the plan prefix can reuse them.
+        self.segment_cache = None
         self._optimizer = SelingerOptimizer(
             database, choose_fact=adaptive_fact
         )
@@ -263,16 +270,68 @@ class EngineBase:
             checkpoint.begin_attempt(
                 tuple(p.pipeline_id for p in plan.pipelines)
             )
+        segment_cache = self.segment_cache
+        segment_keys: Tuple[str, ...] = ()
+        if segment_cache is not None:
+            segment_keys = segment_cache.keys_for(
+                plan,
+                self.database,
+                self.device.name,
+                partitioned_joins=self.partitioned_joins,
+                num_partitions=self.num_partitions,
+                adaptive_fact=self.adaptive_fact,
+            )
+        # Keys already present before each segment runs, so a completed
+        # segment's contribution (for the cross-query cache) is the diff.
+        seen_intermediates: set = set()
+        seen_hash_tables: set = set()
+
+        def _segment_diff():
+            new_i = {
+                key: value
+                for key, value in context.intermediates.items()
+                if key not in seen_intermediates
+            }
+            new_h = {
+                key: value
+                for key, value in context.hash_tables.items()
+                if key not in seen_hash_tables
+            }
+            seen_intermediates.update(new_i)
+            seen_hash_tables.update(new_h)
+            return new_i, new_h
+
         try:
-            for pipeline in plan.pipelines:
+            for index, pipeline in enumerate(plan.pipelines):
                 if checkpoint is not None and checkpoint.restore(
                     pipeline.pipeline_id, context
                 ):
+                    _segment_diff()
+                    continue
+                if segment_cache is not None and segment_cache.restore(
+                    segment_keys[index], context
+                ):
+                    new_i, new_h = _segment_diff()
+                    if checkpoint is not None:
+                        checkpoint.note_restored(new_i, new_h)
+                    add_event(
+                        "segment_cache.resume",
+                        query=query_name,
+                        segment=pipeline.pipeline_id,
+                    )
                     continue
                 simulator.begin_segment(pipeline.pipeline_id)
                 self._run_pipeline(pipeline, simulator, context)
                 if checkpoint is not None:
                     checkpoint.record(pipeline.pipeline_id, context)
+                if segment_cache is not None:
+                    new_i, new_h = _segment_diff()
+                    segment_cache.store(
+                        segment_keys[index],
+                        SegmentCheckpoint.capture(
+                            pipeline.pipeline_id, new_i, new_h
+                        ),
+                    )
         finally:
             # Charge even a failed run's completed-segment cycles to the
             # token: the deadline is cumulative across resilient retries.

@@ -26,17 +26,36 @@ pipelines functionally, checkpoints survive Δ-halving retries *and*
 GPL→KBE fallback unchanged; only segments whose pipeline ids disappear
 from a re-planned attempt are invalidated (see
 :meth:`QueryCheckpoint.begin_attempt`).
+
+A third class, :class:`SegmentCache`, generalizes the same capture
+machinery across *queries*: where the checkpoint store keys entries by
+a per-execution ticket (so two executions never alias), the segment
+cache keys them by a content signature — a running digest of the
+database fingerprint, the device, the plan knobs, and every lowered
+pipeline up to and including the segment — so two *distinct* queries
+whose plans share a lowered segment prefix (the same scan/filter/build
+subplans, in the same order) resume from each other's materialized
+outputs.  The signature is the whole invalidation story, exactly like
+:func:`~repro.plans.lowering.plan_cache_key`: change the data, the
+device, a knob, or any upstream operator and the key changes.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..plans.runtime import Batch, batch_bytes
 
-__all__ = ["CheckpointStore", "QueryCheckpoint", "SegmentCheckpoint"]
+__all__ = [
+    "CheckpointStore",
+    "QueryCheckpoint",
+    "SegmentCache",
+    "SegmentCheckpoint",
+    "segment_cache_keys",
+]
 
 #: Default service-wide cap on live checkpoint bytes (256 MiB of
 #: simulated intermediates — generous for the repro's scale factors while
@@ -196,6 +215,19 @@ class QueryCheckpoint:
                 del self._segments[segment_id]
                 self.segments_invalidated += 1
 
+    def note_restored(
+        self, intermediates: Dict[str, Batch], hash_tables: Dict[str, object]
+    ) -> None:
+        """Mark context keys spliced in by an *external* restore.
+
+        The cross-query :class:`SegmentCache` can satisfy a segment this
+        checkpoint never saw; without this notice the next
+        :meth:`record` would mistake the restored keys for outputs of
+        the segment that follows and double-capture them.
+        """
+        self._seen_intermediates.update(intermediates)
+        self._seen_hash_tables.update(hash_tables)
+
     def restore(self, segment_id: str, context) -> bool:
         """Splice a recorded segment back into ``context`` if available.
 
@@ -252,4 +284,215 @@ class QueryCheckpoint:
             "segments_recorded": self.segments_recorded,
             "segments_resumed": self.segments_resumed,
             "segments_invalidated": self.segments_invalidated,
+        }
+
+
+# -- cross-query segment cache -------------------------------------------
+
+
+def _op_signature(op) -> str:
+    """Deterministic description of one stream op or sink.
+
+    Every public attribute of the physical operators is either a scalar,
+    a tuple/dict of scalars, or a frozen-dataclass expression tree — all
+    with canonical ``repr``s (the same property
+    :func:`~repro.plans.optimizer.spec_fingerprint` relies on).  Private
+    attributes are per-execution state (sink accumulators, built hash
+    tables) and are excluded.
+    """
+    fields = ",".join(
+        f"{name}={value!r}"
+        for name, value in sorted(vars(op).items())
+        if not name.startswith("_")
+    )
+    return f"{type(op).__name__}({fields})"
+
+
+def segment_cache_keys(
+    plan,
+    database,
+    device_name: str,
+    *,
+    partitioned_joins: bool = False,
+    num_partitions: int = 16,
+    adaptive_fact: bool = False,
+) -> Tuple[str, ...]:
+    """One content key per pipeline of ``plan``, in plan order.
+
+    Key ``i`` is a running SHA-1 over the database fingerprint (table
+    names, row counts, byte sizes), the device name, the plan knobs, and
+    the full descriptions of pipelines ``0..i``.  Chaining the digest
+    over the *prefix* makes the key conservative and sound: a pipeline's
+    inputs (its source intermediate, the hash tables its probes consult)
+    are always produced by earlier pipelines, so two plans agreeing on a
+    prefix key agree on everything segment ``i`` can observe.
+
+    Keys are memoized on the plan object per environment digest — plans
+    are shared through the :class:`~repro.serve.PlanCache`, so repeat
+    traffic hashes nothing.
+    """
+    env = hashlib.sha1()
+    env.update(
+        repr(
+            tuple(
+                (name, database.table(name).num_rows, database.table(name).nbytes)
+                for name in database.names
+            )
+        ).encode()
+    )
+    env.update(
+        f"|{device_name}|pj={int(partitioned_joins)}"
+        f"|np={num_partitions}|af={int(adaptive_fact)}".encode()
+    )
+    env_digest = env.hexdigest()
+    memo = getattr(plan, "_segment_key_memo", None)
+    if memo is None:
+        memo = {}
+        plan._segment_key_memo = memo
+    keys = memo.get(env_digest)
+    if keys is not None:
+        return keys
+    running = hashlib.sha1(env_digest.encode())
+    out: List[str] = []
+    for pipeline in plan.pipelines:
+        source = pipeline.source_table or f"@{pipeline.source_intermediate}"
+        running.update(
+            "|".join(
+                [
+                    pipeline.pipeline_id,
+                    source,
+                    repr(pipeline.source_columns),
+                    repr(sorted(pipeline.source_rename.items())),
+                    str(pipeline.source_row_width),
+                ]
+                + [_op_signature(op) for op in pipeline.ops]
+                + [_op_signature(pipeline.sink)]
+            ).encode()
+        )
+        out.append(f"{pipeline.pipeline_id}:{running.hexdigest()}")
+    keys = tuple(out)
+    memo[env_digest] = keys
+    return keys
+
+
+class SegmentCache:
+    """Cross-query LRU cache of materialized segment outputs.
+
+    The generalization of :class:`CheckpointStore`: same captured
+    values (:class:`SegmentCheckpoint` entries, held by reference — see
+    the capture-by-reference note on :meth:`SegmentCheckpoint.capture`),
+    same byte/segment bounds and LRU eviction, but keyed by the content
+    signatures of :func:`segment_cache_keys` instead of a per-execution
+    ticket.  Any engine whose ``segment_cache`` attribute is set
+    consults it before running each segment; the serving layer shares
+    one cache across every query it executes.
+
+    Eviction and misses are always safe — the segment simply executes.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_segments: int = DEFAULT_MAX_SEGMENTS,
+    ):
+        if max_bytes < 0 or max_segments < 0:
+            raise ValueError("segment cache bounds must be non-negative")
+        self.max_bytes = max_bytes
+        self.max_segments = max_segments
+        self._entries: "OrderedDict[str, SegmentCheckpoint]" = OrderedDict()
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stored = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys_for(
+        self,
+        plan,
+        database,
+        device_name: str,
+        *,
+        partitioned_joins: bool = False,
+        num_partitions: int = 16,
+        adaptive_fact: bool = False,
+    ) -> Tuple[str, ...]:
+        """Per-pipeline content keys (see :func:`segment_cache_keys`)."""
+        return segment_cache_keys(
+            plan,
+            database,
+            device_name,
+            partitioned_joins=partitioned_joins,
+            num_partitions=num_partitions,
+            adaptive_fact=adaptive_fact,
+        )
+
+    def restore(self, key: str, context) -> bool:
+        """Splice the cached segment under ``key`` into ``context``.
+
+        Returns ``True`` when the segment can be skipped; a miss counts
+        and returns ``False`` (the segment executes normally).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return False
+        self._entries.move_to_end(key)
+        context.intermediates.update(entry.intermediates)
+        context.hash_tables.update(entry.hash_tables)
+        self.hits += 1
+        return True
+
+    def entry_for(self, key: str) -> Optional[SegmentCheckpoint]:
+        """Peek at the entry under ``key`` without counting a lookup."""
+        return self._entries.get(key)
+
+    def store(self, key: str, entry: SegmentCheckpoint) -> bool:
+        """Insert ``entry`` under ``key``, evicting LRU entries to fit.
+
+        An entry larger than the whole budget is not stored; re-storing
+        an existing key refreshes it in place.
+        """
+        if entry.nbytes > self.max_bytes or self.max_segments == 0:
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.live_bytes -= old.nbytes
+        while self._entries and (
+            self.live_bytes + entry.nbytes > self.max_bytes
+            or len(self._entries) >= self.max_segments
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self.live_bytes -= evicted.nbytes
+            self.evictions += 1
+        if len(self._entries) >= self.max_segments:
+            return False
+        self._entries[key] = entry
+        self.live_bytes += entry.nbytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        self.stored += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry and reset all counters."""
+        self._entries.clear()
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stored = 0
+
+    def counters_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stored": self.stored,
+            "live_segments": len(self._entries),
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
         }

@@ -208,6 +208,7 @@ class ResilientExecutor:
         deadline_cycles: Optional[float] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoints: bool = True,
+        segment_cache=None,
     ):
         if not engines:
             raise ExecutionError("the fallback chain needs at least one engine")
@@ -249,6 +250,11 @@ class ResilientExecutor:
             if checkpoint_store is not None
             else (CheckpointStore() if checkpoints else None)
         )
+        #: Optional :class:`repro.core.checkpoint.SegmentCache` — the
+        #: *cross-query* segment store (distinct from the per-execution
+        #: checkpoint pool above).  Handed to every engine this executor
+        #: builds so retries and fallbacks share it too.
+        self.segment_cache = segment_cache
 
     # -- public API -------------------------------------------------------
 
@@ -368,6 +374,7 @@ class ResilientExecutor:
             engine.fault_injector = self.injector
             engine.cancellation = token
             engine.checkpoint = checkpoint
+            engine.segment_cache = self.segment_cache
             error: Exception
             outcome: str
             try:

@@ -60,7 +60,7 @@ METRIC_CATALOGUE: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "serve_queries_total", "counter",
         "Queries drained through the service, by outcome.",
-        labels=("status",),  # ok | failed | deadline | shed
+        labels=("status",),  # ok | failed | deadline | shed | cached
     ),
     MetricSpec(
         "serve_rounds_total", "counter",
@@ -146,13 +146,33 @@ METRIC_CATALOGUE: Tuple[MetricSpec, ...] = (
     # -- caches ----------------------------------------------------------
     MetricSpec(
         "cache_lookups_total", "counter",
-        "Plan/calibration/search cache lookups, by cache and outcome.",
-        labels=("cache", "outcome"),  # cache: plan|calibration|search
+        "Serving-cache lookups, by cache and outcome.",
+        labels=("cache", "outcome"),
+        # cache: plan|calibration|search|result|segment
     ),
     MetricSpec(
         "cache_evictions_total", "counter",
         "LRU evictions, by cache.",
         labels=("cache",),
+    ),
+    MetricSpec(
+        "cache_result_bytes", "gauge",
+        "Bytes of materialized query results held by the result cache.",
+    ),
+    MetricSpec(
+        "cache_segment_bytes", "gauge",
+        "Bytes of materialized segment outputs held by the cross-query "
+        "segment cache.",
+    ),
+    # -- batched admission -----------------------------------------------
+    MetricSpec(
+        "batch_dedupe_queries_total", "counter",
+        "Queries answered by another identical pending query's "
+        "execution (dedupe fan-out).",
+    ),
+    MetricSpec(
+        "batch_shared_scan_rounds_total", "counter",
+        "Admission rounds whose members shared one fact-table scan.",
     ),
     # -- resilience ------------------------------------------------------
     MetricSpec(

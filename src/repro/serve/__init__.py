@@ -9,10 +9,17 @@ traffic fast through a :class:`PlanCache` plus the memoized calibration
 and configuration-search caches in :mod:`repro.model`.  Every drain
 produces a deterministic :class:`ServiceReport` with throughput, p50/p95
 latency, and cache hit/miss counters.
+
+Executed work is cacheable too (opt-in): a byte-budgeted
+:class:`ResultCache` answers repeat queries before admission, a
+cross-query :class:`SegmentCache` resumes shared plan prefixes from
+materialized segment outputs, and ``batch_dedupe`` adds shared-scan
+batched admission (identical pending specs execute once; same-fact
+queries share a round).  See ``docs/caching.md``.
 """
 
 from .breaker import BREAKER_STATES, CircuitBreaker
-from .caches import CacheStats, PlanCache
+from .caches import CacheStats, PlanCache, ResultCache, SegmentCache
 from .report import QueryRecord, ServiceReport, percentile
 from .scheduler import POLICIES, ScheduledQuery, Scheduler
 from .service import QUEUE_POLICIES, QueryService
@@ -22,6 +29,8 @@ __all__ = [
     "CircuitBreaker",
     "CacheStats",
     "PlanCache",
+    "ResultCache",
+    "SegmentCache",
     "QueryRecord",
     "ServiceReport",
     "percentile",

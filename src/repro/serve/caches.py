@@ -1,4 +1,4 @@
-"""Plan cache: lowered physical plans, keyed by everything they depend on.
+"""Serving caches: lowered plans and whole query results.
 
 Optimization + lowering is pure — the same :class:`~repro.plans.QuerySpec`
 against the same database with the same plan knobs always produces the
@@ -14,6 +14,16 @@ Engines consult an attached cache through
 :meth:`repro.core.EngineBase.prepare`; the serving layer attaches one
 cache across every engine it builds so repeat traffic skips the
 optimizer entirely.
+
+:class:`ResultCache` applies the same argument one level up: execution
+is deterministic, so the *result* is as pure a function of the plan
+cache key as the plan is.  The service consults it before admission —
+a hit bypasses scheduling and execution entirely (outcome ``cached``).
+Results hold materialized rows, so the budget is bytes, not entries:
+a byte-budgeted LRU with oversized results simply never admitted.
+The cross-query *segment* cache lives with the checkpoint machinery in
+:mod:`repro.core.checkpoint` (:class:`~repro.core.checkpoint.SegmentCache`)
+and is re-exported here alongside the serving-level caches.
 """
 
 from __future__ import annotations
@@ -22,10 +32,12 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..core.checkpoint import SegmentCache
 from ..plans import PhysicalPlan, QuerySpec
 from ..plans.lowering import plan_cache_key
+from ..plans.runtime import batch_bytes
 
-__all__ = ["CacheStats", "PlanCache"]
+__all__ = ["CacheStats", "PlanCache", "ResultCache", "SegmentCache"]
 
 
 @dataclass
@@ -113,3 +125,95 @@ class PlanCache:
         """Drop every entry and reset the counters."""
         self._entries.clear()
         self.stats = CacheStats()
+
+
+#: Default result-cache budget: 64 MiB of materialized rows.
+DEFAULT_RESULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class ResultCache:
+    """Byte-budgeted LRU cache of whole query results.
+
+    Keyed by :func:`~repro.plans.lowering.plan_cache_key` plus an
+    execution salt (tile size, pool width) supplied by the service —
+    everything that shaped the *rows* is in the key, so, exactly as for
+    the plan cache, invalidation is the key changing.  Results are
+    materialized row batches, so the bound is ``max_bytes`` of column
+    data (:func:`~repro.plans.runtime.batch_bytes`); least recently
+    used results are evicted to fit, and a single result larger than
+    the whole budget is never admitted.
+
+    Entries are stored by reference.  That is safe for the same reason
+    checkpoint capture-by-reference is: engine outputs are freshly
+    materialized per execution and never mutated downstream.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_RESULT_CACHE_BYTES):
+        if max_bytes < 1:
+            raise ValueError("result cache needs a positive byte budget")
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.stored = 0
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def result_bytes(result) -> int:
+        """The byte footprint charged for ``result``."""
+        return int(batch_bytes(result.batch))
+
+    def lookup(self, key: str):
+        """The cached result for ``key``, counting the hit or miss."""
+        result = self._entries.get(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return result
+
+    def store(self, key: str, result) -> bool:
+        """Admit ``result`` under ``key``; ``False`` if it cannot fit."""
+        size = self.result_bytes(result)
+        if size > self.max_bytes:
+            return False
+        if key in self._entries:
+            self.live_bytes -= self._sizes[key]
+            del self._entries[key]
+            del self._sizes[key]
+        while self._entries and self.live_bytes + size > self.max_bytes:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.live_bytes -= self._sizes.pop(evicted_key)
+            self.stats.evictions += 1
+        self._entries[key] = result
+        self._sizes[key] = size
+        self.live_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        self.stored += 1
+        return True
+
+    def counters_dict(self) -> Dict[str, int]:
+        """Deterministic counters (the serving report embeds these)."""
+        return {
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "stored": self.stored,
+            "live_results": len(self._entries),
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self._sizes.clear()
+        self.stats = CacheStats()
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.stored = 0

@@ -58,7 +58,9 @@ class QueryRecord:
     error: str = ""
     #: How the query left the service: ``ok`` | ``failed`` |
     #: ``deadline`` (cancelled past its cycle budget) | ``shed``
-    #: (dropped by the bounded admission queue, never executed).
+    #: (dropped by the bounded admission queue, never executed) |
+    #: ``cached`` (answered from the result cache before admission —
+    #: zero admission cost, zero simulated execution).
     outcome: str = "ok"
     #: An open circuit breaker routed this query (or, on a pooled
     #: service, at least one of its shards) straight to KBE.
@@ -66,6 +68,9 @@ class QueryRecord:
     #: Shards that executed when the service ran this query across a
     #: device pool (0 = single-device execution).
     shards: int = 0
+    #: This query was deduplicated in a batched drain: an identical
+    #: pending spec executed once and fanned its result out here.
+    deduped: bool = False
 
     @property
     def latency_ms(self) -> float:
@@ -87,6 +92,13 @@ class ServiceReport:
     plan_cache: Dict[str, int] = field(default_factory=dict)
     calibration_cache: Dict[str, int] = field(default_factory=dict)
     search_cache: Dict[str, int] = field(default_factory=dict)
+    #: Result-cache counter deltas for this drain (empty: cache off).
+    result_cache: Dict[str, int] = field(default_factory=dict)
+    #: Cross-query segment-cache counter deltas (empty: cache off).
+    segment_cache: Dict[str, int] = field(default_factory=dict)
+    #: Admission rounds whose members shared a fact table (≥ 2 queries
+    #: over one scan); 0 unless shared-scan grouping batched anything.
+    shared_scan_rounds: int = 0
     #: Snapshot of the service's metrics registry at drain end
     #: (``MetricsRegistry.to_json()``); empty when metrics are off.
     metrics: Dict[str, object] = field(default_factory=dict)
@@ -130,6 +142,16 @@ class ServiceReport:
     @property
     def shed(self) -> int:
         return sum(1 for r in self.records if r.outcome == "shed")
+
+    @property
+    def cached(self) -> int:
+        """Queries answered from the result cache (never admitted)."""
+        return sum(1 for r in self.records if r.outcome == "cached")
+
+    @property
+    def deduped(self) -> int:
+        """Queries answered by another identical query's execution."""
+        return sum(1 for r in self.records if r.deduped)
 
     @property
     def breaker_degraded(self) -> int:
@@ -179,11 +201,15 @@ class ServiceReport:
             "plan_cache": dict(sorted(self.plan_cache.items())),
             "calibration_cache": dict(sorted(self.calibration_cache.items())),
             "search_cache": dict(sorted(self.search_cache.items())),
+            "result_cache": dict(sorted(self.result_cache.items())),
+            "segment_cache": dict(sorted(self.segment_cache.items())),
+            "shared_scan_rounds": self.shared_scan_rounds,
+            "deduped": self.deduped,
             "outcomes": {
                 outcome: sum(
                     1 for r in self.records if r.outcome == outcome
                 )
-                for outcome in ("ok", "failed", "deadline", "shed")
+                for outcome in ("ok", "failed", "deadline", "shed", "cached")
             },
             "breaker": dict(sorted(self.breaker.items())),
             "breaker_degraded": self.breaker_degraded,
@@ -194,7 +220,7 @@ class ServiceReport:
             "schedule": [
                 (
                     r.index, r.query, r.round, r.slots, r.engine, r.ok,
-                    r.outcome, r.breaker_degraded, r.shards,
+                    r.outcome, r.breaker_degraded, r.shards, r.deduped,
                 )
                 for r in self.records
             ],
@@ -250,10 +276,18 @@ class ServiceReport:
                     f"faults: all {self.faults_scheduled} scheduled "
                     f"firings fired"
                 )
+        if self.cached or self.deduped or self.shared_scan_rounds:
+            lines.append(
+                f"batching: {self.cached} result-cache answered | "
+                f"{self.deduped} deduped | "
+                f"{self.shared_scan_rounds} shared-scan rounds"
+            )
         for label, stats in (
             ("plan cache", self.plan_cache),
             ("calibration cache", self.calibration_cache),
             ("search cache", self.search_cache),
+            ("result cache", self.result_cache),
+            ("segment cache", self.segment_cache),
         ):
             if stats:
                 lines.append(
@@ -269,8 +303,12 @@ class ServiceReport:
                 f"under {overall['underestimated_share']:.0%}"
             )
         for r in sorted(self.records, key=lambda r: (r.round, r.index)):
-            if r.ok:
+            if r.outcome == "cached":
+                status = f"{r.engine} [cached]"
+            elif r.ok:
                 status = r.engine
+                if r.deduped:
+                    status += " [deduped]"
                 if r.breaker_degraded:
                     status += " [breaker]"
             elif r.outcome == "deadline":

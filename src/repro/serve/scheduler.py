@@ -83,21 +83,42 @@ class Scheduler:
         ordered: Sequence[ScheduledQuery],
         max_concurrent: int,
         budget_bytes: float,
+        group_fact: bool = False,
     ) -> List[List[ScheduledQuery]]:
-        """Greedy packing of the ordered queue into concurrent rounds."""
+        """Greedy packing of the ordered queue into concurrent rounds.
+
+        With ``group_fact=True`` (shared-scan batching) the ordered
+        queue is first partitioned by fact table — groups keep the
+        first-appearance order of their fact, members keep the policy
+        order within the group — and each group is packed separately.
+        Queries in a shared-scan round read the same fact table, so the
+        round amortizes one scan (one partitioning pass on the pool
+        path, one zero-copy column walk on a single device) across its
+        members instead of re-touching the fact per query.
+        """
         if max_concurrent < 1:
             raise ExecutionError("max_concurrent must be at least 1")
+        groups: List[Sequence[ScheduledQuery]]
+        if group_fact:
+            by_fact: Dict[str, List[ScheduledQuery]] = {}
+            for query in ordered:
+                fact = query.spec.table_ref(query.spec.fact).table
+                by_fact.setdefault(fact, []).append(query)
+            groups = list(by_fact.values())
+        else:
+            groups = [list(ordered)]
         rounds: List[List[ScheduledQuery]] = []
-        current: List[ScheduledQuery] = []
-        used = 0.0
-        for query in ordered:
-            fits_slots = len(current) < max_concurrent
-            fits_budget = used + query.footprint_bytes <= budget_bytes
-            if current and not (fits_slots and fits_budget):
+        for group in groups:
+            current: List[ScheduledQuery] = []
+            used = 0.0
+            for query in group:
+                fits_slots = len(current) < max_concurrent
+                fits_budget = used + query.footprint_bytes <= budget_bytes
+                if current and not (fits_slots and fits_budget):
+                    rounds.append(current)
+                    current, used = [], 0.0
+                current.append(query)
+                used += query.footprint_bytes
+            if current:
                 rounds.append(current)
-                current, used = [], 0.0
-            current.append(query)
-            used += query.footprint_bytes
-        if current:
-            rounds.append(current)
         return rounds

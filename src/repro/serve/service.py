@@ -25,6 +25,22 @@ config), the memoized configuration search, and the per-device Γ table
 (:mod:`repro.model`).  All three expose hit/miss counters, reported
 per drain on the :class:`~repro.serve.report.ServiceReport`.
 
+Two further levels cache *executed* work (both opt-in; the serve CLI
+enables them by default):
+
+* a :class:`~repro.serve.caches.ResultCache` consulted before
+  admission — a hit answers the query with outcome ``cached`` at zero
+  admission cost, bypassing scheduling and execution entirely;
+* a cross-query :class:`~repro.core.checkpoint.SegmentCache` attached
+  to every engine the service builds, so distinct queries sharing a
+  lowered segment prefix resume from materialized segment outputs.
+
+``batch_dedupe=True`` adds shared-scan batched admission: each drain
+executes one representative of every set of identical pending specs
+(fanning the result out to the duplicates, marked ``deduped``) and
+groups same-fact-table queries into admission rounds so a round
+amortizes one scan of the fact across its members.
+
 Everything is deterministic: same database seed, same trace, same fault
 plan => identical schedule, identical results, identical report
 counters (given the same starting cache state; see ``docs/serving.md``).
@@ -55,11 +71,11 @@ from ..model import (
 )
 from ..obs import DriftRecorder, MetricsRegistry
 from ..obs.tracing import add_event, maybe_span
-from ..plans import QuerySpec
+from ..plans import QuerySpec, spec_fingerprint
 from ..relational import Database
 from ..shard import DevicePool, ShardedExecutor
 from .breaker import CircuitBreaker, breaker_states
-from .caches import PlanCache
+from .caches import PlanCache, ResultCache, SegmentCache
 from .report import QueryRecord, ServiceReport
 from .scheduler import ScheduledQuery, Scheduler
 
@@ -73,6 +89,18 @@ QUEUE_POLICIES: Tuple[str, ...] = ("reject", "shed-oldest")
 
 def _stats_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
     return {key: after.get(key, 0) - before.get(key, 0) for key in after}
+
+
+def _cache_delta(
+    after: Dict[str, int], before: Dict[str, int]
+) -> Dict[str, int]:
+    """Per-drain cache counters: deltas for the monotonic counters,
+    current values for the occupancy (``live_*``/``peak_*``) entries."""
+    delta = _stats_delta(after, before)
+    for key in after:
+        if key.startswith(("live_", "peak_")):
+            delta[key] = after[key]
+    return delta
 
 
 class QueryService:
@@ -111,6 +139,11 @@ class QueryService:
         queue_policy: str = "reject",
         checkpoint_store: Optional[CheckpointStore] = None,
         pool: Optional[DevicePool] = None,
+        result_cache: Optional[ResultCache] = None,
+        result_cache_bytes: Optional[int] = None,
+        segment_cache: Optional[SegmentCache] = None,
+        segment_cache_bytes: Optional[int] = None,
+        batch_dedupe: bool = False,
     ):
         if queue_policy not in QUEUE_POLICIES:
             raise ExecutionError(
@@ -180,6 +213,34 @@ class QueryService:
             checkpoint_store if checkpoint_store is not None
             else CheckpointStore()
         )
+        #: Whole-result cache consulted before admission (see module
+        #: doc).  Opt-in: pass an instance, or a byte budget to build
+        #: one; ``None`` (the default) leaves results uncached so
+        #: existing traces keep their exact schedules.
+        self.result_cache = (
+            result_cache
+            if result_cache is not None
+            else (
+                ResultCache(result_cache_bytes)
+                if result_cache_bytes
+                else None
+            )
+        )
+        #: Cross-query segment cache attached to every engine the
+        #: service builds (opt-in, same convention as above).
+        self.segment_cache = (
+            segment_cache
+            if segment_cache is not None
+            else (
+                SegmentCache(max_bytes=segment_cache_bytes)
+                if segment_cache_bytes
+                else None
+            )
+        )
+        #: Shared-scan batched admission: dedupe identical pending
+        #: specs per drain and group same-fact-table queries into
+        #: admission rounds.
+        self.batch_dedupe = batch_dedupe
         #: Ticket -> result for every completed query this service ran.
         self.results: Dict[int, QueryResult] = {}
         self._queue: List[Tuple[int, QuerySpec, Optional[FaultPlan]]] = []
@@ -199,6 +260,7 @@ class QueryService:
                 plan_cache=self.plan_cache,
                 deadline_cycles=default_deadline_cycles,
                 checkpoint_store=self.checkpoint_store,
+                segment_cache=self.segment_cache,
             )
 
     # -- submission -------------------------------------------------------
@@ -291,6 +353,21 @@ class QueryService:
         )
         engine.plan_cache = self.plan_cache
         return engine
+
+    def _result_key(self, probe: GPLEngine, spec: QuerySpec) -> str:
+        """Result-cache key: the plan cache key plus an execution salt.
+
+        ``plan_cache_key`` already covers everything that shapes the
+        *rows* (query shape, database contents, device, plan knobs);
+        the salt adds the execution parameters a cached result's
+        metadata was produced under (tile size, pool width) so two
+        differently-configured services never share entries.
+        """
+        pool_width = len(self.pool) if self.pool is not None else 1
+        return (
+            self.plan_cache.key_for(probe, spec)
+            + f"|tile={self.config.tile_bytes}|pool={pool_width}"
+        )
 
     def _ensure_search(self) -> ConfigurationSearch:
         if self._search is None:
@@ -481,6 +558,7 @@ class QueryService:
                 segment_configs=query.segment_configs,
                 deadline_cycles=self.default_deadline_cycles,
                 checkpoint_store=self.checkpoint_store,
+                segment_cache=self.segment_cache,
             )
             return executor.execute(query.spec)
         engine = GPLEngine(
@@ -491,6 +569,7 @@ class QueryService:
             partitioned_joins=self.partitioned_joins,
         )
         engine.plan_cache = self.plan_cache
+        engine.segment_cache = self.segment_cache
         if fault_plan is not None:
             engine.fault_injector = FaultInjector(fault_plan)
         deadline = (
@@ -526,14 +605,103 @@ class QueryService:
         calibration_before = calibration_cache_stats()
         search_before = search_cache_stats()
         checkpoint_before = self.checkpoint_store.counters_dict()
-
-        planned = self._plan_queries(batch)
-        ordered = self.scheduler.order(planned)
-        rounds = self.scheduler.admission_rounds(
-            ordered, self.max_concurrent, self.memory_budget_bytes
+        result_before = (
+            self.result_cache.counters_dict()
+            if self.result_cache is not None
+            else {}
+        )
+        segment_before = (
+            self.segment_cache.counters_dict()
+            if self.segment_cache is not None
+            else {}
         )
 
         records: List[QueryRecord] = []
+
+        # -- result cache: answer hits before admission ------------------
+        # Fault injection makes an execution's *path* part of the ask, so
+        # any fault plan (service-wide or per-ticket) bypasses the cache
+        # in both directions — faulty traffic neither reads nor writes it.
+        store_keys: Dict[int, str] = {}
+        if self.result_cache is not None:
+            probe = self._probe_engine()
+            remaining: List[
+                Tuple[int, QuerySpec, Optional[FaultPlan]]
+            ] = []
+            for ticket, spec, fault_plan in batch:
+                if fault_plan is not None or self.fault_plan is not None:
+                    remaining.append((ticket, spec, fault_plan))
+                    continue
+                key = self._result_key(probe, spec)
+                cached = self.result_cache.lookup(key)
+                if cached is None:
+                    store_keys[ticket] = key
+                    remaining.append((ticket, spec, fault_plan))
+                    continue
+                self.results[ticket] = cached
+                add_event(
+                    "serve.result_cache",
+                    query=spec.name,
+                    ticket=ticket,
+                    outcome="hit",
+                )
+                records.append(
+                    QueryRecord(
+                        index=ticket,
+                        query=spec.name,
+                        engine=cached.engine,
+                        round=-1,
+                        slots=0,
+                        est_cost_cycles=0.0,
+                        footprint_bytes=0.0,
+                        wait_ms=0.0,
+                        exec_ms=0.0,
+                        plan_cache_hit=False,
+                        num_rows=cached.num_rows,
+                        outcome="cached",
+                    )
+                )
+            batch = remaining
+
+        planned = self._plan_queries(batch)
+
+        # -- dedupe: one execution per identical pending spec ------------
+        # The fingerprint excludes the deadline, so a deadline-tagged
+        # query never piggybacks on an unbounded twin (and vice versa);
+        # fault plans disable dedupe the same way they disable the
+        # result cache — injected faults target individual executions.
+        followers: Dict[int, List[ScheduledQuery]] = {}
+        if self.batch_dedupe and self.fault_plan is None:
+            leaders: Dict[Tuple[str, Optional[float]], ScheduledQuery] = {}
+            unique: List[ScheduledQuery] = []
+            for query in planned:
+                if query.fault_plan is not None:
+                    unique.append(query)
+                    continue
+                key = (
+                    spec_fingerprint(query.spec),
+                    query.spec.deadline_cycles,
+                )
+                leader = leaders.get(key)
+                if leader is None:
+                    leaders[key] = query
+                    unique.append(query)
+                else:
+                    followers.setdefault(leader.index, []).append(query)
+            planned = unique
+
+        ordered = self.scheduler.order(planned)
+        rounds = self.scheduler.admission_rounds(
+            ordered,
+            self.max_concurrent,
+            self.memory_budget_bytes,
+            group_fact=self.batch_dedupe,
+        )
+        shared_scan_rounds = (
+            sum(1 for members in rounds if len(members) >= 2)
+            if self.batch_dedupe
+            else 0
+        )
         faults_scheduled = 0
         faults_fired_total = 0
         faults_unfired: "_Counter[str]" = _Counter()
@@ -558,6 +726,7 @@ class QueryService:
                 round=round_index,
                 members=len(members),
                 slots=slots,
+                shared_scan=self.batch_dedupe and len(members) >= 2,
             ):
                 for query in members:
                     scopes = self._breaker_scopes(query.spec.name)
@@ -631,6 +800,35 @@ class QueryService:
                                     breaker_degraded=degraded,
                                 )
                             )
+                            for follower in followers.get(query.index, ()):
+                                records.append(
+                                    QueryRecord(
+                                        index=follower.index,
+                                        query=follower.spec.name,
+                                        engine="",
+                                        round=round_index,
+                                        slots=slots,
+                                        est_cost_cycles=(
+                                            follower.est_cost_cycles
+                                        ),
+                                        footprint_bytes=(
+                                            follower.footprint_bytes
+                                        ),
+                                        wait_ms=clock_ms,
+                                        exec_ms=0.0,
+                                        plan_cache_hit=(
+                                            follower.plan_cache_hit
+                                        ),
+                                        ok=False,
+                                        error=str(exc).splitlines()[0],
+                                        outcome=(
+                                            "deadline" if is_deadline
+                                            else "failed"
+                                        ),
+                                        breaker_degraded=degraded,
+                                        deduped=True,
+                                    )
+                                )
                             continue
                         if span is not None:
                             span.attrs["ok"] = True
@@ -672,6 +870,41 @@ class QueryService:
                             ),
                         )
                     )
+                    # Fan the leader's result out to deduped twins: one
+                    # execution answers every identical pending spec.
+                    for follower in followers.get(query.index, ()):
+                        self.results[follower.index] = result
+                        add_event(
+                            "serve.dedupe",
+                            query=follower.spec.name,
+                            ticket=follower.index,
+                            leader=query.index,
+                        )
+                        records.append(
+                            QueryRecord(
+                                index=follower.index,
+                                query=follower.spec.name,
+                                engine=result.engine,
+                                round=round_index,
+                                slots=slots,
+                                est_cost_cycles=follower.est_cost_cycles,
+                                footprint_bytes=follower.footprint_bytes,
+                                wait_ms=clock_ms,
+                                exec_ms=0.0,
+                                plan_cache_hit=follower.plan_cache_hit,
+                                num_rows=result.num_rows,
+                                breaker_degraded=degraded,
+                                shards=(
+                                    result.shard.fanout
+                                    if result.shard is not None
+                                    else 0
+                                ),
+                                deduped=True,
+                            )
+                        )
+                    key = store_keys.get(query.index)
+                    if key is not None:
+                        self.result_cache.store(key, result)
             clock_ms += round_makespan
 
         for ticket, spec in shed:
@@ -708,6 +941,21 @@ class QueryService:
                 calibration_cache_stats(), calibration_before
             ),
             search_cache=_stats_delta(search_cache_stats(), search_before),
+            result_cache=(
+                _cache_delta(
+                    self.result_cache.counters_dict(), result_before
+                )
+                if self.result_cache is not None
+                else {}
+            ),
+            segment_cache=(
+                _cache_delta(
+                    self.segment_cache.counters_dict(), segment_before
+                )
+                if self.segment_cache is not None
+                else {}
+            ),
+            shared_scan_rounds=shared_scan_rounds,
             breaker=breaker_states(self._breakers),
             checkpoint={
                 key: self.checkpoint_store.counters_dict()[key]
@@ -761,11 +1009,27 @@ class QueryService:
         registry.gauge("checkpoint_live_bytes").set(
             self.checkpoint_store.live_bytes
         )
+        if report.deduped:
+            registry.counter("batch_dedupe_queries_total").inc(
+                report.deduped
+            )
+        if report.shared_scan_rounds:
+            registry.counter("batch_shared_scan_rounds_total").inc(
+                report.shared_scan_rounds
+            )
+        if self.result_cache is not None:
+            registry.gauge("cache_result_bytes").set(
+                self.result_cache.live_bytes
+            )
+        if self.segment_cache is not None:
+            registry.gauge("cache_segment_bytes").set(
+                self.segment_cache.live_bytes
+            )
         for record in report.records:
             registry.counter("serve_queries_total").inc(
                 status=record.outcome
             )
-            if record.ok:
+            if record.outcome == "ok":
                 registry.histogram("serve_wait_ms").observe(record.wait_ms)
                 registry.histogram("serve_exec_ms").observe(record.exec_ms)
                 registry.histogram("serve_latency_ms").observe(
@@ -775,6 +1039,8 @@ class QueryService:
             ("plan", report.plan_cache),
             ("calibration", report.calibration_cache),
             ("search", report.search_cache),
+            ("result", report.result_cache),
+            ("segment", report.segment_cache),
         ):
             for key, outcome in (("hits", "hit"), ("misses", "miss")):
                 count = stats.get(key, 0)

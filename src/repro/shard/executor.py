@@ -161,6 +161,7 @@ class ShardedExecutor:
         deadline_cycles: Optional[float] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoints: bool = True,
+        segment_cache=None,
     ) -> None:
         self.database = database
         self.pool = pool
@@ -177,6 +178,11 @@ class ShardedExecutor:
         self.deadline_cycles = deadline_cycles
         self.checkpoint_store = checkpoint_store
         self.checkpoints = checkpoints
+        #: Optional cross-query :class:`repro.core.checkpoint.SegmentCache`
+        #: shared across shards and the gather merge.  Shard databases have
+        #: distinct fingerprints, so shard entries never alias whole-table
+        #: entries — the cache pays off when the same shard recurs.
+        self.segment_cache = segment_cache
         # (table, key, num_shards) -> (shard databases, metadata); the
         # executor is bound to one database, so the key needs no db id.
         self._partition_cache: Dict[
@@ -351,6 +357,7 @@ class ShardedExecutor:
                     partitioned_joins=self.partitioned_joins,
                 )
                 engine.plan_cache = self.plan_cache
+                engine.segment_cache = self.segment_cache
                 return engine.execute(scatter_spec)
             executor = ResilientExecutor(
                 shard_db,
@@ -368,6 +375,7 @@ class ShardedExecutor:
                 deadline_cycles=self.deadline_cycles,
                 checkpoint_store=self.checkpoint_store,
                 checkpoints=self.checkpoints,
+                segment_cache=self.segment_cache,
             )
             return executor.execute(scatter_spec)
 
@@ -417,6 +425,7 @@ class ShardedExecutor:
                     gather_db, merge_slot.spec, config=self.config
                 )
                 engine.plan_cache = self.plan_cache
+                engine.segment_cache = self.segment_cache
                 return engine.execute(plan.gather_spec)
             # The merge runs resiliently (admission + fallback) but
             # without fault injection: fault schedules target shard
@@ -432,6 +441,7 @@ class ShardedExecutor:
                 plan_cache=self.plan_cache,
                 checkpoint_store=self.checkpoint_store,
                 checkpoints=self.checkpoints,
+                segment_cache=self.segment_cache,
             )
             return executor.execute(plan.gather_spec)
 

@@ -138,6 +138,35 @@ class TestServeCommand:
         ) == 1
         assert "FAILED" in capsys.readouterr().out
 
+    def test_serve_caching_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.result_cache_bytes == 64 * 1024 * 1024
+        assert args.no_result_cache is False
+        assert args.batch_dedupe is False
+
+    def test_serve_batch_dedupe(self, capsys):
+        assert main(
+            ["serve", "--scale", "0.002", "--queries", "Q5,Q9",
+             "--repeat", "2", "--batch-dedupe"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deduped" in out and "shared-scan" in out
+        assert "4/4 ok" in out
+
+    def test_serve_result_cache_budget(self, capsys):
+        assert main(
+            ["serve", "--scale", "0.002", "--queries", "Q14",
+             "--repeat", "2", "--result-cache-bytes", "134217728"]
+        ) == 0
+        assert "result cache" in capsys.readouterr().out
+
+    def test_serve_no_result_cache(self, capsys):
+        assert main(
+            ["serve", "--scale", "0.002", "--queries", "Q14",
+             "--repeat", "1", "--no-result-cache"]
+        ) == 0
+        assert "result cache" not in capsys.readouterr().out
+
 
 class TestDevicesFlag:
     def test_run_sharded(self, capsys):

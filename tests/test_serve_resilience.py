@@ -185,7 +185,7 @@ class TestOutcomeDistinguishability:
         service, report = self._mixed_report(tiny_db)
         counters = report.counters_dict()
         assert counters["outcomes"] == {
-            "ok": 1, "failed": 1, "deadline": 1, "shed": 1,
+            "ok": 1, "failed": 1, "deadline": 1, "shed": 1, "cached": 0,
         }
         assert report.completed == 1
         assert report.hard_failures == 1
