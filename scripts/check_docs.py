@@ -20,9 +20,10 @@ Six checks over every tracked markdown file:
    the catalogue is stale, a catalogue metric missing from the docs is
    undocumented, and both fail;
 5. **undocumented flags** — the reverse of check 3 for the flags in
-   ``MUST_DOCUMENT_FLAGS`` (the ``--devices`` pool flag and the serve
+   ``MUST_DOCUMENT_FLAGS`` (the ``--devices`` pool flag, the serve
    caching/batching flags ``--result-cache-bytes``,
-   ``--no-result-cache``, ``--batch-dedupe``): every command whose
+   ``--no-result-cache``, ``--batch-dedupe``, and the host-parallelism
+   flag ``--workers``): every command whose
    parser accepts such a flag must have at least one doc line
    attributing the flag to that command, so a new flag cannot ship
    without documentation;
@@ -81,6 +82,7 @@ MUST_DOCUMENT_FLAGS = {
     "--result-cache-bytes",
     "--no-result-cache",
     "--batch-dedupe",
+    "--workers",
 }
 
 DOCS_INDEX = REPO / "docs" / "README.md"

@@ -61,6 +61,7 @@ DEFAULT_PARAMS = {
     "deadline_rate": 0.05,  # share carrying an always-trips deadline
     "deadline_cycles": 500.0,  # far below any query's real cycle cost
     "max_drain_seconds": 120.0,  # crude no-hang guard per drain
+    "workers": 1,  # host worker-pool width; any width must match the witness
 }
 
 
@@ -126,6 +127,7 @@ def run_soak(params: dict, verbose: bool = True) -> dict:
         breaker_probes=params["breaker_probes"],
         max_pending=params["max_pending"],
         queue_policy=params["queue_policy"],
+        workers=params.get("workers", 1),
     )
 
     rng = random.Random(params["seed"])
@@ -269,11 +271,20 @@ def soak(params: dict, runs: int = 2, verbose: bool = True) -> dict:
     return first
 
 
-def check(baseline_path: str, verbose: bool = True) -> int:
-    """Re-run the soak with a baseline's parameters; report any drift."""
+def check(baseline_path: str, verbose: bool = True, workers=None) -> int:
+    """Re-run the soak with a baseline's parameters; report any drift.
+
+    ``workers`` overrides only the host worker-pool width — the
+    determinism contract says any width must reproduce the baseline's
+    witness byte-for-byte, so a ``--workers 4`` check against a
+    sequentially recorded baseline is exactly the parallel-drain
+    equivalence gate.
+    """
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
     params = dict(DEFAULT_PARAMS)
     params.update(baseline.get("params", {}))
+    if workers is not None:
+        params["workers"] = workers
     result = soak(params, runs=1, verbose=verbose)
     failures = []
     for key in (
@@ -322,6 +333,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="TPC-H scale factor for the soaked database (default 0.02)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "host worker threads per admission round (default: the "
+            "baseline's recorded width, else 1); the soak witness must "
+            "be byte-identical at any width"
+        ),
+    )
+    parser.add_argument(
         "--runs",
         type=int,
         default=2,
@@ -353,12 +375,14 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     verbose = not args.quiet
     if args.check:
-        return check(args.check, verbose=verbose)
+        return check(args.check, verbose=verbose, workers=args.workers)
 
     params = dict(DEFAULT_PARAMS)
     params["queries"] = args.queries
     params["seed"] = args.seed
     params["scale"] = args.scale
+    if args.workers is not None:
+        params["workers"] = args.workers
     started = time.perf_counter()
     result = soak(params, runs=args.runs, verbose=verbose)
     payload = {

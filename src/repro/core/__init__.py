@@ -4,6 +4,7 @@ from .base import EngineBase, QueryResult, workgroups_for
 from .checkpoint import CheckpointStore, QueryCheckpoint, SegmentCheckpoint
 from .config import DEFAULT_TILE_BYTES, MIN_TILE_BYTES, GPLConfig
 from .engine import GPLEngine, GPLWithoutCEEngine
+from .parallel import PoolTask, WorkerPool
 from .resilience import (
     ENGINE_CHAIN,
     AttemptRecord,
@@ -25,6 +26,8 @@ __all__ = [
     "GPLConfig",
     "GPLEngine",
     "GPLWithoutCEEngine",
+    "PoolTask",
+    "WorkerPool",
     "ENGINE_CHAIN",
     "AttemptRecord",
     "ResilienceReport",

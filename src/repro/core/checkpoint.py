@@ -43,6 +43,7 @@ device, a knob, or any upstream operator and the key changes.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -99,6 +100,10 @@ class CheckpointStore:
     pool; recording a segment evicts least-recently-used entries (from
     *any* query) until the new entry fits.  A segment larger than the
     whole budget is simply not stored.
+
+    Thread-safe: one store is shared by every concurrent worker-pool
+    execution, so ticket issue, entry management, and the byte/segment
+    accounting all happen under a reentrant lock.
     """
 
     def __init__(
@@ -121,14 +126,17 @@ class CheckpointStore:
         self.evicted_total = 0
         self.invalidated_total = 0
         self.peak_bytes = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def open(self, query: str = "") -> "QueryCheckpoint":
         """A fresh per-execution window onto this store."""
-        ticket = self._next_ticket
-        self._next_ticket += 1
+        with self._lock:
+            ticket = self._next_ticket
+            self._next_ticket += 1
         return QueryCheckpoint(self, ticket, query)
 
     # -- entry management (used by QueryCheckpoint) ---------------------
@@ -136,44 +144,48 @@ class CheckpointStore:
     def _put(self, ticket: int, entry: SegmentCheckpoint) -> bool:
         if entry.nbytes > self.max_bytes or self.max_segments == 0:
             return False
-        while self._entries and (
-            self.live_bytes + entry.nbytes > self.max_bytes
-            or len(self._entries) >= self.max_segments
-        ):
-            _, evicted = self._entries.popitem(last=False)
-            self.live_bytes -= evicted.nbytes
-            self.evicted_total += 1
-        if len(self._entries) >= self.max_segments:
-            return False
-        self._entries[(ticket, entry.segment_id)] = entry
-        self.live_bytes += entry.nbytes
-        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
-        self.recorded_total += 1
-        return True
+        with self._lock:
+            while self._entries and (
+                self.live_bytes + entry.nbytes > self.max_bytes
+                or len(self._entries) >= self.max_segments
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self.live_bytes -= evicted.nbytes
+                self.evicted_total += 1
+            if len(self._entries) >= self.max_segments:
+                return False
+            self._entries[(ticket, entry.segment_id)] = entry
+            self.live_bytes += entry.nbytes
+            self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+            self.recorded_total += 1
+            return True
 
     def _get(self, ticket: int, segment_id: str) -> Optional[SegmentCheckpoint]:
-        entry = self._entries.get((ticket, segment_id))
-        if entry is not None:
-            self._entries.move_to_end((ticket, segment_id))
-        return entry
+        with self._lock:
+            entry = self._entries.get((ticket, segment_id))
+            if entry is not None:
+                self._entries.move_to_end((ticket, segment_id))
+            return entry
 
     def _drop(self, ticket: int, segment_id: str, invalidated: bool) -> None:
-        entry = self._entries.pop((ticket, segment_id), None)
-        if entry is not None:
-            self.live_bytes -= entry.nbytes
-            if invalidated:
-                self.invalidated_total += 1
+        with self._lock:
+            entry = self._entries.pop((ticket, segment_id), None)
+            if entry is not None:
+                self.live_bytes -= entry.nbytes
+                if invalidated:
+                    self.invalidated_total += 1
 
     def counters_dict(self) -> Dict[str, int]:
-        return {
-            "live_segments": len(self._entries),
-            "live_bytes": self.live_bytes,
-            "peak_bytes": self.peak_bytes,
-            "recorded": self.recorded_total,
-            "resumed": self.resumed_total,
-            "evicted": self.evicted_total,
-            "invalidated": self.invalidated_total,
-        }
+        with self._lock:
+            return {
+                "live_segments": len(self._entries),
+                "live_bytes": self.live_bytes,
+                "peak_bytes": self.peak_bytes,
+                "recorded": self.recorded_total,
+                "resumed": self.resumed_total,
+                "evicted": self.evicted_total,
+                "invalidated": self.invalidated_total,
+            }
 
 
 class QueryCheckpoint:
@@ -246,7 +258,8 @@ class QueryCheckpoint:
         self._seen_intermediates.update(entry.intermediates)
         self._seen_hash_tables.update(entry.hash_tables)
         self.segments_resumed += 1
-        self._store.resumed_total += 1
+        with self._store._lock:
+            self._store.resumed_total += 1
         return True
 
     def record(self, segment_id: str, context) -> None:
@@ -288,6 +301,11 @@ class QueryCheckpoint:
 
 
 # -- cross-query segment cache -------------------------------------------
+
+#: Guards the per-plan ``_segment_key_memo`` dicts: plans are shared
+#: through the plan cache, so two worker-pool tasks can key the same
+#: plan object concurrently.
+_MEMO_LOCK = threading.RLock()
 
 
 def _op_signature(op) -> str:
@@ -345,34 +363,35 @@ def segment_cache_keys(
         f"|np={num_partitions}|af={int(adaptive_fact)}".encode()
     )
     env_digest = env.hexdigest()
-    memo = getattr(plan, "_segment_key_memo", None)
-    if memo is None:
-        memo = {}
-        plan._segment_key_memo = memo
-    keys = memo.get(env_digest)
-    if keys is not None:
+    with _MEMO_LOCK:
+        memo = getattr(plan, "_segment_key_memo", None)
+        if memo is None:
+            memo = {}
+            plan._segment_key_memo = memo
+        keys = memo.get(env_digest)
+        if keys is not None:
+            return keys
+        running = hashlib.sha1(env_digest.encode())
+        out: List[str] = []
+        for pipeline in plan.pipelines:
+            source = pipeline.source_table or f"@{pipeline.source_intermediate}"
+            running.update(
+                "|".join(
+                    [
+                        pipeline.pipeline_id,
+                        source,
+                        repr(pipeline.source_columns),
+                        repr(sorted(pipeline.source_rename.items())),
+                        str(pipeline.source_row_width),
+                    ]
+                    + [_op_signature(op) for op in pipeline.ops]
+                    + [_op_signature(pipeline.sink)]
+                ).encode()
+            )
+            out.append(f"{pipeline.pipeline_id}:{running.hexdigest()}")
+        keys = tuple(out)
+        memo[env_digest] = keys
         return keys
-    running = hashlib.sha1(env_digest.encode())
-    out: List[str] = []
-    for pipeline in plan.pipelines:
-        source = pipeline.source_table or f"@{pipeline.source_intermediate}"
-        running.update(
-            "|".join(
-                [
-                    pipeline.pipeline_id,
-                    source,
-                    repr(pipeline.source_columns),
-                    repr(sorted(pipeline.source_rename.items())),
-                    str(pipeline.source_row_width),
-                ]
-                + [_op_signature(op) for op in pipeline.ops]
-                + [_op_signature(pipeline.sink)]
-            ).encode()
-        )
-        out.append(f"{pipeline.pipeline_id}:{running.hexdigest()}")
-    keys = tuple(out)
-    memo[env_digest] = keys
-    return keys
 
 
 class SegmentCache:
@@ -406,9 +425,11 @@ class SegmentCache:
         self.misses = 0
         self.evictions = 0
         self.stored = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def keys_for(
         self,
@@ -436,19 +457,21 @@ class SegmentCache:
         Returns ``True`` when the segment can be skipped; a miss counts
         and returns ``False`` (the segment executes normally).
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return False
-        self._entries.move_to_end(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return False
+            self._entries.move_to_end(key)
+            self.hits += 1
         context.intermediates.update(entry.intermediates)
         context.hash_tables.update(entry.hash_tables)
-        self.hits += 1
         return True
 
     def entry_for(self, key: str) -> Optional[SegmentCheckpoint]:
         """Peek at the entry under ``key`` without counting a lookup."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def store(self, key: str, entry: SegmentCheckpoint) -> bool:
         """Insert ``entry`` under ``key``, evicting LRU entries to fit.
@@ -458,41 +481,44 @@ class SegmentCache:
         """
         if entry.nbytes > self.max_bytes or self.max_segments == 0:
             return False
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self.live_bytes -= old.nbytes
-        while self._entries and (
-            self.live_bytes + entry.nbytes > self.max_bytes
-            or len(self._entries) >= self.max_segments
-        ):
-            _, evicted = self._entries.popitem(last=False)
-            self.live_bytes -= evicted.nbytes
-            self.evictions += 1
-        if len(self._entries) >= self.max_segments:
-            return False
-        self._entries[key] = entry
-        self.live_bytes += entry.nbytes
-        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
-        self.stored += 1
-        return True
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.live_bytes -= old.nbytes
+            while self._entries and (
+                self.live_bytes + entry.nbytes > self.max_bytes
+                or len(self._entries) >= self.max_segments
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self.live_bytes -= evicted.nbytes
+                self.evictions += 1
+            if len(self._entries) >= self.max_segments:
+                return False
+            self._entries[key] = entry
+            self.live_bytes += entry.nbytes
+            self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+            self.stored += 1
+            return True
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""
-        self._entries.clear()
-        self.live_bytes = 0
-        self.peak_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.stored = 0
+        with self._lock:
+            self._entries.clear()
+            self.live_bytes = 0
+            self.peak_bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.stored = 0
 
     def counters_dict(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "stored": self.stored,
-            "live_segments": len(self._entries),
-            "live_bytes": self.live_bytes,
-            "peak_bytes": self.peak_bytes,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "stored": self.stored,
+                "live_segments": len(self._entries),
+                "live_bytes": self.live_bytes,
+                "peak_bytes": self.peak_bytes,
+            }

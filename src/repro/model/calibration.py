@@ -18,6 +18,7 @@ The resulting :class:`CalibrationTable` interpolates log-linearly in
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -228,6 +229,8 @@ class CalibrationTable:
 
 _CACHE: Dict[str, CalibrationTable] = {}
 _CACHE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+#: Guards the module-level memo + stats (shared by worker-pool tasks).
+_CACHE_LOCK = threading.RLock()
 
 
 def calibration_cache_stats() -> Dict[str, int]:
@@ -238,14 +241,16 @@ def calibration_cache_stats() -> Dict[str, int]:
     was measured.  Surfaced by :class:`repro.serve.ServiceReport` so
     serving runs can show the calibration cost being paid once.
     """
-    return dict(_CACHE_STATS)
+    with _CACHE_LOCK:
+        return dict(_CACHE_STATS)
 
 
 def clear_calibration_cache() -> None:
     """Drop every memoized Γ table and reset the hit/miss counters."""
-    _CACHE.clear()
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _CACHE_STATS["hits"] = 0
+        _CACHE_STATS["misses"] = 0
 
 
 def calibrate_channels(
@@ -260,10 +265,11 @@ def calibrate_channels(
     NVIDIA's packet size is not user-tunable (Appendix A.1), so its grid
     collapses to the default packet size.
     """
-    if use_cache and device.name in _CACHE:
-        _CACHE_STATS["hits"] += 1
-        return _CACHE[device.name]
-    _CACHE_STATS["misses"] += 1
+    with _CACHE_LOCK:
+        if use_cache and device.name in _CACHE:
+            _CACHE_STATS["hits"] += 1
+            return _CACHE[device.name]
+        _CACHE_STATS["misses"] += 1
     if packets is None:
         packets = CALIBRATION_PACKETS if device.tunable_packet_size else (16,)
     table = CalibrationTable(device=device)
@@ -275,5 +281,6 @@ def calibrate_channels(
             for num_integers in sizes:
                 table.add(_measure(device, num_integers, config))
     if use_cache:
-        _CACHE[device.name] = table
+        with _CACHE_LOCK:
+            _CACHE[device.name] = table
     return table

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -94,22 +95,26 @@ DEFAULT_SEARCH_CACHE_LIMIT = 1024
 _SEARCH_CACHE: "OrderedDict[Tuple[str, str], SegmentChoice]" = OrderedDict()
 _SEARCH_CACHE_LIMIT = DEFAULT_SEARCH_CACHE_LIMIT
 _SEARCH_STATS: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+#: Guards the module-level memo + stats (shared by worker-pool tasks).
+_SEARCH_LOCK = threading.RLock()
 
 
 def search_cache_stats() -> Dict[str, int]:
     """Hit/miss/eviction counters and current size of the search memo."""
-    stats = dict(_SEARCH_STATS)
-    stats["size"] = len(_SEARCH_CACHE)
-    stats["limit"] = _SEARCH_CACHE_LIMIT
-    return stats
+    with _SEARCH_LOCK:
+        stats = dict(_SEARCH_STATS)
+        stats["size"] = len(_SEARCH_CACHE)
+        stats["limit"] = _SEARCH_CACHE_LIMIT
+        return stats
 
 
 def clear_search_cache() -> None:
     """Drop every memoized search outcome and reset the counters."""
-    _SEARCH_CACHE.clear()
-    _SEARCH_STATS["hits"] = 0
-    _SEARCH_STATS["misses"] = 0
-    _SEARCH_STATS["evictions"] = 0
+    with _SEARCH_LOCK:
+        _SEARCH_CACHE.clear()
+        _SEARCH_STATS["hits"] = 0
+        _SEARCH_STATS["misses"] = 0
+        _SEARCH_STATS["evictions"] = 0
 
 
 def set_search_cache_limit(limit: int) -> None:
@@ -117,10 +122,11 @@ def set_search_cache_limit(limit: int) -> None:
     global _SEARCH_CACHE_LIMIT
     if limit < 1:
         raise ValueError("search cache limit must be at least 1")
-    _SEARCH_CACHE_LIMIT = int(limit)
-    while len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
-        _SEARCH_CACHE.popitem(last=False)
-        _SEARCH_STATS["evictions"] += 1
+    with _SEARCH_LOCK:
+        _SEARCH_CACHE_LIMIT = int(limit)
+        while len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
+            _SEARCH_CACHE.popitem(last=False)
+            _SEARCH_STATS["evictions"] += 1
 
 
 class ConfigurationSearch:
@@ -178,14 +184,17 @@ class ConfigurationSearch:
         ) as span:
             if self.use_cache:
                 key = self._cache_key(segment)
-                cached = _SEARCH_CACHE.get(key)
+                with _SEARCH_LOCK:
+                    cached = _SEARCH_CACHE.get(key)
+                    if cached is not None:
+                        _SEARCH_CACHE.move_to_end(key)
+                        _SEARCH_STATS["hits"] += 1
+                    else:
+                        _SEARCH_STATS["misses"] += 1
                 if cached is not None:
-                    _SEARCH_CACHE.move_to_end(key)
-                    _SEARCH_STATS["hits"] += 1
                     if span is not None:
                         span.attrs["cached"] = True
                     return cached
-                _SEARCH_STATS["misses"] += 1
             if span is not None:
                 span.attrs["cached"] = False
             best: Optional[SegmentChoice] = None
@@ -208,10 +217,11 @@ class ConfigurationSearch:
                         )
             assert best is not None  # tile_candidates is never empty
             if self.use_cache:
-                _SEARCH_CACHE[self._cache_key(segment)] = best
-                while len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
-                    _SEARCH_CACHE.popitem(last=False)
-                    _SEARCH_STATS["evictions"] += 1
+                with _SEARCH_LOCK:
+                    _SEARCH_CACHE[self._cache_key(segment)] = best
+                    while len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
+                        _SEARCH_CACHE.popitem(last=False)
+                        _SEARCH_STATS["evictions"] += 1
             return best
 
     def optimize_plan(

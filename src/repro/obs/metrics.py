@@ -16,6 +16,7 @@ identical snapshots, which the tests assert.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -85,6 +86,10 @@ METRIC_CATALOGUE: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "serve_makespan_ms", "gauge",
         "Makespan of the most recent drain.",
+    ),
+    MetricSpec(
+        "serve_workers", "gauge",
+        "Host worker threads draining each admission round.",
     ),
     MetricSpec(
         "serve_deadline_exceeded_total", "counter",
@@ -236,12 +241,14 @@ class Counter:
     def __init__(self, spec: MetricSpec):
         self.spec = spec
         self._series: Dict[Tuple[str, ...], float] = {}
+        self._lock = threading.RLock()
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.spec.name!r} cannot decrease")
         key = _label_key(self.spec, labels)
-        self._series[key] = self._series.get(key, 0.0) + float(amount)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + float(amount)
 
     def value(self, **labels) -> float:
         return self._series.get(_label_key(self.spec, labels), 0.0)
@@ -259,9 +266,11 @@ class Gauge:
     def __init__(self, spec: MetricSpec):
         self.spec = spec
         self._series: Dict[Tuple[str, ...], float] = {}
+        self._lock = threading.RLock()
 
     def set(self, value: float, **labels) -> None:
-        self._series[_label_key(self.spec, labels)] = float(value)
+        with self._lock:
+            self._series[_label_key(self.spec, labels)] = float(value)
 
     def value(self, **labels) -> float:
         return self._series.get(_label_key(self.spec, labels), 0.0)
@@ -287,21 +296,23 @@ class Histogram:
         self.spec = spec
         self.bounds: Tuple[float, ...] = tuple(spec.buckets)
         self._series: Dict[Tuple[str, ...], _HistogramState] = {}
+        self._lock = threading.RLock()
 
     def observe(self, value: float, **labels) -> None:
         key = _label_key(self.spec, labels)
-        state = self._series.get(key)
-        if state is None:
-            state = _HistogramState(counts=[0] * (len(self.bounds) + 1))
-            self._series[key] = state
-        index = len(self.bounds)  # the +Inf bucket
-        for position, bound in enumerate(self.bounds):
-            if value <= bound:
-                index = position
-                break
-        state.counts[index] += 1
-        state.total += float(value)
-        state.count += 1
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = _HistogramState(counts=[0] * (len(self.bounds) + 1))
+                self._series[key] = state
+            index = len(self.bounds)  # the +Inf bucket
+            for position, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = position
+                    break
+            state.counts[index] += 1
+            state.total += float(value)
+            state.count += 1
 
     def snapshot(self, **labels) -> Dict[str, object]:
         """Cumulative counts per bound, plus sum and count."""

@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import json
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "CATEGORY_TRACKS",
@@ -163,6 +164,47 @@ class Tracer:
             parent.events.append(stamped)
         return stamped
 
+    # -- merging ---------------------------------------------------------
+
+    def graft(self, sub: "Tracer") -> List[Span]:
+        """Splice ``sub``'s span tree (recorded from clock 0) into this
+        tracer at the current clock and position.
+
+        Worker-pool tasks record onto a private tracer whose clock
+        starts at zero; grafting in deterministic (shard / member) order
+        shifts every timestamp by this tracer's clock, attaches the
+        roots under the innermost open span, and advances this clock by
+        the sub-tracer's total elapsed time.  Because the virtual clock
+        only moves inside instrumented code, the result is byte-identical
+        to having recorded the task inline, sequentially.
+        """
+        offset = self._clock
+        if offset:
+            for span in sub.walk():
+                span.start += offset
+                span.end += offset
+                for instant in span.events:
+                    instant.ts += offset
+        parent = self.current()
+        target = parent.children if parent is not None else self.roots
+        grafted = list(sub.roots)
+        target.extend(grafted)
+        self.advance(sub.clock)
+        return grafted
+
+    @contextmanager
+    def reopen(self, span: Span) -> Iterator[Span]:
+        """Temporarily re-enter an already-closed span so late events
+        (e.g. breaker settlement for a grafted task) attach to it at the
+        current clock, exactly where sequential execution would have
+        stamped them.  The clock is not rewound and the span's ``end``
+        is left untouched."""
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+
     # -- introspection ---------------------------------------------------
 
     def walk(self) -> Iterator[Span]:
@@ -255,22 +297,29 @@ class Tracer:
 # ambient tracer: explicit install, no-op when absent
 # ---------------------------------------------------------------------------
 
-_ACTIVE: List[Tracer] = []
+# The install stack is a ``ContextVar`` holding an immutable tuple so
+# worker-pool tasks each see (and mutate) their own stack: a task that
+# installs a private sub-tracer cannot leak it into — or observe — the
+# tracer of the thread that spawned it.
+_ACTIVE: ContextVar[Tuple[Tracer, ...]] = ContextVar(
+    "repro_active_tracers", default=()
+)
 
 
 def current_tracer() -> Optional[Tracer]:
     """The installed tracer, or ``None`` (instrumentation then no-ops)."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    stack = _ACTIVE.get()
+    return stack[-1] if stack else None
 
 
 @contextmanager
 def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
     """Install ``tracer`` for the duration of the block."""
-    _ACTIVE.append(tracer)
+    token = _ACTIVE.set(_ACTIVE.get() + (tracer,))
     try:
         yield tracer
     finally:
-        _ACTIVE.pop()
+        _ACTIVE.reset(token)
 
 
 @contextmanager

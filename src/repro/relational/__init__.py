@@ -23,6 +23,7 @@ from .expressions import (
     lit,
 )
 from .partition import (
+    PartitionCache,
     PartitionMetadata,
     hash_shard_assignment,
     partition_database,
@@ -55,6 +56,7 @@ __all__ = [
     "PartitionMetadata",
     "hash_shard_assignment",
     "round_robin_assignment",
+    "PartitionCache",
     "partition_table",
     "partition_database",
     "DataType",

@@ -204,7 +204,7 @@ class Arith(Expression):
     def evaluate(self, data: ArrayMap) -> np.ndarray:
         left = self.left.evaluate(data)
         right = self.right.evaluate(data)
-        if self.op == "/":
+        if self.op == "/" and _division_needs_cast(left, right):
             left = np.asarray(left, dtype=np.float64)
         return _ARITH_OPS[self.op](left, right)
 
@@ -217,6 +217,20 @@ class Arith(Expression):
             + self.right.instruction_count()
             + _ARITH_COST[self.op]
         )
+
+
+def _division_needs_cast(left: np.ndarray, right: np.ndarray) -> bool:
+    """Whether ``/`` must widen ``left`` to float64 to keep its contract.
+
+    Division always produces float64 values.  ``np.true_divide`` on
+    integer (or boolean) operands already computes in — and returns —
+    float64, so casting first would only allocate a same-valued copy of
+    the whole column.  Only an *inexact* narrower result type (e.g.
+    float32 operands, where true_divide would stay float32) needs the
+    explicit widening.
+    """
+    result = np.result_type(left, right)
+    return result != np.float64 and np.issubdtype(result, np.inexact)
 
 
 @dataclass(frozen=True)

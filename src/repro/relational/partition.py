@@ -24,8 +24,9 @@ that the scatter-gather executor surfaces on its shard report.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from .database import Database
 from .table import Table
 
 __all__ = [
+    "PartitionCache",
     "PartitionMetadata",
     "hash_shard_assignment",
     "round_robin_assignment",
@@ -142,6 +144,61 @@ def partition_table(
         table.filter(assignment == shard) for shard in range(num_shards)
     ]
     return shards, assignment
+
+
+class PartitionCache:
+    """Thread-safe compute-once memo for partition layouts.
+
+    The sharded executor partitions the same (table, key, pool-width)
+    triple for every query that streams that table; concurrent
+    worker-pool members must neither corrupt the memo nor compute the
+    same layout twice.  The lock is held *across* the factory call so
+    the first requester computes and every concurrent requester blocks
+    and then reuses the identical (deterministic) layout — partitioning
+    is pure, so which thread wins never matters.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Hashable, object] = {}
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_compute(
+        self, key: Hashable, factory: Callable[[], object]
+    ) -> object:
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = factory()
+            return self._entries[key]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # dict-like read surface (snapshot semantics under the lock)
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries.keys())
+
+    def __getitem__(self, key: Hashable) -> object:
+        with self._lock:
+            return self._entries[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __eq__(self, other: object) -> bool:
+        with self._lock:
+            if isinstance(other, PartitionCache):
+                return self._entries == other._entries
+            if isinstance(other, dict):
+                return self._entries == other
+            return NotImplemented
 
 
 def partition_database(

@@ -28,6 +28,7 @@ and is re-exported here alongside the serving-level caches.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -72,6 +73,11 @@ class PlanCache:
     ``max_entries`` bounds memory: a serving deployment sees a finite set
     of query shapes, but nothing enforces that, so the least recently
     used plan is evicted once the bound is hit.
+
+    Thread-safe: worker-pool tasks share one cache, so lookups and
+    stores take a reentrant lock.  ``get_or_prepare`` deliberately
+    prepares *outside* the lock — lowering is the expensive part and
+    concurrent misses on distinct keys must not serialize.
     """
 
     def __init__(self, max_entries: int = 128):
@@ -80,9 +86,11 @@ class PlanCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, PhysicalPlan]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def key_for(self, engine, spec: QuerySpec) -> str:
         """The cache key ``engine`` would use for ``spec``."""
@@ -97,34 +105,50 @@ class PlanCache:
 
     def lookup(self, key: str) -> Optional[PhysicalPlan]:
         """The cached plan for ``key``, counting the hit or miss."""
-        plan = self._entries.get(key)
-        if plan is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return plan
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return plan
 
     def store(self, key: str, plan: PhysicalPlan) -> None:
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def get_or_prepare(self, engine, spec: QuerySpec) -> PhysicalPlan:
         """The engine-facing entry point (see :meth:`EngineBase.prepare`)."""
+        return self.fetch_or_prepare(engine, spec)[0]
+
+    def fetch_or_prepare(
+        self, engine, spec: QuerySpec
+    ) -> "tuple[PhysicalPlan, bool]":
+        """``(plan, was_hit)`` — the hit flag for *this* call.
+
+        Callers must not infer the flag from a ``stats.hits`` delta:
+        under a worker pool a concurrent lookup's hit lands between the
+        snapshots and misattributes the hit, making span attributes
+        depend on thread timing.
+        """
         key = self.key_for(engine, spec)
         plan = self.lookup(key)
-        if plan is None:
-            plan = engine.prepare_uncached(spec)
-            self.store(key, plan)
-        return plan
+        if plan is not None:
+            return plan, True
+        plan = engine.prepare_uncached(spec)
+        self.store(key, plan)
+        return plan, False
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
 
 
 #: Default result-cache budget: 64 MiB of materialized rows.
@@ -146,6 +170,9 @@ class ResultCache:
     Entries are stored by reference.  That is safe for the same reason
     checkpoint capture-by-reference is: engine outputs are freshly
     materialized per execution and never mutated downstream.
+
+    Thread-safe: a reentrant lock keeps the entry map, the size map,
+    and the byte accounting in step under concurrent worker-pool use.
     """
 
     def __init__(self, max_bytes: int = DEFAULT_RESULT_CACHE_BYTES):
@@ -158,9 +185,11 @@ class ResultCache:
         self.stored = 0
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def result_bytes(result) -> int:
@@ -169,51 +198,55 @@ class ResultCache:
 
     def lookup(self, key: str):
         """The cached result for ``key``, counting the hit or miss."""
-        result = self._entries.get(key)
-        if result is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return result
 
     def store(self, key: str, result) -> bool:
         """Admit ``result`` under ``key``; ``False`` if it cannot fit."""
         size = self.result_bytes(result)
         if size > self.max_bytes:
             return False
-        if key in self._entries:
-            self.live_bytes -= self._sizes[key]
-            del self._entries[key]
-            del self._sizes[key]
-        while self._entries and self.live_bytes + size > self.max_bytes:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self.live_bytes -= self._sizes.pop(evicted_key)
-            self.stats.evictions += 1
-        self._entries[key] = result
-        self._sizes[key] = size
-        self.live_bytes += size
-        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
-        self.stored += 1
-        return True
+        with self._lock:
+            if key in self._entries:
+                self.live_bytes -= self._sizes[key]
+                del self._entries[key]
+                del self._sizes[key]
+            while self._entries and self.live_bytes + size > self.max_bytes:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self.live_bytes -= self._sizes.pop(evicted_key)
+                self.stats.evictions += 1
+            self._entries[key] = result
+            self._sizes[key] = size
+            self.live_bytes += size
+            self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+            self.stored += 1
+            return True
 
     def counters_dict(self) -> Dict[str, int]:
         """Deterministic counters (the serving report embeds these)."""
-        return {
-            "hits": self.stats.hits,
-            "misses": self.stats.misses,
-            "evictions": self.stats.evictions,
-            "stored": self.stored,
-            "live_results": len(self._entries),
-            "live_bytes": self.live_bytes,
-            "peak_bytes": self.peak_bytes,
-        }
+        with self._lock:
+            return {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "stored": self.stored,
+                "live_results": len(self._entries),
+                "live_bytes": self.live_bytes,
+                "peak_bytes": self.peak_bytes,
+            }
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._entries.clear()
-        self._sizes.clear()
-        self.stats = CacheStats()
-        self.live_bytes = 0
-        self.peak_bytes = 0
-        self.stored = 0
+        with self._lock:
+            self._entries.clear()
+            self._sizes.clear()
+            self.stats = CacheStats()
+            self.live_bytes = 0
+            self.peak_bytes = 0
+            self.stored = 0

@@ -38,6 +38,7 @@ import numpy as np
 from ..core import GPLEngine, QueryResult, ResilientExecutor
 from ..core.checkpoint import CheckpointStore
 from ..core.config import GPLConfig
+from ..core.parallel import PoolTask, WorkerPool
 from ..core.resilience import ENGINE_CHAIN
 from ..faults import FaultPlan
 from ..gpu import HardwareCounters
@@ -47,6 +48,7 @@ from ..relational import (
     ColumnDef,
     Database,
     DataType,
+    PartitionCache,
     PartitionMetadata,
     Table,
     TableSchema,
@@ -162,6 +164,7 @@ class ShardedExecutor:
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoints: bool = True,
         segment_cache=None,
+        workers: int = 1,
     ) -> None:
         self.database = database
         self.pool = pool
@@ -183,12 +186,19 @@ class ShardedExecutor:
         #: distinct fingerprints, so shard entries never alias whole-table
         #: entries — the cache pays off when the same shard recurs.
         self.segment_cache = segment_cache
+        #: Host worker pool for the scatter phase.  ``workers=1`` keeps
+        #: the exact sequential path; the serving layer hands the
+        #: executor its own pool size but never shares a pool instance
+        #: (a bounded pool whose tasks submit to themselves deadlocks).
+        self.worker_pool = WorkerPool(workers, name="repro-shard")
         # (table, key, num_shards) -> (shard databases, metadata); the
         # executor is bound to one database, so the key needs no db id.
-        self._partition_cache: Dict[
-            Tuple[str, Optional[str], int],
-            Tuple[List[Database], PartitionMetadata],
-        ] = {}
+        # Thread-safe: concurrent serving members partition through it.
+        self._partition_cache = PartitionCache()
+
+    @property
+    def workers(self) -> int:
+        return self.worker_pool.workers
 
     # -- partitioning -----------------------------------------------------
 
@@ -196,16 +206,15 @@ class ShardedExecutor:
         self, plan: ShardPlan
     ) -> Tuple[List[Database], PartitionMetadata]:
         key = (plan.partition_table, plan.partition_key, len(self.pool))
-        cached = self._partition_cache.get(key)
-        if cached is None:
-            cached = partition_database(
+        return self._partition_cache.get_or_compute(
+            key,
+            lambda: partition_database(
                 self.database,
                 len(self.pool),
                 plan.partition_table,
                 key=plan.partition_key,
-            )
-            self._partition_cache[key] = cached
-        return cached
+            ),
+        )
 
     def _fault_plan_for(self, slot: DeviceSlot) -> Optional[FaultPlan]:
         if self.fault_plans is None or isinstance(self.fault_plans, FaultPlan):
@@ -253,57 +262,94 @@ class ShardedExecutor:
             fanout=len(executed),
             scheme=metadata.scheme,
         ):
-            records: List[ShardRecord] = []
-            partials: List[QueryResult] = []
+            # Scatter: submit every executed shard onto the worker pool
+            # (workers=1 runs each inline right here, the exact
+            # sequential path), then gather **in shard order** — each
+            # task's private trace grafts back at its ordered position,
+            # so the exported trace is byte-identical at any worker
+            # count.  On failure the lowest shard index wins, as in a
+            # sequential loop; traces of later shards are discarded
+            # because sequentially they would never have run.
+            records: List[Optional[ShardRecord]] = [None] * len(self.pool)
+            tasks: List[Optional[PoolTask]] = [None] * len(self.pool)
+            sequential = self.worker_pool.sequential
             for index in range(len(self.pool)):
                 slot = self.pool.slot(index)
                 if index not in executed:
-                    records.append(
-                        ShardRecord(
-                            index=index,
-                            device=slot.name,
-                            spec_name=slot.spec.name,
-                            rows_in=0,
-                            rows_out=0,
-                            elapsed_ms=0.0,
-                            sim_cycles=0.0,
-                            kernel_launches=0,
-                            engine="",
-                            retries=0,
-                            fallbacks=0,
-                            skipped=True,
-                        )
+                    records[index] = ShardRecord(
+                        index=index,
+                        device=slot.name,
+                        spec_name=slot.spec.name,
+                        rows_in=0,
+                        rows_out=0,
+                        elapsed_ms=0.0,
+                        sim_cycles=0.0,
+                        kernel_launches=0,
+                        engine="",
+                        retries=0,
+                        fallbacks=0,
+                        skipped=True,
                     )
                     continue
                 shard_engines = engines
                 if engines_by_device and index in engines_by_device:
                     shard_engines = engines_by_device[index]
-                result = self._run_shard(
-                    plan.scatter_spec,
-                    shard_dbs[index],
-                    slot,
-                    engines=shard_engines,
-                    share=max(1, share),
-                    fault_plan=fault_plan,
-                )
-                partials.append(result)
-                resilience = result.resilience
-                records.append(
-                    ShardRecord(
-                        index=index,
-                        device=slot.name,
-                        spec_name=slot.spec.name,
-                        rows_in=metadata.shard_rows[index],
-                        rows_out=result.num_rows,
-                        elapsed_ms=result.elapsed_ms,
-                        sim_cycles=result.counters.elapsed_cycles,
-                        kernel_launches=result.counters.kernel_launches,
-                        engine=result.engine,
-                        retries=getattr(resilience, "retries", 0),
-                        fallbacks=getattr(resilience, "fallbacks", 0),
-                        skipped=False,
+                task = self.worker_pool.submit(
+                    lambda db=shard_dbs[index], slot=slot,
+                    shard_engines=shard_engines: self._run_shard(
+                        plan.scatter_spec,
+                        db,
+                        slot,
+                        engines=shard_engines,
+                        share=max(1, share),
+                        fault_plan=fault_plan,
                     )
                 )
+                tasks[index] = task
+                if sequential:
+                    # Inline task already ran: graft its trace now (the
+                    # same member-order position the parallel gather
+                    # uses) and fail fast so later shards never run —
+                    # the exact sequential loop, byte for byte.
+                    task.merge_trace()
+                    if task.error is not None:
+                        raise task.error
+
+            partials: List[QueryResult] = []
+            failure: Optional[BaseException] = None
+            for index in range(len(self.pool)):
+                task = tasks[index]
+                if task is None:
+                    continue
+                task.wait()
+                if failure is not None:
+                    task.tracer = None  # never ran, sequentially speaking
+                    continue
+                if task.error is not None:
+                    task.merge_trace()
+                    failure = task.error
+                    continue
+                task.merge_trace()
+                result = task.result
+                partials.append(result)
+                slot = self.pool.slot(index)
+                resilience = result.resilience
+                records[index] = ShardRecord(
+                    index=index,
+                    device=slot.name,
+                    spec_name=slot.spec.name,
+                    rows_in=metadata.shard_rows[index],
+                    rows_out=result.num_rows,
+                    elapsed_ms=result.elapsed_ms,
+                    sim_cycles=result.counters.elapsed_cycles,
+                    kernel_launches=result.counters.kernel_launches,
+                    engine=result.engine,
+                    retries=getattr(resilience, "retries", 0),
+                    fallbacks=getattr(resilience, "fallbacks", 0),
+                    skipped=False,
+                )
+            if failure is not None:
+                raise failure
 
             merged = self._merge(spec, plan, partials)
             report = ShardReport(

@@ -73,6 +73,40 @@ class TestArithmetic:
         expr = col("k") / lit(2)
         assert expr.evaluate(DATA).dtype == np.float64
 
+    def test_integer_division_allocates_no_float_copy(self, monkeypatch):
+        """int/int division must not materialize a float64 copy of the
+        operand column: ``np.true_divide`` already computes in float64,
+        so the pre-cast was a same-valued whole-column allocation."""
+        data = {
+            "n": np.arange(1, 1001, dtype=np.int64),
+            "d": np.arange(2, 1002, dtype=np.int32),
+        }
+        casts = []
+        real_asarray = np.asarray
+
+        def counting_asarray(*args, **kwargs):
+            casts.append(kwargs.get("dtype"))
+            return real_asarray(*args, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.relational.expressions.np.asarray", counting_asarray
+        )
+        out = Arith("/", col("n"), col("d")).evaluate(data)
+        assert casts == []  # no asarray call at all on the int/int path
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(
+            out, data["n"].astype(np.float64) / data["d"].astype(np.float64)
+        )
+
+    def test_float32_division_still_widens_to_float64(self):
+        data = {
+            "n": np.array([1.0, 2.0, 3.0], dtype=np.float32),
+            "d": np.array([4.0, 4.0, 4.0], dtype=np.float32),
+        }
+        out = Arith("/", col("n"), col("d")).evaluate(data)
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, [0.25, 0.5, 0.75])
+
     def test_division_cost_exceeds_addition(self):
         add = (col("a") + col("b")).instruction_count()
         div = (col("a") / col("b")).instruction_count()

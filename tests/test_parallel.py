@@ -1,0 +1,389 @@
+"""Host-parallel execution: the deterministic worker pool.
+
+Three layers of contract:
+
+* :class:`~repro.core.WorkerPool` semantics — ``workers=1`` runs inline
+  with no thread pool; errors are captured for the gather loop; private
+  sub-traces graft back in submission order;
+* the shared stores (plan/result/segment caches, the checkpoint store)
+  survive a multithreaded hammer with their size and byte accounting
+  intact;
+* the golden invariant — same seed, any worker count => byte-identical
+  report counters, per-ticket result checksums, and exported traces —
+  on serve drains (clean and fault-storm) and 4-device shard scatters.
+"""
+
+import hashlib
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointStore, WorkerPool
+from repro.core.checkpoint import SegmentCheckpoint
+from repro.faults import FaultPlan
+from repro.gpu import AMD_A10
+from repro.model import clear_calibration_cache, clear_search_cache
+from repro.obs.tracing import Tracer, current_tracer, use_tracer
+from repro.serve import PlanCache, QueryService, ResultCache, SegmentCache
+from repro.shard import DevicePool, ShardedExecutor
+from repro.tpch import generate_database, q5, q7, q9, q14
+
+MIB = 1024 * 1024
+WORKER_COUNTS = (1, 2, 8)
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool semantics
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_sequential_runs_inline_on_caller_thread(self):
+        pool = WorkerPool(1)
+        seen = []
+        task = pool.submit(lambda: seen.append(threading.get_ident()))
+        assert pool.sequential
+        assert pool._executor is None  # no thread pool was ever created
+        assert seen == [threading.get_ident()]
+        assert task.error is None
+
+    def test_workers_floor_at_one(self):
+        assert WorkerPool(0).workers == 1
+        assert WorkerPool(-3).workers == 1
+        assert not WorkerPool(2).sequential
+
+    def test_map_ordered_preserves_submission_order(self):
+        pool = WorkerPool(4)
+        try:
+            tasks = pool.map_ordered(
+                [lambda i=i: i * i for i in range(16)]
+            )
+            assert [task.unwrap() for task in tasks] == [
+                i * i for i in range(16)
+            ]
+        finally:
+            pool.shutdown()
+
+    def test_errors_are_captured_not_raised(self):
+        pool = WorkerPool(2)
+        try:
+
+            def boom():
+                raise ValueError("boom")
+
+            task = pool.submit(boom).wait()
+            assert isinstance(task.error, ValueError)
+            with pytest.raises(ValueError):
+                task.unwrap()
+        finally:
+            pool.shutdown()
+
+    def test_pool_accounting(self):
+        pool = WorkerPool(1)
+        pool.submit(lambda: None)
+        pool.submit(lambda: None)
+        assert pool.tasks_submitted == 2
+        assert pool.busy_seconds >= 0.0
+
+    def _traced_fanout(self, workers):
+        pool = WorkerPool(workers)
+        tracer = Tracer()
+        try:
+            with use_tracer(tracer):
+                with tracer.span("fanout", category="serve"):
+                    tasks = []
+                    for index in range(6):
+
+                        def body(index=index):
+                            sub = current_tracer()
+                            with sub.span(
+                                f"task{index}", category="serve"
+                            ):
+                                sub.advance(3 + index)
+
+                        tasks.append(pool.submit(body))
+                    for task in tasks:
+                        task.wait()
+                        task.merge_trace()
+        finally:
+            pool.shutdown()
+        return tracer
+
+    def test_subtraces_graft_in_submission_order(self):
+        sequential = self._traced_fanout(1)
+        parallel = self._traced_fanout(4)
+        names = [span.name for span in sequential.roots[0].children]
+        assert names == [f"task{i}" for i in range(6)]
+        assert sequential.to_json() == parallel.to_json()
+
+
+# ---------------------------------------------------------------------------
+# shared-store hammer: 8 threads, mixed get/put/evict
+# ---------------------------------------------------------------------------
+
+HAMMER_THREADS = 8
+HAMMER_OPS = 200
+
+
+def _hammer(worker):
+    barrier = threading.Barrier(HAMMER_THREADS)
+    errors = []
+
+    def run(seed):
+        try:
+            barrier.wait()
+            worker(seed)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(seed,))
+        for seed in range(HAMMER_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+
+class _FakeResult:
+    """Just enough of a QueryResult for ResultCache byte accounting."""
+
+    def __init__(self, nbytes):
+        self.batch = {"col": np.zeros(nbytes // 8, dtype=np.int64)}
+
+
+class TestSharedStoreHammer:
+    def test_plan_cache_hammer(self):
+        cache = PlanCache(max_entries=8)
+
+        def worker(seed):
+            for i in range(HAMMER_OPS):
+                key = f"k{(seed * 7 + i) % 24}"
+                if cache.lookup(key) is None:
+                    cache.store(key, object())
+
+        _hammer(worker)
+        assert len(cache) <= 8
+        stats = cache.stats
+        assert stats.hits + stats.misses == HAMMER_THREADS * HAMMER_OPS
+        assert stats.evictions <= stats.misses
+
+    def test_result_cache_hammer(self):
+        cache = ResultCache(max_bytes=4096)
+
+        def worker(seed):
+            for i in range(HAMMER_OPS):
+                key = f"r{(seed * 5 + i) % 16}"
+                if cache.lookup(key) is None:
+                    cache.store(key, _FakeResult(512))
+
+        _hammer(worker)
+        counters = cache.counters_dict()
+        assert counters["hits"] + counters["misses"] == (
+            HAMMER_THREADS * HAMMER_OPS
+        )
+        assert counters["stored"] == counters["misses"]
+        assert counters["live_results"] <= 4096 // 512
+        assert counters["live_bytes"] == 512 * counters["live_results"]
+        assert counters["peak_bytes"] <= 4096
+
+    def test_checkpoint_store_hammer(self):
+        store = CheckpointStore(max_bytes=8192, max_segments=16)
+
+        def worker(seed):
+            for i in range(HAMMER_OPS):
+                # unique (ticket, segment) keys: every put is an insert
+                entry = SegmentCheckpoint(
+                    segment_id=f"s{i}", nbytes=256
+                )
+                store._put(seed, entry)
+                if i % 3 == 0:
+                    store._get(seed, f"s{i}")
+                if i % 5 == 0:
+                    store._drop(seed, f"s{i}", invalidated=i % 2 == 0)
+
+        _hammer(worker)
+        counters = store.counters_dict()
+        assert counters["live_segments"] <= 16
+        assert counters["live_bytes"] == 256 * counters["live_segments"]
+        assert counters["peak_bytes"] <= 8192
+        assert counters["evicted"] <= counters["recorded"]
+
+    def test_segment_cache_hammer(self):
+        cache = SegmentCache(max_bytes=4096, max_segments=12)
+
+        class _Context:
+            def __init__(self):
+                self.intermediates = {}
+                self.hash_tables = {}
+
+        def worker(seed):
+            context = _Context()
+            for i in range(HAMMER_OPS):
+                key = f"seg{(seed * 11 + i) % 20}"
+                if not cache.restore(key, context):
+                    cache.store(
+                        key,
+                        SegmentCheckpoint(segment_id=key, nbytes=256),
+                    )
+
+        _hammer(worker)
+        counters = cache.counters_dict()
+        assert counters["hits"] + counters["misses"] == (
+            HAMMER_THREADS * HAMMER_OPS
+        )
+        assert counters["live_segments"] <= 12
+        assert counters["live_bytes"] == 256 * counters["live_segments"]
+        assert counters["peak_bytes"] <= 4096
+
+
+# ---------------------------------------------------------------------------
+# golden determinism: workers in {1, 2, 8} are byte-identical
+# ---------------------------------------------------------------------------
+
+
+def _checksum(result):
+    rows = sorted(
+        tuple(round(float(value), 6) for value in row)
+        for row in result.rows()
+    )
+    return hashlib.sha1(repr(rows).encode()).hexdigest()[:16]
+
+
+def _canonical(counters):
+    return json.dumps(counters, sort_keys=True, default=str)
+
+
+def _assert_identical(witnesses):
+    base_workers, base = witnesses[0]
+    for workers, witness in witnesses[1:]:
+        for label in base:
+            assert witness[label] == base[label], (
+                f"workers={workers} diverged from workers={base_workers} "
+                f"on {label}"
+            )
+
+
+def _serve_witness(build_service, traffic, workers):
+    clear_calibration_cache()
+    clear_search_cache()
+    database = generate_database(scale=0.01, seed=11)
+    service = build_service(database, workers)
+    tracer = Tracer()
+    counters = []
+    with use_tracer(tracer):
+        for batch in traffic:
+            for spec, fault_plan in batch:
+                service.enqueue(spec, fault_plan)
+            report = service.drain()
+            counters.append(_canonical(report.counters_dict()))
+    assert report.workers == workers
+    assert "workers" not in report.counters_dict()  # witness stays pure
+    gauge = report.metrics["serve_workers"]["series"][0]
+    assert gauge["value"] == workers
+    return {
+        "counters": counters,
+        "checksums": {
+            ticket: _checksum(result)
+            for ticket, result in sorted(service.results.items())
+        },
+        "trace": tracer.to_json(),
+    }
+
+
+class TestGoldenWorkerEquivalence:
+    def test_serve_drain_byte_identical(self):
+        def build(database, workers):
+            return QueryService(
+                database,
+                AMD_A10,
+                max_concurrent=4,
+                result_cache=ResultCache(64 * MIB),
+                segment_cache=SegmentCache(max_bytes=64 * MIB),
+                batch_dedupe=True,
+                workers=workers,
+            )
+
+        cold = [(spec, None) for spec in (q5(), q9(), q7(), q14(), q5())]
+        warm = [(spec, None) for spec in (q5(), q9(), q7())]
+        _assert_identical(
+            [
+                (workers, _serve_witness(build, [cold, warm], workers))
+                for workers in WORKER_COUNTS
+            ]
+        )
+
+    def test_sharded_serve_drain_byte_identical(self):
+        def build(database, workers):
+            return QueryService(
+                database,
+                AMD_A10,
+                max_concurrent=4,
+                pool=DevicePool(4),
+                workers=workers,
+            )
+
+        traffic = [[(spec, None) for spec in (q5(), q9(), q7(), q9())]]
+        _assert_identical(
+            [
+                (workers, _serve_witness(build, traffic, workers))
+                for workers in WORKER_COUNTS
+            ]
+        )
+
+    def test_fault_storm_drain_byte_identical(self):
+        def build(database, workers):
+            return QueryService(
+                database,
+                AMD_A10,
+                max_concurrent=4,
+                default_deadline_cycles=4e8,
+                breaker_threshold=1,
+                breaker_cooldown=1,
+                workers=workers,
+            )
+
+        storm = [
+            (spec, FaultPlan.from_seed(40 + index, count=3))
+            for index, spec in enumerate(
+                (q5(), q9(), q7(), q14(), q9(), q5())
+            )
+        ]
+        recovery = [(spec, None) for spec in (q5(), q9())]
+        witnesses = [
+            (workers, _serve_witness(build, [storm, recovery], workers))
+            for workers in WORKER_COUNTS
+        ]
+        _assert_identical(witnesses)
+        # the storm must actually exercise the failure path
+        outcomes = json.loads(witnesses[0][1]["counters"][0])["outcomes"]
+        assert outcomes["ok"] < 6
+        assert outcomes["deadline"] + outcomes["failed"] >= 1
+
+    def test_shard_scatter_byte_identical(self):
+        def witness(workers):
+            clear_calibration_cache()
+            clear_search_cache()
+            database = generate_database(scale=0.01, seed=11)
+            executor = ShardedExecutor(
+                database, DevicePool(4), workers=workers
+            )
+            tracer = Tracer()
+            with use_tracer(tracer):
+                results = [executor.execute(spec) for spec in (q5(), q9())]
+            return {
+                "checksums": [_checksum(result) for result in results],
+                "cycles": [
+                    result.counters.elapsed_cycles for result in results
+                ],
+                "elapsed_ms": [result.elapsed_ms for result in results],
+                "trace": tracer.to_json(),
+            }
+
+        _assert_identical(
+            [(workers, witness(workers)) for workers in WORKER_COUNTS]
+        )
