@@ -22,8 +22,10 @@ Six checks over every tracked markdown file:
 5. **undocumented flags** — the reverse of check 3 for the flags in
    ``MUST_DOCUMENT_FLAGS`` (the ``--devices`` pool flag, the serve
    caching/batching flags ``--result-cache-bytes``,
-   ``--no-result-cache``, ``--batch-dedupe``, and the host-parallelism
-   flag ``--workers``): every command whose
+   ``--no-result-cache``, ``--batch-dedupe``, the host-parallelism
+   flag ``--workers``, and the failure-domain flags
+   ``--max-relocations`` / ``--quarantine-threshold``): every command
+   whose
    parser accepts such a flag must have at least one doc line
    attributing the flag to that command, so a new flag cannot ship
    without documentation;
@@ -83,6 +85,8 @@ MUST_DOCUMENT_FLAGS = {
     "--no-result-cache",
     "--batch-dedupe",
     "--workers",
+    "--max-relocations",
+    "--quarantine-threshold",
 }
 
 DOCS_INDEX = REPO / "docs" / "README.md"

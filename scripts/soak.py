@@ -25,6 +25,17 @@ Re-verify a recorded baseline (parameters are read from the file, so CI
 needs no flag soup; exits non-zero on any drift)::
 
     python scripts/soak.py --check SOAK_baseline.json
+
+Device storm: ``--kill-devices N`` serves through an N-device pool and
+replaces part of the fault stream with seeded ``device_down`` kills
+fired in back-to-back pairs against one victim device, so the failure
+domain ladder (relocation, then quarantine, then probation) is
+exercised end to end; on top of the standard invariants the storm
+asserts at least one shard relocation and at least one quarantine
+trip, and that every relocated or degraded-pool result still matches
+the clean single-engine checksum::
+
+    python scripts/soak.py --kill-devices 4 --queries 120 --runs 2
 """
 
 from __future__ import annotations
@@ -62,6 +73,10 @@ DEFAULT_PARAMS = {
     "deadline_cycles": 500.0,  # far below any query's real cycle cost
     "max_drain_seconds": 120.0,  # crude no-hang guard per drain
     "workers": 1,  # host worker-pool width; any width must match the witness
+    "devices": 1,  # pool size; > 1 serves sharded (the device storm)
+    "kill_rate": 0.2,  # chance a query opens a device_down kill pair
+    "max_relocations": 2,  # per-query shard relocation budget
+    "quarantine_threshold": 2,  # consecutive failures before quarantine
 }
 
 
@@ -119,15 +134,24 @@ def run_soak(params: dict, verbose: bool = True) -> dict:
     device = device_by_name("amd")
     database = generate_database(scale=params["scale"], seed=1)
     references = reference_checksums(database, device)
+    num_devices = params.get("devices", 1)
+    pool = None
+    if num_devices > 1:
+        from repro.shard import DevicePool
+
+        pool = DevicePool(num_devices)
     service = QueryService(
         database,
         device,
+        pool=pool,
         breaker_threshold=params["breaker_threshold"],
         breaker_cooldown=params["breaker_cooldown"],
         breaker_probes=params["breaker_probes"],
         max_pending=params["max_pending"],
         queue_policy=params["queue_policy"],
         workers=params.get("workers", 1),
+        max_relocations=params.get("max_relocations", 2),
+        quarantine_threshold=params.get("quarantine_threshold", 2),
     )
 
     rng = random.Random(params["seed"])
@@ -138,9 +162,16 @@ def run_soak(params: dict, verbose: bool = True) -> dict:
     checkpoint = {"recorded": 0, "resumed": 0, "evicted": 0, "invalidated": 0}
     faults_scheduled = faults_fired = 0
     breaker_degraded = 0
+    relocations = pool_quarantines = pool_probes = 0
     checksum_failures = []
     submitted = 0
     drains = 0
+    # Device-storm kills fire in back-to-back pairs against one victim
+    # device, so the quarantine threshold (2 consecutive failures) is
+    # actually reached instead of being reset by an intervening success.
+    kill_mode = pool is not None and params.get("kill_rate", 0.0) > 0
+    kill_streak = 0
+    kill_victim = 0
     started = time.perf_counter()
 
     while submitted < total:
@@ -154,7 +185,14 @@ def run_soak(params: dict, verbose: bool = True) -> dict:
                     spec, deadline_cycles=params["deadline_cycles"]
                 )
             fault_plan = None
-            if rng.random() < params["fault_rate"]:
+            if kill_mode and kill_streak:
+                kill_streak -= 1
+                fault_plan = FaultPlan.parse(f"device_down@dev{kill_victim}")
+            elif kill_mode and rng.random() < params["kill_rate"]:
+                kill_victim = rng.randrange(num_devices)
+                kill_streak = 1
+                fault_plan = FaultPlan.parse(f"device_down@dev{kill_victim}")
+            elif rng.random() < params["fault_rate"]:
                 fault_plan = FaultPlan.from_seed(
                     rng.randrange(1 << 30), count=rng.randrange(1, 4)
                 )
@@ -219,6 +257,9 @@ def run_soak(params: dict, verbose: bool = True) -> dict:
         faults_scheduled += report.faults_scheduled
         faults_fired += report.faults_fired_total
         breaker_degraded += report.breaker_degraded
+        relocations += report.relocations
+        pool_quarantines += report.pool_quarantines
+        pool_probes += report.pool_probes
         witness.append(report.counters_dict())
         if verbose:
             print(
@@ -237,6 +278,17 @@ def run_soak(params: dict, verbose: bool = True) -> dict:
             f"result checksum drift on {len(checksum_failures)} queries: "
             f"{checksum_failures[:5]}"
         )
+    if kill_mode:
+        if relocations < 1:
+            raise SoakViolation(
+                "device storm produced no shard relocations: the kill "
+                "schedule never exercised the failure-domain ladder"
+            )
+        if pool_quarantines < 1:
+            raise SoakViolation(
+                "device storm produced no quarantine trips: back-to-back "
+                "kills never pushed a device past the threshold"
+            )
     digest = hashlib.sha1(repr(witness).encode()).hexdigest()
     return {
         "drains": drains,
@@ -247,6 +299,9 @@ def run_soak(params: dict, verbose: bool = True) -> dict:
         "checkpoint": checkpoint,
         "faults_scheduled": faults_scheduled,
         "faults_fired": faults_fired,
+        "relocations": relocations,
+        "pool_quarantines": pool_quarantines,
+        "pool_probes": pool_probes,
         "references": references,
         "witness_sha1": digest,
         "wall_seconds": round(time.perf_counter() - started, 2),
@@ -292,6 +347,8 @@ def check(baseline_path: str, verbose: bool = True, workers=None) -> int:
         "checkpoint",
         "faults_scheduled",
         "faults_fired",
+        "relocations",
+        "pool_quarantines",
         "references",
         "witness_sha1",
     ):
@@ -344,6 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--kill-devices",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "device-storm scenario: serve through an N-device pool and "
+            "replace part of the fault stream with seeded device_down "
+            "kill pairs, asserting >=1 shard relocation and >=1 "
+            "quarantine trip on top of the standard invariants"
+        ),
+    )
+    parser.add_argument(
         "--runs",
         type=int,
         default=2,
@@ -383,6 +452,12 @@ def main(argv=None) -> int:
     params["scale"] = args.scale
     if args.workers is not None:
         params["workers"] = args.workers
+    if args.kill_devices is not None:
+        if args.kill_devices < 2:
+            parser_error = "--kill-devices needs a pool of at least 2"
+            print(parser_error, file=sys.stderr)
+            return 2
+        params["devices"] = args.kill_devices
     started = time.perf_counter()
     result = soak(params, runs=args.runs, verbose=verbose)
     payload = {
@@ -407,6 +482,9 @@ def main(argv=None) -> int:
                 "checkpoint",
                 "faults_scheduled",
                 "faults_fired",
+                "relocations",
+                "pool_quarantines",
+                "pool_probes",
                 "references",
                 "witness_sha1",
             )

@@ -172,6 +172,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--max-relocations",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "relocation budget per sharded query: a shard whose whole "
+            "resilience chain fails (or whose device a 'device_down' "
+            "fault kills) is re-run on the lowest-index healthy device, "
+            "at most N times per query (only meaningful with --devices "
+            "> 1; default 2)"
+        ),
+    )
+    run.add_argument(
+        "--quarantine-threshold",
+        type=int,
+        default=2,
+        metavar="K",
+        help=(
+            "consecutive shard failures before pool health quarantines "
+            "a device slot, excluding it from the scatter until its "
+            "cooldown expires (0 disables pool-health tracking; only "
+            "meaningful with --devices > 1; default 2)"
+        ),
+    )
+    run.add_argument(
         "--trace-out",
         metavar="FILE",
         help="write a Perfetto trace.json of the run to FILE",
@@ -343,6 +368,31 @@ def build_parser() -> argparse.ArgumentParser:
             "with --devices > 1, scattering each query's shards); any "
             "value produces byte-identical reports, counters, and "
             "traces — 1 (the default) is the exact sequential path"
+        ),
+    )
+    serve.add_argument(
+        "--max-relocations",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "relocation budget per sharded query: a shard whose whole "
+            "resilience chain fails (or whose device a 'device_down' "
+            "fault kills) is re-run on the lowest-index healthy device, "
+            "at most N times per query (only meaningful with --devices "
+            "> 1; default 2)"
+        ),
+    )
+    serve.add_argument(
+        "--quarantine-threshold",
+        type=int,
+        default=2,
+        metavar="K",
+        help=(
+            "consecutive shard failures before pool health quarantines "
+            "a device slot, excluding it from the scatter until its "
+            "cooldown expires (0 disables pool-health tracking; only "
+            "meaningful with --devices > 1; default 2)"
         ),
     )
     serve.add_argument(
@@ -523,6 +573,8 @@ def cmd_run(args) -> int:
             max_retries=args.max_retries,
             partitioned_joins=args.partitioned_joins,
             workers=args.workers,
+            max_relocations=args.max_relocations,
+            quarantine_threshold=args.quarantine_threshold,
         )
         with _traced(args.trace_out):
             result = executor.execute(spec)
@@ -638,6 +690,8 @@ def cmd_serve(args) -> int:
         ),
         batch_dedupe=args.batch_dedupe,
         workers=args.workers,
+        max_relocations=args.max_relocations,
+        quarantine_threshold=args.quarantine_threshold,
     )
     with _traced(args.trace_out):
         report = service.run([_query_spec(name) for name in names])

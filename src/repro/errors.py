@@ -197,6 +197,22 @@ class KernelFaultError(SimulationError):
         self.injected = injected
 
 
+class DeviceLostError(ReproError):
+    """A whole device slot failed while shards were running on it.
+
+    Raised at the shard layer (never inside a simulated segment) when a
+    ``device_down`` fault marks the slot lost.  Retryable *by relocation
+    only*: re-running the same shard on the same device cannot help, so
+    the resilience chain never sees this error — the sharded executor
+    moves the partition to a healthy slot instead.
+    """
+
+    def __init__(self, message: str, device: str = "", injected: bool = False):
+        super().__init__(message)
+        self.device = device
+        self.injected = injected
+
+
 class DeadlineExceededError(ReproError):
     """A query ran past its deadline and was cooperatively cancelled.
 

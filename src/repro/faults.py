@@ -58,9 +58,23 @@ class FaultKind(str, Enum):
     CHANNEL_OVERFLOW = "overflow"
     DEVICE_OOM = "oom"
     MISSING_CALIBRATION = "calibration"
+    DEVICE_LOST = "device_down"
 
 
 _KINDS = {kind.value: kind for kind in FaultKind}
+
+#: The kinds seeded plans draw from.  Pinned to the original five engine
+#: faults (in enum-declaration order) so every pre-existing seeded
+#: schedule — golden tests, SOAK/BENCH baselines — is byte-stable as new
+#: kinds are added.  ``device_down`` is a whole-slot event consumed by the
+#: shard layer, not the engines, and only enters a plan explicitly.
+_SEEDED_KINDS = (
+    FaultKind.KERNEL_ABORT,
+    FaultKind.CHANNEL_STALL,
+    FaultKind.CHANNEL_OVERFLOW,
+    FaultKind.DEVICE_OOM,
+    FaultKind.MISSING_CALIBRATION,
+)
 
 
 @lru_cache(maxsize=512)
@@ -165,7 +179,7 @@ class FaultPlan:
         injector never touches an RNG.
         """
         rng = random.Random(seed)
-        pool = tuple(kinds) if kinds else tuple(FaultKind)
+        pool = tuple(kinds) if kinds else _SEEDED_KINDS
         specs: List[FaultSpec] = []
         for _ in range(max(0, count)):
             kind = pool[rng.randrange(len(pool))]
@@ -194,7 +208,7 @@ def parse_fault_plan(text: str) -> FaultPlan:
     Grammar (items separated by ``;``)::
 
         item   := kind ['@' segment [':' kernel]] (',' key '=' value)*
-        kind   := abort | stall | overflow | oom | calibration
+        kind   := abort | stall | overflow | oom | calibration | device_down
         key    := times | after | before
         item   := 'random' ':' seed [':' count]     (seeded plan)
 
@@ -340,6 +354,16 @@ class FaultInjector:
                 "injected missing calibration entry while re-deriving the "
                 f"configuration for segment {segment!r}"
             )
+
+    def takes_device(self, device: str) -> bool:
+        """Whether a ``device_down`` fault claims this whole slot.
+
+        Consulted by the shard layer (gather and relocation), never by
+        the engines: the ``segment`` pattern of a ``device_down`` spec
+        matches the slot *name* (``dev1``), and a firing means every
+        shard outcome on that slot for the current query is discarded.
+        """
+        return self._take(FaultKind.DEVICE_LOST, device, "*", 0.0) is not None
 
     # -- behavioural hooks (simulator applies the mechanics) -------------
 

@@ -125,8 +125,22 @@ METRIC_CATALOGUE: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "shard_device_busy_ms_total", "counter",
         "Cumulative simulated busy time per pool device (scatter work "
-        "plus, on dev0, merges).",
+        "plus, on the merge device, merges).",
         labels=("device",),
+    ),
+    MetricSpec(
+        "shard_relocations_total", "counter",
+        "Shard relocation attempts: a shard whose device failed was "
+        "re-run on a healthy device.",
+    ),
+    MetricSpec(
+        "pool_quarantined", "gauge",
+        "Device slots currently quarantined by the pool-health tracker.",
+    ),
+    MetricSpec(
+        "pool_probe_total", "counter",
+        "Probation probes opened: a quarantined slot finished its "
+        "cooldown and re-entered the scatter half-open.",
     ),
     # -- circuit breaker -------------------------------------------------
     MetricSpec(

@@ -68,6 +68,10 @@ class QueryRecord:
     #: Shards that executed when the service ran this query across a
     #: device pool (0 = single-device execution).
     shards: int = 0
+    #: Relocation attempts consumed when shards of this query failed on
+    #: their device and re-ran on a healthy one (pooled services only;
+    #: followers of a deduped leader report 0).
+    relocations: int = 0
     #: This query was deduplicated in a batched drain: an identical
     #: pending spec executed once and fanned its result out here.
     deduped: bool = False
@@ -126,6 +130,15 @@ class ServiceReport:
     faults_scheduled: int = 0
     faults_fired_total: int = 0
     faults_unfired: List[str] = field(default_factory=list)
+    #: Final pool-health state per device slot (empty: single device or
+    #: health tracking disabled).
+    pool_health: Dict[str, str] = field(default_factory=dict)
+    #: Devices quarantined at drain end.
+    pool_quarantined: int = 0
+    #: Probation probes the pool-health tracker opened during this drain.
+    pool_probes: int = 0
+    #: Quarantine transitions during this drain.
+    pool_quarantines: int = 0
 
     # -- derived ----------------------------------------------------------
 
@@ -166,6 +179,11 @@ class ServiceReport:
     @property
     def breaker_degraded(self) -> int:
         return sum(1 for r in self.records if r.breaker_degraded)
+
+    @property
+    def relocations(self) -> int:
+        """Shard relocation attempts consumed across the drain."""
+        return sum(r.relocations for r in self.records)
 
     @property
     def hard_failures(self) -> int:
@@ -227,10 +245,16 @@ class ServiceReport:
             "faults_scheduled": self.faults_scheduled,
             "faults_fired_total": self.faults_fired_total,
             "faults_unfired": list(self.faults_unfired),
+            "pool_health": dict(sorted(self.pool_health.items())),
+            "pool_quarantined": self.pool_quarantined,
+            "pool_probes": self.pool_probes,
+            "pool_quarantines": self.pool_quarantines,
+            "relocations": self.relocations,
             "schedule": [
                 (
                     r.index, r.query, r.round, r.slots, r.engine, r.ok,
                     r.outcome, r.breaker_degraded, r.shards, r.deduped,
+                    r.relocations,
                 )
                 for r in self.records
             ],
@@ -275,6 +299,24 @@ class ServiceReport:
                         f"{name}={state}" for name, state in open_like.items()
                     )
                 )
+        if (
+            self.relocations
+            or self.pool_quarantined
+            or self.pool_quarantines
+            or self.pool_probes
+        ):
+            sick = ", ".join(
+                f"{name}={state}"
+                for name, state in sorted(self.pool_health.items())
+                if state != "healthy"
+            )
+            lines.append(
+                f"pool: {self.relocations} relocations | "
+                f"{self.pool_quarantined} quarantined | "
+                f"{self.pool_quarantines} quarantine trips | "
+                f"{self.pool_probes} probes"
+                + (f" | {sick}" if sick else "")
+            )
         if self.checkpoint.get("recorded") or self.checkpoint.get("resumed"):
             lines.append(
                 f"checkpoints: {self.checkpoint.get('recorded', 0)} segments "
@@ -328,6 +370,8 @@ class ServiceReport:
                     status += " [deduped]"
                 if r.breaker_degraded:
                     status += " [breaker]"
+                if r.relocations:
+                    status += f" [relocated x{r.relocations}]"
             elif r.outcome == "deadline":
                 status = f"DEADLINE ({r.error})"
             elif r.outcome == "shed":

@@ -171,6 +171,10 @@ class QueryService:
         segment_cache_bytes: Optional[int] = None,
         batch_dedupe: bool = False,
         workers: int = 1,
+        max_relocations: int = 2,
+        quarantine_threshold: int = 2,
+        quarantine_cooldown: int = 2,
+        quarantine_probes: int = 1,
     ):
         if queue_policy not in QUEUE_POLICIES:
             raise ExecutionError(
@@ -196,6 +200,10 @@ class QueryService:
         #: device budget — each round member gets a share of every
         #: device, so the constraining device governs.
         self.pool = pool
+        #: Whether the admission budget was pinned by the caller; an
+        #: implicit pooled budget re-derives from the *active* (non-
+        #: quarantined) slots at each drain.
+        self._explicit_budget = memory_budget_bytes is not None
         if memory_budget_bytes is not None:
             self.memory_budget_bytes = float(memory_budget_bytes)
         elif pool is not None:
@@ -297,6 +305,10 @@ class QueryService:
                 checkpoint_store=self.checkpoint_store,
                 segment_cache=self.segment_cache,
                 workers=workers,
+                max_relocations=max_relocations,
+                quarantine_threshold=quarantine_threshold,
+                quarantine_cooldown=quarantine_cooldown,
+                quarantine_probes=quarantine_probes,
             )
 
     # -- submission -------------------------------------------------------
@@ -491,15 +503,19 @@ class QueryService:
         """``(scope label, breaker)`` pairs guarding one query.
 
         Single-device services have one service-wide scope per query
-        shape; a pooled service has one scope per device (an unhealthy
-        device degrades only its own shard to KBE, the rest of the pool
-        keeps running GPL).
+        shape; a pooled service has one scope per *active* device (an
+        unhealthy device degrades only its own shard to KBE, the rest of
+        the pool keeps running GPL).  Quarantined devices receive no
+        shards, so they get no scope — their breakers hold state until
+        pool health readmits the slot.
         """
         if self.pool is None:
             return [(query, self._breaker_for(query))]
+        health = self._sharded.health
         return [
             (f"{query}@{slot.name}", self._breaker_for(f"{query}@{slot.name}"))
             for slot in self.pool
+            if health.available(slot.index)
         ]
 
     def _member_conflict_keys(
@@ -514,6 +530,15 @@ class QueryService:
         counters match the sequential drain exactly.
         """
         keys = {("query", query.spec.name)}
+        if self.pool is not None and self._sharded.health.enabled:
+            # Pool health is shared mutable state: a member's execution
+            # can quarantine a device, which changes the breaker scopes
+            # and scatter width every later member must observe.  One
+            # shared key serialises pooled members (commit-before-
+            # arrival), so parallel drains replay the sequential
+            # lifecycle exactly; shard-level parallelism inside each
+            # scatter is unaffected.
+            keys.add(("pool", "health"))
         if self.segment_cache is not None:
             keys.update(
                 ("segment", key)
@@ -655,21 +680,35 @@ class QueryService:
                 self._emit_breaker_events(label, breaker)
             return
         shard = getattr(result, "shard", None)
-        by_device = (
-            {record.device: record for record in shard.records}
-            if shard is not None
-            else {}
-        )
-        for (label, breaker), slot in zip(scopes, self.pool):
+        by_device: Dict[str, object] = {}
+        relocated_by_device: Dict[str, List] = {}
+        if shard is not None:
+            for record in shard.records:
+                by_device[record.device] = record
+            for record in shard.relocated:
+                relocated_by_device.setdefault(record.device, []).append(
+                    record
+                )
+        # Scopes may cover fewer devices than the pool (quarantined
+        # slots get none), so the device comes from the scope label.
+        for label, breaker in scopes:
             if breaker is None:
                 continue
-            record = by_device.get(slot.name)
+            device = label.rsplit("@", 1)[1]
+            record = by_device.get(device)
             fault = (
                 label not in degraded_scopes
                 and record is not None
                 and not record.skipped
-                and record.fallbacks > 0
+                and (record.fallbacks > 0 or record.failed)
             )
+            if not fault and label not in degraded_scopes:
+                # A relocated shard's fallbacks belong to the device
+                # that finally served it.
+                fault = any(
+                    rec.fallbacks > 0
+                    for rec in relocated_by_device.get(device, ())
+                )
             breaker.on_result(fault=fault)
             self._emit_breaker_events(label, breaker)
 
@@ -775,6 +814,23 @@ class QueryService:
             else {}
         )
         pool_tasks_before, pool_busy_before = self._pool_stats()
+        health = self._sharded.health if self._sharded is not None else None
+        health_probes_before = health.probes if health is not None else 0
+        health_quarantines_before = (
+            health.quarantines if health is not None else 0
+        )
+        if (
+            health is not None
+            and health.enabled
+            and not self._explicit_budget
+        ):
+            # Min-per-device admission follows pool health: the budget
+            # is the tightest *active* device (quarantined slots take
+            # no shards, so they don't constrain the round).
+            self.memory_budget_bytes = min(
+                self.pool.slot(index).effective_budget_bytes
+                for index in health.active_indices()
+            )
 
         records: List[QueryRecord] = []
 
@@ -902,6 +958,7 @@ class QueryService:
 
                 def commit_next() -> None:
                     nonlocal round_makespan
+                    nonlocal faults_scheduled, faults_fired_total
                     member = inflight.pop(0)
                     query = member.query
                     task = member.task
@@ -987,6 +1044,18 @@ class QueryService:
                     result = task.result
                     self.results[query.index] = result
                     harvest_faults(result.resilience)
+                    if result.shard is not None:
+                        # device_down accounting lives on the shard
+                        # report (the injector never reaches engines).
+                        faults_scheduled += (
+                            result.shard.device_faults_scheduled
+                        )
+                        faults_fired_total += (
+                            result.shard.device_faults_fired
+                        )
+                        faults_unfired.update(
+                            result.shard.device_faults_unfired
+                        )
                     # The GPL tier misbehaved if the resilient run had
                     # to fall off it; per-device scopes attribute shard
                     # fallbacks to the device that fell back.
@@ -1017,6 +1086,11 @@ class QueryService:
                             breaker_degraded=degraded,
                             shards=(
                                 result.shard.fanout
+                                if result.shard is not None
+                                else 0
+                            ),
+                            relocations=(
+                                result.shard.relocations
                                 if result.shard is not None
                                 else 0
                             ),
@@ -1159,6 +1233,24 @@ class QueryService:
                 spec if count == 1 else f"{spec} x{count}"
                 for spec, count in sorted(faults_unfired.items())
             ],
+            pool_health=(
+                health.states()
+                if health is not None and health.enabled
+                else {}
+            ),
+            pool_quarantined=(
+                health.quarantined_count() if health is not None else 0
+            ),
+            pool_probes=(
+                health.probes - health_probes_before
+                if health is not None
+                else 0
+            ),
+            pool_quarantines=(
+                health.quarantines - health_quarantines_before
+                if health is not None
+                else 0
+            ),
         )
         self._record_metrics(report, len(rounds))
         report.metrics = self.registry.to_json()
@@ -1214,6 +1306,10 @@ class QueryService:
             registry.counter("batch_shared_scan_rounds_total").inc(
                 report.shared_scan_rounds
             )
+        if self._sharded is not None and self._sharded.health.enabled:
+            registry.gauge("pool_quarantined").set(report.pool_quarantined)
+            if report.pool_probes:
+                registry.counter("pool_probe_total").inc(report.pool_probes)
         if self.result_cache is not None:
             registry.gauge("cache_result_bytes").set(
                 self.result_cache.live_bytes
@@ -1263,6 +1359,10 @@ class QueryService:
                 registry.histogram("shard_fanout").observe(shard.fanout)
                 registry.gauge("shard_skew").set(shard.skew)
                 registry.histogram("shard_merge_ms").observe(shard.merge_ms)
+                if shard.relocations:
+                    registry.counter("shard_relocations_total").inc(
+                        shard.relocations
+                    )
                 for device, busy in sorted(shard.device_busy_ms().items()):
                     registry.counter("shard_device_busy_ms_total").inc(
                         busy, device=device

@@ -9,6 +9,7 @@ and gathers the partials with a correctness-preserving merge.  See
 """
 
 from .executor import ShardedExecutor, ShardRecord, ShardReport
+from .health import POOL_HEALTH_STATES, PoolHealth
 from .planner import (
     PARTIALS_TABLE,
     ShardPlan,
@@ -23,6 +24,8 @@ __all__ = [
     "DevicePool",
     "DeviceSlot",
     "PARTIALS_TABLE",
+    "POOL_HEALTH_STATES",
+    "PoolHealth",
     "ShardPlan",
     "ShardRecord",
     "ShardReport",

@@ -3,35 +3,48 @@
 Execution lifecycle (see :mod:`repro.shard.planner` for the plan split):
 
 1. **Partition** — the fact table is hash-partitioned (round-robin
-   fallback) into one database per pool device; partitions are cached
-   per (table, key, shard-count) so repeated queries over the same pool
-   repartition nothing.
+   fallback) into one database per *active* pool device; partitions are
+   cached per (table, key, shard-count) so repeated queries over the
+   same pool width repartition nothing.  Devices quarantined by
+   :class:`~repro.shard.health.PoolHealth` are excluded from the
+   scatter, so serving continues at reduced width.
 2. **Scatter** — the scatter spec runs once per non-empty shard, each on
    its own device through a per-shard :class:`ResilientExecutor`, so
    admission control, fault retries, Δ-halving, engine fallback,
    checkpoints, and deadlines all compose per device.  Empty shards are
    skipped (a shard with no fact rows contributes nothing to any merge;
-   when *every* shard is empty, shard 0 runs alone to reproduce
-   single-device empty-input semantics, including global-aggregate
-   identity rows).
-3. **Gather** — partial results are concatenated into a synthetic
+   when *every* shard is empty, the lowest active shard runs alone to
+   reproduce single-device empty-input semantics, including
+   global-aggregate identity rows).
+3. **Recover** — a shard whose whole resilience chain fails (or whose
+   device a ``device_down`` fault marks lost) is *relocated*: re-run on
+   the lowest-index healthy device not yet tried for that shard,
+   bounded by ``max_relocations`` per query.  Outcomes feed the pool
+   health tracker, which quarantines persistently bad slots.
+4. **Gather** — partial results are concatenated into a synthetic
    ``_shard_partials`` table and the gather spec runs over it as a
-   normal single-table query on the merge device (pool slot 0), so merge
-   work is simulated, traced, and costed like any other query.  Plans
-   with no aggregates and no DISTINCT merge host-side (concatenation +
-   the original ordering/limit) because there is nothing to re-reduce.
+   normal single-table query on the merge device (the lowest active
+   slot), so merge work is simulated, traced, and costed like any other
+   query.  Plans with no aggregates and no DISTINCT merge host-side
+   (concatenation + the original ordering/limit) because there is
+   nothing to re-reduce.
+
+Results, records, and traces commit in shard order on the gather path,
+so the host-parallel determinism contract holds: same seed + any worker
+count ⇒ byte-identical results, counters, and traces — with or without
+relocations.
 
 The merged :class:`~repro.core.QueryResult` carries fleet-level
 counters (work summed across shards, critical-path elapsed time: the
 slowest shard plus the merge) and a :class:`ShardReport` on its
 ``shard`` attribute with per-device records, partition metadata, skew,
-and merge accounting.
+relocation and merge accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -40,7 +53,13 @@ from ..core.checkpoint import CheckpointStore
 from ..core.config import GPLConfig
 from ..core.parallel import PoolTask, WorkerPool
 from ..core.resilience import ENGINE_CHAIN
-from ..faults import FaultPlan
+from ..errors import (
+    DeadlineExceededError,
+    DeviceLostError,
+    ReproError,
+    SchemaError,
+)
+from ..faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from ..gpu import HardwareCounters
 from ..obs.tracing import maybe_span
 from ..plans import QuerySpec
@@ -54,6 +73,7 @@ from ..relational import (
     TableSchema,
     partition_database,
 )
+from .health import PoolHealth
 from .planner import PARTIALS_TABLE, ShardPlan, decompose
 from .pool import DevicePool, DeviceSlot
 
@@ -76,14 +96,33 @@ class ShardRecord:
     retries: int
     fallbacks: int
     skipped: bool
+    #: Slot was quarantined by pool health and excluded from the scatter.
+    quarantined: bool = False
+    #: Shard failed on this device and was handed to the relocator.
+    failed: bool = False
+    #: Relocation attempts consumed to land this shard (relocated
+    #: records only).
+    relocations: int = 0
+    #: Original device of a relocated shard (relocated records only).
+    relocated_from: str = ""
 
     def describe(self) -> str:
+        if self.quarantined:
+            return f"{self.device}: quarantined"
         if self.skipped:
             return f"{self.device}: skipped (0 rows)"
-        return (
+        if self.failed:
+            return f"{self.device}: failed ({self.rows_in} rows relocated)"
+        line = (
             f"{self.device}: {self.rows_in} rows -> {self.rows_out} "
             f"partials in {self.elapsed_ms:.3f} ms [{self.engine}]"
         )
+        if self.relocated_from:
+            line += (
+                f" (relocated from {self.relocated_from}, "
+                f"attempts={self.relocations})"
+            )
+        return line
 
 
 @dataclass(frozen=True)
@@ -98,11 +137,34 @@ class ShardReport:
     merge_ms: float
     merge_cycles: float
     merge_engine: str
+    #: Slot the gather merge ran on (the lowest active device).
+    merge_device: str = "dev0"
+    #: One record per relocated shard: ``device`` is the slot that
+    #: finally served it, ``relocated_from`` the slot that failed.
+    relocated: Tuple[ShardRecord, ...] = ()
+    #: ``device_down`` accounting for this query (scheduled only counts
+    #: per-query plans; the executor-wide injector reports fired deltas).
+    device_faults_scheduled: int = 0
+    device_faults_fired: int = 0
+    device_faults_unfired: Tuple[str, ...] = ()
 
     @property
     def fanout(self) -> int:
-        """Shards that actually executed (non-empty)."""
-        return sum(1 for record in self.records if not record.skipped)
+        """Shards that actually executed (non-empty, wherever they landed)."""
+        in_place = sum(
+            1 for record in self.records
+            if not record.skipped and not record.failed
+        )
+        return in_place + len(self.relocated)
+
+    @property
+    def relocations(self) -> int:
+        """Relocation attempts consumed by this query."""
+        return sum(record.relocations for record in self.relocated)
+
+    @property
+    def quarantined_devices(self) -> Tuple[str, ...]:
+        return tuple(r.device for r in self.records if r.quarantined)
 
     @property
     def skew(self) -> float:
@@ -112,14 +174,28 @@ class ShardReport:
     def makespan_ms(self) -> float:
         """Critical-path time: slowest shard plus the serial merge."""
         scatter = max(
-            (record.elapsed_ms for record in self.records), default=0.0
+            (
+                record.elapsed_ms
+                for record in self.records + self.relocated
+            ),
+            default=0.0,
         )
         return scatter + self.merge_ms
 
     def device_busy_ms(self) -> Dict[str, float]:
         """Per-device busy time (the utilization metric's raw material)."""
-        busy = {record.device: record.elapsed_ms for record in self.records}
-        busy["dev0"] = busy.get("dev0", 0.0) + self.merge_ms
+        busy: Dict[str, float] = {}
+        for record in self.records:
+            busy[record.device] = (
+                busy.get(record.device, 0.0) + record.elapsed_ms
+            )
+        for record in self.relocated:
+            busy[record.device] = (
+                busy.get(record.device, 0.0) + record.elapsed_ms
+            )
+        busy[self.merge_device] = (
+            busy.get(self.merge_device, 0.0) + self.merge_ms
+        )
         return busy
 
     def describe(self) -> str:
@@ -129,6 +205,7 @@ class ShardReport:
             f"({self.merge_ms:.3f} ms on {self.merge_engine})",
         ]
         lines.extend(f"  {record.describe()}" for record in self.records)
+        lines.extend(f"  {record.describe()}" for record in self.relocated)
         return "\n".join(lines)
 
 
@@ -143,6 +220,32 @@ def _dtype_for(array: np.ndarray, dictionary: Optional[Tuple[str, ...]]) -> Data
     if array.dtype == np.int32:
         return DataType.INT32
     return DataType.INT64
+
+
+def _split_device_specs(
+    plan: Optional[FaultPlan],
+) -> Tuple[Optional[FaultPlan], Tuple[FaultSpec, ...]]:
+    """Split ``device_down`` specs out of a fault plan.
+
+    The engines never see device-loss faults — they are whole-slot
+    events consumed at the shard layer — so a plan is divided into the
+    engine residue (everything else, ``None`` when empty) and the
+    device specs.
+    """
+    if plan is None:
+        return None, ()
+    device = tuple(
+        spec for spec in plan.faults if spec.kind is FaultKind.DEVICE_LOST
+    )
+    if not device:
+        return plan, ()
+    engine = tuple(
+        spec for spec in plan.faults if spec.kind is not FaultKind.DEVICE_LOST
+    )
+    residue = (
+        FaultPlan(faults=engine, seed=plan.seed) if engine else None
+    )
+    return residue, device
 
 
 class ShardedExecutor:
@@ -165,11 +268,23 @@ class ShardedExecutor:
         checkpoints: bool = True,
         segment_cache=None,
         workers: int = 1,
+        max_relocations: int = 2,
+        quarantine_threshold: int = 2,
+        quarantine_cooldown: int = 2,
+        quarantine_probes: int = 1,
     ) -> None:
         self.database = database
         self.pool = pool
         self.config = config or GPLConfig()
         self.resilient = resilient
+        if fault_plans is not None and not isinstance(fault_plans, FaultPlan):
+            fault_plans = tuple(fault_plans)
+            if len(fault_plans) != len(pool):
+                raise SchemaError(
+                    f"fault_plans sequence has {len(fault_plans)} entries "
+                    f"for a {len(pool)}-device pool; pass one plan per "
+                    "slot (None for no injection)"
+                )
         self.fault_plans = fault_plans
         #: Uniform per-device budget override; ``None`` defers to each
         #: slot's own budget (which defaults to full device memory).
@@ -191,6 +306,53 @@ class ShardedExecutor:
         #: executor its own pool size but never shares a pool instance
         #: (a bounded pool whose tasks submit to themselves deadlocks).
         self.worker_pool = WorkerPool(workers, name="repro-shard")
+        #: Per-query relocation budget for failed shards.
+        self.max_relocations = max_relocations
+        #: Device failure domains: per-slot health driven by shard
+        #: outcomes.  ``quarantine_threshold=0`` disables tracking.
+        self.health = PoolHealth(
+            len(pool),
+            threshold=quarantine_threshold,
+            cooldown=quarantine_cooldown,
+            probe_budget=quarantine_probes,
+        )
+        # Split executor-wide plans once: engines get the residue, the
+        # persistent device injector eats every device_down spec.  A
+        # per-slot entry with segment "*" is pinned to that slot's name
+        # so "kill whatever runs on slot 2" means slot 2, not "first
+        # slot consulted".
+        self._engine_fault_plans: Union[
+            None, FaultPlan, Tuple[Optional[FaultPlan], ...]
+        ]
+        device_specs: List[FaultSpec] = []
+        if self.fault_plans is None:
+            self._engine_fault_plans = None
+        elif isinstance(self.fault_plans, FaultPlan):
+            residue, specs = _split_device_specs(self.fault_plans)
+            self._engine_fault_plans = residue
+            device_specs.extend(specs)
+        else:
+            residues: List[Optional[FaultPlan]] = []
+            for index, entry in enumerate(self.fault_plans):
+                residue, specs = _split_device_specs(entry)
+                residues.append(residue)
+                for spec in specs:
+                    if spec.segment == "*":
+                        spec = FaultSpec(
+                            kind=spec.kind,
+                            segment=f"dev{index}",
+                            kernel=spec.kernel,
+                            after_cycle=spec.after_cycle,
+                            before_cycle=spec.before_cycle,
+                            times=spec.times,
+                        )
+                    device_specs.append(spec)
+            self._engine_fault_plans = tuple(residues)
+        self._device_injector: Optional[FaultInjector] = (
+            FaultInjector(FaultPlan(faults=tuple(device_specs)))
+            if device_specs
+            else None
+        )
         # (table, key, num_shards) -> (shard databases, metadata); the
         # executor is bound to one database, so the key needs no db id.
         # Thread-safe: concurrent serving members partition through it.
@@ -203,23 +365,24 @@ class ShardedExecutor:
     # -- partitioning -----------------------------------------------------
 
     def _partitions(
-        self, plan: ShardPlan
+        self, plan: ShardPlan, num_shards: int
     ) -> Tuple[List[Database], PartitionMetadata]:
-        key = (plan.partition_table, plan.partition_key, len(self.pool))
+        key = (plan.partition_table, plan.partition_key, num_shards)
         return self._partition_cache.get_or_compute(
             key,
             lambda: partition_database(
                 self.database,
-                len(self.pool),
+                num_shards,
                 plan.partition_table,
                 key=plan.partition_key,
             ),
         )
 
-    def _fault_plan_for(self, slot: DeviceSlot) -> Optional[FaultPlan]:
-        if self.fault_plans is None or isinstance(self.fault_plans, FaultPlan):
-            return self.fault_plans
-        return self.fault_plans[slot.index]
+    def _engine_fault_plan_for(self, slot: DeviceSlot) -> Optional[FaultPlan]:
+        plans = self._engine_fault_plans
+        if plans is None or isinstance(plans, FaultPlan):
+            return plans
+        return plans[slot.index]
 
     # -- execution --------------------------------------------------------
 
@@ -231,7 +394,7 @@ class ShardedExecutor:
         engines_by_device: Optional[Dict[int, Sequence[str]]] = None,
         fault_plan: Optional[FaultPlan] = None,
     ) -> QueryResult:
-        """Scatter ``spec`` across the pool and merge the partials.
+        """Scatter ``spec`` across the active pool and merge the partials.
 
         The serving layer uses the overrides: ``share`` is how many
         concurrent queries split each device (every shard gets
@@ -241,18 +404,60 @@ class ShardedExecutor:
         index (per-device breaker degradation), and ``fault_plan``
         overrides the executor-wide fault plans for this query.
         """
+        try:
+            return self._execute(
+                spec,
+                engines=engines,
+                share=share,
+                engines_by_device=engines_by_device,
+                fault_plan=fault_plan,
+            )
+        finally:
+            # Cooldowns are counted in *completed* queries — success or
+            # failure, the pool served one more query.
+            self.health.on_query_complete()
+
+    def _execute(
+        self,
+        spec: QuerySpec,
+        engines: Optional[Sequence[str]],
+        share: int,
+        engines_by_device: Optional[Dict[int, Sequence[str]]],
+        fault_plan: Optional[FaultPlan],
+    ) -> QueryResult:
         plan = decompose(spec, self.database)
-        shard_dbs, metadata = self._partitions(plan)
+        # Quarantined slots are excluded from the scatter: the pool
+        # repartitions over the active width (cached per shard count).
+        active = self.health.active_indices()
+        active_set = set(active)
+        shard_dbs, metadata = self._partitions(plan, len(active))
         executed = [
-            index
-            for index in range(len(self.pool))
-            if metadata.shard_rows[index] > 0
+            position
+            for position in range(len(active))
+            if metadata.shard_rows[position] > 0
         ]
         if not executed:
-            # Every shard is empty: run shard 0 alone so empty-input
-            # semantics (including global-aggregate identity rows) match
-            # single-device execution exactly.
+            # Every shard is empty: run the lowest active shard alone so
+            # empty-input semantics (including global-aggregate identity
+            # rows) match single-device execution exactly.
             executed = [0]
+
+        # A per-query fault-plan override replaces the executor-wide
+        # plans entirely: split off its device_down specs into a fresh
+        # injector and hand the engines only the residue.
+        override = fault_plan is not None
+        query_residue, query_device_specs = _split_device_specs(fault_plan)
+        query_injector = (
+            FaultInjector(FaultPlan(faults=query_device_specs))
+            if query_device_specs
+            else None
+        )
+        injector = query_injector if override else self._device_injector
+        persistent_fired_before = (
+            len(self._device_injector.fired)
+            if injector is self._device_injector and injector is not None
+            else 0
+        )
 
         with maybe_span(
             "shard.execute",
@@ -263,19 +468,39 @@ class ShardedExecutor:
             scheme=metadata.scheme,
         ):
             # Scatter: submit every executed shard onto the worker pool
-            # (workers=1 runs each inline right here, the exact
+            # (workers=1 runs each inline at submit, the exact
             # sequential path), then gather **in shard order** — each
             # task's private trace grafts back at its ordered position,
             # so the exported trace is byte-identical at any worker
-            # count.  On failure the lowest shard index wins, as in a
-            # sequential loop; traces of later shards are discarded
-            # because sequentially they would never have run.
+            # count.  Recovery (device-loss checks, relocation) happens
+            # on the ordered gather path for the same reason.  On an
+            # unrecoverable failure the lowest shard position wins;
+            # traces of later shards are discarded because sequentially
+            # they would never have run.
             records: List[Optional[ShardRecord]] = [None] * len(self.pool)
-            tasks: List[Optional[PoolTask]] = [None] * len(self.pool)
-            sequential = self.worker_pool.sequential
             for index in range(len(self.pool)):
+                if index in active_set:
+                    continue
                 slot = self.pool.slot(index)
-                if index not in executed:
+                records[index] = ShardRecord(
+                    index=index,
+                    device=slot.name,
+                    spec_name=slot.spec.name,
+                    rows_in=0,
+                    rows_out=0,
+                    elapsed_ms=0.0,
+                    sim_cycles=0.0,
+                    kernel_launches=0,
+                    engine="",
+                    retries=0,
+                    fallbacks=0,
+                    skipped=True,
+                    quarantined=True,
+                )
+            tasks: List[Optional[PoolTask]] = [None] * len(active)
+            for position, index in enumerate(active):
+                slot = self.pool.slot(index)
+                if position not in executed:
                     records[index] = ShardRecord(
                         index=index,
                         device=slot.name,
@@ -294,64 +519,149 @@ class ShardedExecutor:
                 shard_engines = engines
                 if engines_by_device and index in engines_by_device:
                     shard_engines = engines_by_device[index]
-                task = self.worker_pool.submit(
-                    lambda db=shard_dbs[index], slot=slot,
-                    shard_engines=shard_engines: self._run_shard(
+                shard_plan = (
+                    query_residue if override
+                    else self._engine_fault_plan_for(slot)
+                )
+                tasks[position] = self.worker_pool.submit(
+                    lambda db=shard_dbs[position], slot=slot,
+                    shard_engines=shard_engines,
+                    shard_plan=shard_plan: self._run_shard(
                         plan.scatter_spec,
                         db,
                         slot,
                         engines=shard_engines,
                         share=max(1, share),
-                        fault_plan=fault_plan,
+                        fault_plan=shard_plan,
                     )
                 )
-                tasks[index] = task
-                if sequential:
-                    # Inline task already ran: graft its trace now (the
-                    # same member-order position the parallel gather
-                    # uses) and fail fast so later shards never run —
-                    # the exact sequential loop, byte for byte.
-                    task.merge_trace()
-                    if task.error is not None:
-                        raise task.error
 
             partials: List[QueryResult] = []
+            relocated: List[ShardRecord] = []
+            relocations_left = self.max_relocations
             failure: Optional[BaseException] = None
-            for index in range(len(self.pool)):
-                task = tasks[index]
+            for position, index in enumerate(active):
+                task = tasks[position]
                 if task is None:
                     continue
+                slot = self.pool.slot(index)
                 task.wait()
                 if failure is not None:
                     task.tracer = None  # never ran, sequentially speaking
                     continue
-                if task.error is not None:
-                    task.merge_trace()
-                    failure = task.error
-                    continue
+                error = task.error
                 task.merge_trace()
-                result = task.result
-                partials.append(result)
-                slot = self.pool.slot(index)
-                resilience = result.resilience
+                if error is None and injector is not None \
+                        and injector.takes_device(slot.name):
+                    # The whole slot died: the shard's work is lost even
+                    # though its chain succeeded.
+                    error = DeviceLostError(
+                        f"device {slot.name} lost while serving shard "
+                        f"{position} of {spec.name}",
+                        device=slot.name,
+                        injected=True,
+                    )
+                if error is None:
+                    result = task.result
+                    self.health.record_success(index)
+                    partials.append(result)
+                    resilience = result.resilience
+                    records[index] = ShardRecord(
+                        index=index,
+                        device=slot.name,
+                        spec_name=slot.spec.name,
+                        rows_in=metadata.shard_rows[position],
+                        rows_out=result.num_rows,
+                        elapsed_ms=result.elapsed_ms,
+                        sim_cycles=result.counters.elapsed_cycles,
+                        kernel_launches=result.counters.kernel_launches,
+                        engine=result.engine,
+                        retries=getattr(resilience, "retries", 0),
+                        fallbacks=getattr(resilience, "fallbacks", 0),
+                        skipped=False,
+                    )
+                    continue
+                if isinstance(error, DeadlineExceededError) \
+                        or not isinstance(error, ReproError):
+                    # Deadlines are the caller's time budget, not a
+                    # device fault: never relocated, never blamed on
+                    # the slot.  Non-library errors are bugs.
+                    failure = error
+                    continue
+                self.health.record_failure(index)
                 records[index] = ShardRecord(
                     index=index,
                     device=slot.name,
                     spec_name=slot.spec.name,
-                    rows_in=metadata.shard_rows[index],
-                    rows_out=result.num_rows,
-                    elapsed_ms=result.elapsed_ms,
-                    sim_cycles=result.counters.elapsed_cycles,
-                    kernel_launches=result.counters.kernel_launches,
-                    engine=result.engine,
-                    retries=getattr(resilience, "retries", 0),
-                    fallbacks=getattr(resilience, "fallbacks", 0),
+                    rows_in=metadata.shard_rows[position],
+                    rows_out=0,
+                    elapsed_ms=0.0,
+                    sim_cycles=0.0,
+                    kernel_launches=0,
+                    engine="",
+                    retries=0,
+                    fallbacks=0,
                     skipped=False,
+                    failed=True,
+                )
+                landed, attempts, relocations_left, relocation_failure = \
+                    self._relocate(
+                        plan,
+                        spec,
+                        shard_dbs[position],
+                        position,
+                        slot,
+                        engines=engines,
+                        engines_by_device=engines_by_device,
+                        share=share,
+                        override=override,
+                        query_residue=query_residue,
+                        injector=injector,
+                        failed_devices={index},
+                        relocations_left=relocations_left,
+                    )
+                if landed is None:
+                    failure = relocation_failure or error
+                    continue
+                result, target_slot = landed
+                partials.append(result)
+                resilience = result.resilience
+                relocated.append(
+                    ShardRecord(
+                        index=index,
+                        device=target_slot.name,
+                        spec_name=target_slot.spec.name,
+                        rows_in=metadata.shard_rows[position],
+                        rows_out=result.num_rows,
+                        elapsed_ms=result.elapsed_ms,
+                        sim_cycles=result.counters.elapsed_cycles,
+                        kernel_launches=result.counters.kernel_launches,
+                        engine=result.engine,
+                        retries=getattr(resilience, "retries", 0),
+                        fallbacks=getattr(resilience, "fallbacks", 0),
+                        skipped=False,
+                        relocations=attempts,
+                        relocated_from=slot.name,
+                    )
                 )
             if failure is not None:
                 raise failure
 
-            merged = self._merge(spec, plan, partials)
+            merge_slot = self.pool.slot(active[0])
+            merged = self._merge(spec, plan, partials, merge_slot)
+            if injector is not None and injector is self._device_injector:
+                fired_delta = len(injector.fired) - persistent_fired_before
+                faults_scheduled = fired_delta
+                faults_fired = fired_delta
+                faults_unfired: Tuple[str, ...] = ()
+            elif injector is not None:
+                faults_scheduled = injector.scheduled_total
+                faults_fired = len(injector.fired)
+                faults_unfired = tuple(injector.unfired_specs())
+            else:
+                faults_scheduled = 0
+                faults_fired = 0
+                faults_unfired = ()
             report = ShardReport(
                 query=spec.name,
                 devices=len(self.pool),
@@ -361,8 +671,101 @@ class ShardedExecutor:
                 merge_ms=merged.elapsed_ms,
                 merge_cycles=merged.counters.elapsed_cycles,
                 merge_engine=merged.engine,
+                merge_device=merge_slot.name,
+                relocated=tuple(relocated),
+                device_faults_scheduled=faults_scheduled,
+                device_faults_fired=faults_fired,
+                device_faults_unfired=faults_unfired,
             )
             return self._assemble(spec, partials, merged, report)
+
+    def _relocate(
+        self,
+        plan: ShardPlan,
+        spec: QuerySpec,
+        shard_db: Database,
+        position: int,
+        source_slot: DeviceSlot,
+        engines: Optional[Sequence[str]],
+        engines_by_device: Optional[Dict[int, Sequence[str]]],
+        share: int,
+        override: bool,
+        query_residue: Optional[FaultPlan],
+        injector: Optional[FaultInjector],
+        failed_devices: Set[int],
+        relocations_left: int,
+    ) -> Tuple[
+        Optional[Tuple[QueryResult, DeviceSlot]],
+        int,
+        int,
+        Optional[BaseException],
+    ]:
+        """Re-run a failed shard on healthy devices, lowest index first.
+
+        Returns ``(landed, attempts, relocations_left, failure)`` where
+        ``landed`` is ``(result, target_slot)`` on success and ``None``
+        when the budget or the candidate list ran out (or a deadline
+        fired — ``failure`` carries it).  Every attempt — including one
+        whose target a ``device_down`` fault kills before the run —
+        consumes relocation budget.
+        """
+        attempts = 0
+        while relocations_left > 0:
+            candidates = [
+                index
+                for index in range(len(self.pool))
+                if self.health.available(index)
+                and index not in failed_devices
+            ]
+            if not candidates:
+                break
+            target = candidates[0]
+            target_slot = self.pool.slot(target)
+            relocations_left -= 1
+            attempts += 1
+            with maybe_span(
+                "shard.relocate",
+                "shard",
+                query=spec.name,
+                shard=position,
+                source=source_slot.name,
+                target=target_slot.name,
+            ):
+                if injector is not None \
+                        and injector.takes_device(target_slot.name):
+                    self.health.record_failure(target)
+                    failed_devices.add(target)
+                    continue
+                shard_engines = engines
+                if engines_by_device and target in engines_by_device:
+                    shard_engines = engines_by_device[target]
+                shard_plan = (
+                    query_residue if override
+                    else self._engine_fault_plan_for(target_slot)
+                )
+                try:
+                    result = self._run_shard(
+                        plan.scatter_spec,
+                        shard_db,
+                        target_slot,
+                        engines=shard_engines,
+                        share=max(1, share),
+                        fault_plan=shard_plan,
+                    )
+                except DeadlineExceededError as exc:
+                    return None, attempts, relocations_left, exc
+                except ReproError:
+                    self.health.record_failure(target)
+                    failed_devices.add(target)
+                    continue
+                self.health.record_success(target)
+                return (
+                    (result, target_slot),
+                    attempts,
+                    relocations_left,
+                    None,
+                )
+        return None, attempts, relocations_left, None
 
     def _run_shard(
         self,
@@ -409,10 +812,7 @@ class ShardedExecutor:
                 shard_db,
                 device,
                 config=self.config,
-                fault_plan=(
-                    fault_plan if fault_plan is not None
-                    else self._fault_plan_for(slot)
-                ),
+                fault_plan=fault_plan,
                 memory_budget_bytes=budget,
                 max_retries=self.max_retries,
                 engines=engines or self.engines,
@@ -430,7 +830,7 @@ class ShardedExecutor:
     def _partials_table(self, partials: Sequence[QueryResult]) -> Table:
         """Concatenate partial batches into one deterministic table.
 
-        Shards are concatenated in device order; within a shard the
+        Shards are concatenated in shard order; within a shard the
         engine's output order is deterministic, so two runs build
         byte-identical partials tables.
         """
@@ -452,6 +852,7 @@ class ShardedExecutor:
         spec: QuerySpec,
         plan: ShardPlan,
         partials: Sequence[QueryResult],
+        merge_slot: DeviceSlot,
     ) -> QueryResult:
         table = self._partials_table(partials)
         with maybe_span(
@@ -462,10 +863,9 @@ class ShardedExecutor:
             kind=plan.merge_kind,
         ):
             if plan.gather_spec is None:
-                return self._concat_merge(spec, table, partials[0])
+                return self._concat_merge(spec, table, partials[0], merge_slot)
             gather_db = Database()
             gather_db.add(PARTIALS_TABLE, table)
-            merge_slot = self.pool.slot(0)
             if not self.resilient:
                 engine = GPLEngine(
                     gather_db, merge_slot.spec, config=self.config
@@ -492,7 +892,11 @@ class ShardedExecutor:
             return executor.execute(plan.gather_spec)
 
     def _concat_merge(
-        self, spec: QuerySpec, table: Table, first: QueryResult
+        self,
+        spec: QuerySpec,
+        table: Table,
+        first: QueryResult,
+        merge_slot: DeviceSlot,
     ) -> QueryResult:
         """Host-side merge for plain selections: concat + order + limit."""
         if spec.order_by:
@@ -506,7 +910,7 @@ class ShardedExecutor:
         return QueryResult(
             query=spec.name,
             engine="host-concat",
-            device=self.pool.slot(0).spec.name,
+            device=merge_slot.spec.name,
             batch=batch,
             columns=tuple(table.schema.names),
             elapsed_ms=0.0,

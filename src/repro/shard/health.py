@@ -1,0 +1,169 @@
+"""Per-device pool health: the failure-domain tracker for sharded pools.
+
+A :class:`~repro.serve.breaker.CircuitBreaker` protects one *query shape*
+on the GPL tier; :class:`PoolHealth` protects one *device slot* across
+every query that touches it.  A device whose shards keep exhausting their
+resilience chain (or that a ``device_down`` fault marks lost outright)
+should stop receiving shards entirely — relocating every shard off a dead
+device per query burns the relocation budget without learning anything.
+
+Same four-phase machine as the breaker, counted in completed sharded
+queries so the lifecycle is deterministic for a given workload:
+
+* ``healthy`` — full participation; a failure moves the slot to suspect.
+* ``suspect`` — still serving; ``threshold`` *consecutive* shard failures
+  quarantine the slot, one success clears it back to healthy.
+* ``quarantined`` — excluded from scatter and relocation targets for
+  ``cooldown`` completed queries, then moved to probation.
+* ``probation`` — half-open: the slot serves shards again with a budget
+  of ``probe_budget`` failures; one success readmits it to healthy,
+  exhausting the budget re-quarantines it.
+
+``threshold=0`` disables tracking entirely (every slot always available,
+all hooks are no-ops) — the single-device and legacy pooled paths.
+
+If *every* slot is quarantined the pool keeps serving on all of them:
+a fully-dead pool has nothing better to offer, and refusing to schedule
+would turn a degraded pool into a hung one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["POOL_HEALTH_STATES", "PoolHealth"]
+
+#: The states a slot reports (also the order used in summaries).
+POOL_HEALTH_STATES = ("healthy", "suspect", "quarantined", "probation")
+
+
+class PoolHealth:
+    """Health tracker for the slots of one :class:`~repro.shard.DevicePool`."""
+
+    def __init__(
+        self,
+        num_slots: int,
+        threshold: int = 2,
+        cooldown: int = 2,
+        probe_budget: int = 1,
+    ):
+        if num_slots < 1:
+            raise ValueError("pool health needs at least one slot")
+        if threshold < 0:
+            raise ValueError("quarantine threshold must be >= 0 (0 disables)")
+        if cooldown < 1:
+            raise ValueError("quarantine cooldown must be at least 1")
+        if probe_budget < 1:
+            raise ValueError("quarantine probe budget must be at least 1")
+        self.num_slots = num_slots
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.probe_budget = probe_budget
+        self._state = ["healthy"] * num_slots
+        self._consecutive = [0] * num_slots
+        self._cooldown_left = [0] * num_slots
+        self._probes_left = [0] * num_slots
+        # lifetime counters
+        self.quarantines = 0
+        self.probes = 0
+        self.readmissions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    # -- outcome hooks ---------------------------------------------------
+
+    def record_failure(self, index: int) -> None:
+        """A shard on slot ``index`` exhausted its chain (or the device
+        was marked lost)."""
+        if not self.enabled:
+            return
+        state = self._state[index]
+        if state == "quarantined":
+            return
+        if state == "probation":
+            self._probes_left[index] -= 1
+            if self._probes_left[index] <= 0:
+                self._quarantine(index)
+            return
+        self._consecutive[index] += 1
+        if self._consecutive[index] >= self.threshold:
+            self._quarantine(index)
+        else:
+            self._state[index] = "suspect"
+
+    def record_success(self, index: int) -> None:
+        """A shard on slot ``index`` completed its chain successfully."""
+        if not self.enabled:
+            return
+        state = self._state[index]
+        if state == "probation":
+            self.readmissions += 1
+        if state in ("suspect", "probation"):
+            self._state[index] = "healthy"
+        self._consecutive[index] = 0
+
+    def on_query_complete(self) -> None:
+        """Tick quarantine cooldowns: one completed sharded query served.
+
+        A slot whose cooldown expires moves to probation with a fresh
+        probe budget; the next scatter includes it again.
+        """
+        if not self.enabled:
+            return
+        for index in range(self.num_slots):
+            if self._state[index] != "quarantined":
+                continue
+            self._cooldown_left[index] -= 1
+            if self._cooldown_left[index] <= 0:
+                self._state[index] = "probation"
+                self._probes_left[index] = self.probe_budget
+                self.probes += 1
+
+    def _quarantine(self, index: int) -> None:
+        self._state[index] = "quarantined"
+        self._consecutive[index] = 0
+        self._cooldown_left[index] = self.cooldown
+        self.quarantines += 1
+
+    # -- queries ---------------------------------------------------------
+
+    def state(self, index: int) -> str:
+        return self._state[index]
+
+    def available(self, index: int) -> bool:
+        """Whether slot ``index`` may receive shards (scatter or relocation)."""
+        return self._state[index] != "quarantined"
+
+    def active_indices(self) -> List[int]:
+        """Slots eligible for the next scatter, lowest index first.
+
+        Falls back to the full pool when everything is quarantined — a
+        fully-dead pool still has to answer.
+        """
+        active = [i for i in range(self.num_slots) if self.available(i)]
+        return active if active else list(range(self.num_slots))
+
+    def quarantined_count(self) -> int:
+        return sum(1 for s in self._state if s == "quarantined")
+
+    def states(self) -> Dict[str, str]:
+        """State per slot name, sorted for deterministic witnesses."""
+        return {f"dev{i}": self._state[i] for i in range(self.num_slots)}
+
+    def counters_dict(self) -> Dict[str, object]:
+        return {
+            "states": self.states(),
+            "quarantines": self.quarantines,
+            "probes": self.probes,
+            "readmissions": self.readmissions,
+        }
+
+    def describe(self) -> Tuple[str, ...]:
+        """Human lines for reports: only the non-healthy slots."""
+        lines = []
+        for i in range(self.num_slots):
+            if self._state[i] != "healthy":
+                lines.append(f"dev{i}: {self._state[i]}")
+        return tuple(lines)
